@@ -1,0 +1,408 @@
+package synapse_test
+
+// Benchmarks, one per table/figure of the paper's evaluation (§6).
+//
+// These testing.B benches measure the library's intrinsic costs with
+// zero injected latency, so they are CPU-bound and stable. The full
+// figure regenerations — with the scaled latency profiles, parameter
+// sweeps, and paper-style output — live in cmd/synapse-bench; see
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"synapse"
+	"synapse/internal/bench"
+	"synapse/internal/core"
+	"synapse/internal/storage"
+	"synapse/internal/vstore"
+	"synapse/internal/wire"
+	"synapse/internal/workload"
+)
+
+// BenchmarkFig13a_PublishByDeps measures the publisher write path as
+// the number of dependencies per message grows (Fig 13a's x-axis),
+// without injected version-store latency.
+func BenchmarkFig13a_PublishByDeps(b *testing.B) {
+	for _, deps := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("deps=%d", deps), func(b *testing.B) {
+			fabric := synapse.NewFabric()
+			app, err := synapse.NewApp(fabric, "pub",
+				synapse.NewDocumentMapper(synapse.MongoDB),
+				synapse.Config{Mode: synapse.Causal, VStoreShards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			item := synapse.NewModel("Item", synapse.F("v", synapse.Int))
+			if err := app.Publish(item, synapse.PubSpec{Attrs: []string{"v"}}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl := app.NewController(nil)
+				for d := 0; d < deps-1; d++ {
+					ctl.AddReadDeps("Item", fmt.Sprintf("dep-%d", d))
+				}
+				rec := synapse.NewRecord("Item", fmt.Sprintf("it-%d", i))
+				rec.Set("v", i)
+				if _, err := ctl.Create(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13a_PublishByEngine measures the single-dependency write
+// path across publisher engines (Fig 13a's series).
+func BenchmarkFig13a_PublishByEngine(b *testing.B) {
+	for _, engine := range []string{bench.PostgreSQL, bench.MySQL, bench.MongoDB, bench.Cassandra, bench.Ephemeral} {
+		b.Run(engine, func(b *testing.B) {
+			fabric := core.NewFabric()
+			app, err := core.NewApp(fabric, "pub", bench.NewMapper(engine, storage.Profile{}),
+				core.Config{Mode: core.Causal, VStoreShards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			item := synapse.NewModel("Item", synapse.F("v", synapse.Int))
+			spec := core.PubSpec{Attrs: []string{"v"}, Ephemeral: engine == bench.Ephemeral}
+			if err := app.Publish(item, spec); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl := app.NewController(nil)
+				rec := synapse.NewRecord("Item", fmt.Sprintf("it-%d", i))
+				rec.Set("v", i)
+				if _, err := ctl.Create(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13b_Pipeline measures full publish->broker->subscribe
+// pipelines for representative engine pairs (Fig 13b's series), with
+// the publisher and subscriber running concurrently.
+func BenchmarkFig13b_Pipeline(b *testing.B) {
+	pairs := []bench.EnginePair{
+		{Pub: bench.Ephemeral, Sub: bench.Ephemeral},
+		{Pub: bench.MongoDB, Sub: bench.RethinkDB},
+		{Pub: bench.PostgreSQL, Sub: bench.TokuMX},
+		{Pub: bench.Cassandra, Sub: bench.Elasticsearch},
+		{Pub: bench.MySQL, Sub: bench.Neo4j},
+	}
+	for _, pair := range pairs {
+		b.Run(pair.Pub+"_to_"+pair.Sub, func(b *testing.B) {
+			f := core.NewFabric()
+			pub, err := core.NewApp(f, "pub", bench.NewMapper(pair.Pub, storage.Profile{}),
+				core.Config{Mode: core.Causal, VStoreShards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub, err := core.NewApp(f, "sub", bench.NewMapper(pair.Sub, storage.Profile{}),
+				core.Config{VStoreShards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			post, comment := bench.SocialModels()
+			eph := pair.Pub == bench.Ephemeral
+			obs := pair.Sub == bench.Ephemeral
+			if err := pub.Publish(post, core.PubSpec{Attrs: []string{"author", "body"}, Ephemeral: eph}); err != nil {
+				b.Fatal(err)
+			}
+			if err := pub.Publish(comment, core.PubSpec{Attrs: []string{"post", "author", "body"}, Ephemeral: eph}); err != nil {
+				b.Fatal(err)
+			}
+			sPost, sComment := bench.SocialModels()
+			if err := sub.Subscribe(sPost, core.SubSpec{From: "pub", Attrs: []string{"author", "body"}, Observer: obs}); err != nil {
+				b.Fatal(err)
+			}
+			if err := sub.Subscribe(sComment, core.SubSpec{From: "pub", Attrs: []string{"post", "author", "body"}, Observer: obs}); err != nil {
+				b.Fatal(err)
+			}
+			sub.StartWorkers(8)
+			defer sub.StopWorkers()
+
+			gen := workload.NewSocialGen(1, 64)
+			var sessions sync.Map
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					op := gen.Next()
+					sv, _ := sessions.LoadOrStore(op.UserID, pub.NewSession("User", op.UserID))
+					ctl := pub.NewController(sv.(*core.Session))
+					rec := synapse.NewRecord("Post", op.ID)
+					if op.Kind == workload.OpComment {
+						ctl.AddReadDeps("Post", op.PostID)
+						rec = synapse.NewRecord("Comment", op.ID)
+						rec.Set("post", op.PostID)
+					}
+					rec.Set("author", op.UserID)
+					rec.Set("body", "b")
+					if _, err := ctl.Create(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			// Drain so the next run starts clean.
+			deadline := time.Now().Add(30 * time.Second)
+			for sub.Processed.Count() < int64(b.N) && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}
+}
+
+// BenchmarkFig13c_DeliveryModes measures subscriber message processing
+// under each delivery mode (Fig 13c's series) with 8 workers and no
+// callback cost — the ordering machinery itself.
+func BenchmarkFig13c_DeliveryModes(b *testing.B) {
+	for _, mode := range []core.DeliveryMode{core.Weak, core.Causal, core.Global} {
+		b.Run(mode.String(), func(b *testing.B) {
+			f := core.NewFabric()
+			pub, err := core.NewApp(f, "pub", bench.NewMapper(bench.MongoDB, storage.Profile{}),
+				core.Config{Mode: mode, VStoreShards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub, err := core.NewApp(f, "sub", bench.NewMapper(bench.MongoDB, storage.Profile{}),
+				core.Config{VStoreShards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			post, _ := bench.SocialModels()
+			if err := pub.Publish(post, core.PubSpec{Attrs: []string{"author", "body"}}); err != nil {
+				b.Fatal(err)
+			}
+			sPost, _ := bench.SocialModels()
+			if err := sub.Subscribe(sPost, core.SubSpec{From: "pub", Attrs: []string{"author", "body"}, Mode: mode}); err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewSocialGen(1, 64)
+			gen.SetCommentRatio(0)
+			for i := 0; i < b.N; i++ {
+				op := gen.Next()
+				ctl := pub.NewController(nil)
+				rec := synapse.NewRecord("Post", op.ID)
+				rec.Set("author", op.UserID)
+				rec.Set("body", "b")
+				if _, err := ctl.Create(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			sub.StartWorkers(8)
+			deadline := time.Now().Add(5 * time.Minute)
+			for sub.Processed.Count() < int64(b.N) && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+			b.StopTimer()
+			sub.StopWorkers()
+			if sub.Processed.Count() < int64(b.N) {
+				b.Fatalf("processed %d of %d", sub.Processed.Count(), b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkFig12a_ControllerMix measures full controller invocations
+// drawn from the Crowdtap production mix (Fig 12a) with the application
+// sleep removed — i.e., the pure Synapse cost per production call.
+func BenchmarkFig12a_ControllerMix(b *testing.B) {
+	f := core.NewFabric()
+	app, err := core.NewApp(f, "crowdtap", bench.NewMapper(bench.MongoDB, storage.Profile{}),
+		core.Config{Mode: core.Causal, VStoreShards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	action := synapse.NewModel("Action", synapse.F("kind", synapse.String))
+	if err := app.Publish(action, core.PubSpec{Attrs: []string{"kind"}}); err != nil {
+		b.Fatal(err)
+	}
+	sampler := workload.NewSampler(1, workload.CrowdtapMix())
+	var next atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profile, msgs := sampler.Next()
+		ctl := app.NewController(app.NewSession("User", fmt.Sprintf("u%d", i%500)))
+		for m := 0; m < msgs; m++ {
+			deps := sampler.SampleDeps(profile)
+			for d := 0; d < deps; d++ {
+				ctl.AddReadDeps("Action", fmt.Sprintf("seen-%d", d))
+			}
+			rec := synapse.NewRecord("Action", fmt.Sprintf("a-%d", next.Add(1)))
+			rec.Set("kind", profile.Name)
+			if _, err := ctl.Create(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9_EcosystemPost measures one end-to-end ecosystem hop:
+// publishing a post and fanning it out through the broker (the Fig 9a
+// pipeline's first stage).
+func BenchmarkFig9_EcosystemPost(b *testing.B) {
+	f := core.NewFabric()
+	pub, err := core.NewApp(f, "diaspora", bench.NewMapper(bench.PostgreSQL, storage.Profile{}),
+		core.Config{Mode: core.Causal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post, _ := bench.SocialModels()
+	if err := pub.Publish(post, core.PubSpec{Attrs: []string{"author", "body"}}); err != nil {
+		b.Fatal(err)
+	}
+	// Three downstream queues, like the mailer/analyzer/spree fan-out.
+	for _, q := range []string{"mailer", "analyzer", "spree"} {
+		f.Broker.DeclareQueue(q, 0)
+		if err := f.Broker.Bind(q, "diaspora"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sess := pub.NewSession("User", "1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl := pub.NewController(sess)
+		rec := synapse.NewRecord("Post", fmt.Sprintf("p%d", i))
+		rec.Set("author", "1")
+		rec.Set("body", "post body text")
+		if _, err := ctl.Create(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_HashCardinality measures causal subscriber
+// processing as the dependency hash space shrinks (cardinality 1 =
+// global ordering, §4.2).
+func BenchmarkAblation_HashCardinality(b *testing.B) {
+	for _, card := range []uint64{0, 1024, 1} {
+		name := fmt.Sprintf("cardinality=%d", card)
+		if card == 0 {
+			name = "cardinality=unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := core.NewFabric()
+			pub, err := core.NewApp(f, "pub", bench.NewMapper(bench.MongoDB, storage.Profile{}),
+				core.Config{Mode: core.Causal, DepCardinality: card})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub, err := core.NewApp(f, "sub", bench.NewMapper(bench.MongoDB, storage.Profile{}),
+				core.Config{DepCardinality: card})
+			if err != nil {
+				b.Fatal(err)
+			}
+			post, _ := bench.SocialModels()
+			if err := pub.Publish(post, core.PubSpec{Attrs: []string{"author", "body"}}); err != nil {
+				b.Fatal(err)
+			}
+			sPost, _ := bench.SocialModels()
+			if err := sub.Subscribe(sPost, core.SubSpec{From: "pub", Attrs: []string{"author", "body"}}); err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewSocialGen(1, 64)
+			gen.SetCommentRatio(0)
+			for i := 0; i < b.N; i++ {
+				op := gen.Next()
+				ctl := pub.NewController(nil)
+				rec := synapse.NewRecord("Post", op.ID)
+				rec.Set("author", op.UserID)
+				rec.Set("body", "b")
+				if _, err := ctl.Create(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			sub.StartWorkers(8)
+			deadline := time.Now().Add(5 * time.Minute)
+			for sub.Processed.Count() < int64(b.N) && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+			b.StopTimer()
+			sub.StopWorkers()
+		})
+	}
+}
+
+// BenchmarkTable3_AdapterSave measures the per-adapter subscriber
+// persistence cost (the operational face of Table 3's adapters).
+func BenchmarkTable3_AdapterSave(b *testing.B) {
+	for _, engine := range bench.Engines() {
+		b.Run(engine, func(b *testing.B) {
+			m := bench.NewMapper(engine, storage.Profile{})
+			d := synapse.NewModel("Item",
+				synapse.F("a", synapse.String),
+				synapse.F("n", synapse.Int),
+			)
+			if err := m.Register(d); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := synapse.NewRecord("Item", fmt.Sprintf("it-%d", i))
+				rec.Set("a", "value")
+				rec.Set("n", i)
+				if err := m.Save(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWire_MarshalRoundTrip measures the message codec (every
+// replicated write pays it twice).
+func BenchmarkWire_MarshalRoundTrip(b *testing.B) {
+	msg := &wire.Message{
+		App: "pub",
+		Operations: []wire.Operation{{
+			Operation:  wire.OpUpdate,
+			Types:      []string{"User"},
+			ID:         "100",
+			Attributes: map[string]any{"name": "alice", "interests": []any{"cats", "dogs"}},
+			ObjectDep:  "1234",
+		}},
+		Dependencies: map[string]uint64{"1234": 42, "99": 7},
+		PublishedAt:  time.Now(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := wire.Marshal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVStore_Bump measures the version-store counter update at the
+// heart of the publisher algorithm.
+func BenchmarkVStore_Bump(b *testing.B) {
+	s := vstore.New(vstore.Config{Shards: 8})
+	keys := make([]vstore.Key, 4)
+	for i := range keys {
+		keys[i] = s.KeyFor(fmt.Sprintf("obj-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		held, err := s.LockWrites(keys[:2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Bump(keys[2:], keys[:2]); err != nil {
+			b.Fatal(err)
+		}
+		s.UnlockWrites(held)
+	}
+}

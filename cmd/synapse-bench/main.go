@@ -1,0 +1,171 @@
+// Command synapse-bench regenerates every table and figure of the
+// paper's evaluation (§6). Each experiment prints the same rows or
+// series the paper reports; EXPERIMENTS.md records the scaling choices
+// and compares the measured shapes with the paper's.
+//
+// Usage:
+//
+//	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
+//	                   fig13a|fig13b|fig13c|lostmsg|ablation-hash|all
+//	              [-quick]
+//
+// -quick shrinks every sweep for a fast end-to-end pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"synapse/internal/bench"
+	"synapse/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	flag.Parse()
+
+	experiments := []struct {
+		name string
+		run  func(quick bool)
+	}{
+		{"table1", runTable1},
+		{"table3", runTable3},
+		{"fig8", runFig8},
+		{"fig9a", runFig9a},
+		{"fig9b", runFig9b},
+		{"fig12a", runFig12a},
+		{"fig12b", runFig12b},
+		{"fig13a", runFig13a},
+		{"fig13b", runFig13b},
+		{"fig13c", runFig13c},
+		{"lostmsg", runLostMsg},
+		{"ablation-hash", runAblationHash},
+	}
+
+	found := false
+	for _, e := range experiments {
+		if *exp == "all" || *exp == e.name {
+			found = true
+			start := time.Now()
+			fmt.Printf("==== %s ====\n", e.name)
+			e.run(*quick)
+			fmt.Printf("(%s completed in %s)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func runTable1(bool) { fmt.Print(bench.FormatTable1()) }
+
+func runTable3(bool) {
+	rows, err := bench.RunTable3()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatTable3(rows))
+}
+
+func runFig8(bool) {
+	fmt.Println("Fig 8: dependency and message generation (see the golden test")
+	fmt.Println("internal/core/fig8_test.go, which replays the paper's exact trace).")
+	fmt.Println("Expected message dependencies, reproduced by the implementation:")
+	fmt.Println("  M1: {u1: 0, p1: 0}")
+	fmt.Println("  M2: {u2: 0, c1: 0, p1: 1}")
+	fmt.Println("  M3: {u1: 1, c2: 0, p1: 1}")
+	fmt.Println("  M4: {u1: 2, p1: 3}")
+}
+
+func runFig9a(bool) {
+	tl := bench.RunFig9a()
+	fmt.Println("Fig 9(a): execution sample — user posts on Diaspora; mailer and")
+	fmt.Println("semantic analyzer receive in parallel; Diaspora and Spree receive")
+	fmt.Println("the decorated User.")
+	fmt.Print(tl.String())
+}
+
+func runFig9b(bool) {
+	tl := bench.RunFig9b()
+	fmt.Println("Fig 9(b): execution with subscriber disconnection — two users post")
+	fmt.Println("while the mailer is offline; on reconnection it processes the users")
+	fmt.Println("in parallel but each user's posts in serial (causal) order.")
+	fmt.Print(tl.String())
+}
+
+func runFig12a(quick bool) {
+	cfg := bench.DefaultFig12a()
+	if quick {
+		cfg.Calls = 300
+		cfg.TimeScale = 0.02
+	}
+	fmt.Print(bench.RunFig12a(cfg).Format())
+}
+
+func runFig12b(quick bool) {
+	cfg := bench.DefaultFig12a()
+	if quick {
+		cfg.TimeScale = 0.02
+	}
+	fmt.Print(bench.FormatFig12b(bench.RunFig12b(cfg)))
+}
+
+func runFig13a(quick bool) {
+	cfg := bench.DefaultFig13a()
+	if quick {
+		cfg.Deps = []int{1, 10, 100, 1000}
+		cfg.Samples = 5
+	}
+	fmt.Print(bench.FormatFig13a(bench.RunFig13a(cfg)))
+}
+
+func runFig13b(quick bool) {
+	cfg := bench.DefaultFig13b()
+	if quick {
+		cfg.Workers = []int{1, 10, 50, 200}
+		cfg.Duration = 300 * time.Millisecond
+	}
+	fmt.Print(bench.FormatFig13b(bench.RunFig13b(cfg)))
+}
+
+func runFig13c(quick bool) {
+	cfg := bench.DefaultFig13c()
+	if quick {
+		cfg.Workers = []int{1, 10, 50, 200}
+		cfg.Duration = 500 * time.Millisecond
+	}
+	fmt.Print(bench.FormatFig13c(bench.RunFig13c(cfg)))
+}
+
+func runLostMsg(quick bool) {
+	base := bench.DefaultLostMsg()
+	if quick {
+		base.Messages = 200
+	}
+	var results []bench.LostMsgResult
+	for _, timeout := range []time.Duration{0, 25 * time.Millisecond, core.WaitForever} {
+		cfg := base
+		cfg.DepTimeout = timeout
+		if timeout == core.WaitForever {
+			// Pure causal: rely on queue decommission + rebootstrap.
+			cfg.QueueMaxLen = 100
+		}
+		results = append(results, bench.RunLostMsg(cfg))
+	}
+	fmt.Print(bench.FormatLostMsg(results))
+}
+
+func runAblationHash(quick bool) {
+	cards := []uint64{1, 4, 16, 256, 0}
+	workers, callback, duration := 64, 5*time.Millisecond, time.Second
+	if quick {
+		cards = []uint64{1, 16, 0}
+		duration = 300 * time.Millisecond
+	}
+	fmt.Print(bench.FormatAblation(bench.RunAblationHashCardinality(cards, workers, callback, duration)))
+}

@@ -1,0 +1,264 @@
+// Ecosystem: the paper's §5.2 social product recommender (Fig 11).
+//
+// Diaspora (a social network, PostgreSQL) and Discourse (a discussion
+// board, PostgreSQL) publish their posts. A semantic analyzer (MySQL)
+// subscribes to both, extracts topics of interest, and decorates the
+// User model with them. Spree (an e-commerce app, MySQL) subscribes to
+// the decorated User and recommends products matching the user's
+// interests. A DB-less mailer observes Diaspora posts.
+//
+//	go run ./examples/ecosystem
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"synapse"
+	"synapse/internal/storage"
+)
+
+// extractTopics is the stand-in for the paper's Textalytics service.
+func extractTopics(body string) []string {
+	known := []string{"coffee", "keyboards", "hiking", "cooking", "music"}
+	var out []string
+	for _, k := range known {
+		if strings.Contains(strings.ToLower(body), k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func main() {
+	fabric := synapse.NewFabric()
+
+	// ------------------------------------------------------------------
+	// Diaspora: owns User and Post.
+	// ------------------------------------------------------------------
+	diasporaMapper := synapse.NewSQLMapper(synapse.Postgres)
+	diaspora, err := synapse.NewApp(fabric, "diaspora", diasporaMapper, synapse.Config{Mode: synapse.Causal})
+	check(err)
+	dUser := synapse.NewModel("User", synapse.F("name", synapse.String))
+	dPost := synapse.NewModel("Post",
+		synapse.F("author", synapse.Ref),
+		synapse.F("body", synapse.String),
+	)
+	check(diaspora.Publish(dUser, synapse.PubSpec{Attrs: []string{"name"}}))
+	check(diaspora.Publish(dPost, synapse.PubSpec{Attrs: []string{"author", "body"}}))
+
+	// ------------------------------------------------------------------
+	// Discourse: owns Topic.
+	// ------------------------------------------------------------------
+	discourseMapper := synapse.NewSQLMapper(synapse.Postgres)
+	discourse, err := synapse.NewApp(fabric, "discourse", discourseMapper, synapse.Config{Mode: synapse.Causal})
+	check(err)
+	topic := synapse.NewModel("Topic",
+		synapse.F("author", synapse.Ref),
+		synapse.F("title", synapse.String),
+	)
+	check(discourse.Publish(topic, synapse.PubSpec{Attrs: []string{"author", "title"}}))
+
+	// ------------------------------------------------------------------
+	// Semantic analyzer: subscribes to posts and topics from both apps,
+	// decorates User with interests.
+	// ------------------------------------------------------------------
+	analyzerMapper := synapse.NewSQLMapper(synapse.MySQL)
+	analyzer, err := synapse.NewApp(fabric, "analyzer", analyzerMapper, synapse.Config{Mode: synapse.Causal})
+	check(err)
+	aUser := synapse.NewModel("User",
+		synapse.F("name", synapse.String),
+		synapse.F("interests", synapse.StringList),
+	)
+	decorate := func(author, text string) error {
+		topics := extractTopics(text)
+		if len(topics) == 0 {
+			return nil
+		}
+		ctl := analyzer.NewController(nil)
+		cur, err := ctl.Find("User", author)
+		if err != nil {
+			return err
+		}
+		merged := map[string]bool{}
+		for _, t := range cur.Strings("interests") {
+			merged[t] = true
+		}
+		for _, t := range topics {
+			merged[t] = true
+		}
+		var all []string
+		for t := range merged {
+			all = append(all, t)
+		}
+		deco := synapse.NewRecord("User", author)
+		deco.Set("interests", all)
+		_, err = ctl.Update(deco)
+		return err
+	}
+	aPost := synapse.NewModel("Post",
+		synapse.F("author", synapse.Ref),
+		synapse.F("body", synapse.String),
+	)
+	aPost.Callbacks.On(synapse.AfterCreate, func(ctx *synapse.CallbackCtx) error {
+		if ctx.Bootstrapping {
+			return nil
+		}
+		return decorate(ctx.Record.String("author"), ctx.Record.String("body"))
+	})
+	aTopic := synapse.NewModel("Topic",
+		synapse.F("author", synapse.Ref),
+		synapse.F("title", synapse.String),
+	)
+	aTopic.Callbacks.On(synapse.AfterCreate, func(ctx *synapse.CallbackCtx) error {
+		if ctx.Bootstrapping {
+			return nil
+		}
+		return decorate(ctx.Record.String("author"), ctx.Record.String("title"))
+	})
+	check(analyzer.Subscribe(aUser, synapse.SubSpec{From: "diaspora", Attrs: []string{"name"}}))
+	check(analyzer.Subscribe(aPost, synapse.SubSpec{From: "diaspora", Attrs: []string{"author", "body"}}))
+	check(analyzer.Subscribe(aTopic, synapse.SubSpec{From: "discourse", Attrs: []string{"author", "title"}}))
+	check(analyzer.Publish(aUser, synapse.PubSpec{Attrs: []string{"interests"}}))
+	analyzer.StartWorkers(2)
+
+	// ------------------------------------------------------------------
+	// Mailer: DB-less observer of Diaspora posts (causal mode: no
+	// inconsistent notifications).
+	// ------------------------------------------------------------------
+	mailer, err := synapse.NewApp(fabric, "mailer", nil, synapse.Config{})
+	check(err)
+	mPost := synapse.NewModel("Post",
+		synapse.F("author", synapse.Ref),
+		synapse.F("body", synapse.String),
+	)
+	mPost.Callbacks.On(synapse.AfterCreate, func(ctx *synapse.CallbackCtx) error {
+		if !ctx.Bootstrapping {
+			fmt.Printf("[mailer]    notifying friends of %s\n", ctx.Record.String("author"))
+		}
+		return nil
+	})
+	check(mailer.Subscribe(mPost, synapse.SubSpec{
+		From: "diaspora", Attrs: []string{"author", "body"}, Observer: true,
+	}))
+	mailer.StartWorkers(1)
+
+	// ------------------------------------------------------------------
+	// Spree: subscribes to the decorated User (both origins) and runs a
+	// keyword recommender over its product catalog.
+	// ------------------------------------------------------------------
+	spreeMapper := synapse.NewSQLMapper(synapse.MySQL)
+	spree, err := synapse.NewApp(fabric, "spree", spreeMapper, synapse.Config{})
+	check(err)
+	sUser := synapse.NewModel("User",
+		synapse.F("name", synapse.String),
+		synapse.F("interests", synapse.StringList),
+	)
+	check(spree.Subscribe(sUser, synapse.SubSpec{From: "diaspora", Attrs: []string{"name"}}))
+	check(spree.Subscribe(sUser, synapse.SubSpec{From: "analyzer", Attrs: []string{"interests"}}))
+	product := synapse.NewModel("Product",
+		synapse.F("title", synapse.String),
+		synapse.F("description", synapse.String),
+	)
+	check(spreeMapper.Register(product))
+	spree.StartWorkers(2)
+
+	// Spree's local product catalog.
+	catalog := map[string][2]string{
+		"prod-1": {"Artisan espresso machine", "great coffee at home"},
+		"prod-2": {"Clacky mechanical keyboard", "keyboards for programmers"},
+		"prod-3": {"Ultralight tent", "hiking and backpacking"},
+		"prod-4": {"Cast-iron skillet", "cooking essential"},
+	}
+	for id, p := range catalog {
+		rec := synapse.NewRecord("Product", id)
+		rec.Set("title", p[0])
+		rec.Set("description", p[1])
+		check(spreeMapper.Save(rec))
+	}
+
+	// ------------------------------------------------------------------
+	// Users act across the ecosystem.
+	// ------------------------------------------------------------------
+	dctl := diaspora.NewController(diaspora.NewSession("User", "alice"))
+	u := synapse.NewRecord("User", "alice")
+	u.Set("name", "Alice")
+	_, err = dctl.Create(u)
+	check(err)
+
+	// Wait for the user to reach the analyzer before posts reference it.
+	waitUntil(func() bool {
+		_, err := analyzerMapper.Find("User", "alice")
+		return err == nil
+	})
+
+	post := synapse.NewRecord("Post", "p1")
+	post.Set("author", "alice")
+	post.Set("body", "Nothing beats fresh coffee before a hiking trip!")
+	_, err = dctl.Create(post)
+	check(err)
+	fmt.Println("[diaspora]  alice posted about coffee and hiking")
+
+	tctl := discourse.NewController(discourse.NewSession("User", "alice"))
+	tp := synapse.NewRecord("Topic", "t1")
+	tp.Set("author", "alice")
+	tp.Set("title", "Which mechanical keyboards do you recommend?")
+	_, err = tctl.Create(tp)
+	check(err)
+	fmt.Println("[discourse] alice asked about keyboards")
+
+	// Wait until the decoration reaches Spree with all three interests.
+	waitUntil(func() bool {
+		rec, err := spreeMapper.Find("User", "alice")
+		return err == nil && len(rec.Strings("interests")) >= 3
+	})
+
+	// ------------------------------------------------------------------
+	// Spree's recommender: keyword match interests against descriptions.
+	// ------------------------------------------------------------------
+	alice, err := spreeMapper.Find("User", "alice")
+	check(err)
+	fmt.Printf("[spree]     alice's interests: %v\n", alice.Strings("interests"))
+	var recommendations []string
+	products, err := spreeMapper.DB().Select("products")
+	check(err)
+	for _, row := range products {
+		desc, _ := row.Cols["description"].(string)
+		for _, interest := range alice.Strings("interests") {
+			if strings.Contains(desc, interest) {
+				title, _ := row.Cols["title"].(string)
+				recommendations = append(recommendations, title)
+				break
+			}
+		}
+	}
+	fmt.Printf("[spree]     recommended for alice: %v\n", recommendations)
+	if len(recommendations) != 3 {
+		log.Fatalf("expected 3 recommendations, got %v", recommendations)
+	}
+	_ = storage.Profile{}
+
+	fmt.Println("ecosystem: OK")
+	analyzer.StopWorkers()
+	mailer.StopWorkers()
+	spree.StopWorkers()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatal("timed out waiting for replication")
+}

@@ -1,0 +1,193 @@
+// Interests: the paper's Example 3 (Fig 7) — matching data types with
+// virtual attributes.
+//
+// A MongoDB publisher (Pub3) stores user interests in a native Array
+// attribute. Two SQL subscribers integrate it differently:
+//
+//   - Sub3a flattens the array into a serialized text column — simple,
+//     but interests cannot be queried efficiently;
+//
+//   - Sub3b uses a virtual attribute whose setter splits the array into
+//     an Interest join table, so "find users interested in X" becomes an
+//     indexed SQL query.
+//
+//     go run ./examples/interests
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"synapse"
+	"synapse/internal/storage"
+)
+
+func main() {
+	fabric := synapse.NewFabric()
+
+	// ------------------------------------------------------------------
+	// Pub3: MongoDB with a native array attribute.
+	// ------------------------------------------------------------------
+	pub, err := synapse.NewApp(fabric, "pub3",
+		synapse.NewDocumentMapper(synapse.MongoDB), synapse.Config{Mode: synapse.Causal})
+	check(err)
+	pubUser := synapse.NewModel("User",
+		synapse.F("name", synapse.String),
+		synapse.F("interests", synapse.StringList),
+	)
+	check(pub.Publish(pubUser, synapse.PubSpec{Attrs: []string{"name", "interests"}}))
+
+	// ------------------------------------------------------------------
+	// Sub3a: flattening subscriber — interests become one text column.
+	// ------------------------------------------------------------------
+	flatMapper := synapse.NewSQLMapper(synapse.Postgres)
+	subFlat, err := synapse.NewApp(fabric, "sub3a", flatMapper, synapse.Config{})
+	check(err)
+	flatUser := synapse.NewModel("User",
+		synapse.F("name", synapse.String),
+		synapse.F("interests_text", synapse.String),
+	)
+	flatUser.DefineVirtual(&synapse.VirtualAttr{
+		Name: "interests",
+		Set: func(r *synapse.Record, v any) error {
+			tmp := synapse.NewRecord("tmp", "tmp")
+			tmp.Set("t", v)
+			r.Set("interests_text", strings.Join(tmp.Strings("t"), ","))
+			return nil
+		},
+	})
+	check(subFlat.Subscribe(flatUser, synapse.SubSpec{From: "pub3", Attrs: []string{"name", "interests"}}))
+	subFlat.StartWorkers(1)
+
+	// ------------------------------------------------------------------
+	// Sub3b: join-table subscriber — the Fig 7 virtual attribute.
+	// ------------------------------------------------------------------
+	joinMapper := synapse.NewSQLMapper(synapse.Postgres)
+	subJoin, err := synapse.NewApp(fabric, "sub3b", joinMapper, synapse.Config{})
+	check(err)
+	interest := synapse.NewModel("Interest",
+		synapse.FIndexed("user", synapse.Ref),
+		synapse.FIndexed("tag", synapse.String),
+	)
+	check(joinMapper.Register(interest))
+	joinUser := synapse.NewModel("User", synapse.F("name", synapse.String))
+	joinUser.DefineVirtual(&synapse.VirtualAttr{
+		Name: "interests",
+		Set: func(r *synapse.Record, v any) error {
+			// add_or_remove: resync the user's Interest rows to the
+			// received tag set (Fig 7's Interest.add_or_remove).
+			tmp := synapse.NewRecord("tmp", "tmp")
+			tmp.Set("t", v)
+			tags := tmp.Strings("t")
+			existing, err := joinMapper.DB().Select("interests",
+				storage.Predicate{Field: "user", Op: storage.Eq, Value: r.ID})
+			if err != nil {
+				return err
+			}
+			want := make(map[string]bool, len(tags))
+			for _, tag := range tags {
+				want[tag] = true
+			}
+			for _, row := range existing {
+				tag, _ := row.Cols["tag"].(string)
+				if want[tag] {
+					delete(want, tag) // already present
+					continue
+				}
+				if err := joinMapper.Delete("Interest", row.ID); err != nil {
+					return err
+				}
+			}
+			for tag := range want {
+				row := synapse.NewRecord("Interest", r.ID+"/"+tag)
+				row.Set("user", r.ID)
+				row.Set("tag", tag)
+				if err := joinMapper.Save(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	check(subJoin.Subscribe(joinUser, synapse.SubSpec{From: "pub3", Attrs: []string{"name", "interests"}}))
+	subJoin.StartWorkers(1)
+
+	// ------------------------------------------------------------------
+	// Publish users with array interests; update one later.
+	// ------------------------------------------------------------------
+	ctl := pub.NewController(nil)
+	users := map[string][]string{
+		"100": {"cats", "dogs"},
+		"101": {"dogs", "hiking"},
+		"102": {"cooking"},
+	}
+	for id, tags := range users {
+		rec := synapse.NewRecord("User", id)
+		rec.Set("name", "user-"+id)
+		rec.Set("interests", tags)
+		_, err := ctl.Create(rec)
+		check(err)
+	}
+	fmt.Println("[pub3]  published 3 users with array interests")
+
+	waitUntil(func() bool { return joinMapper.Len("Interest") == 5 && flatMapper.Len("User") == 3 })
+
+	// Sub3a: the flattened column round-tripped, but querying needs LIKE.
+	rec, err := flatMapper.Find("User", "100")
+	check(err)
+	fmt.Printf("[sub3a] User/100 interests_text = %q (no efficient queries)\n",
+		rec.String("interests_text"))
+
+	// Sub3b: indexed join-table query "who likes dogs?".
+	dogLovers, err := joinMapper.DB().Select("interests",
+		storage.Predicate{Field: "tag", Op: storage.Eq, Value: "dogs"})
+	check(err)
+	var ids []string
+	for _, row := range dogLovers {
+		ids = append(ids, row.Cols["user"].(string))
+	}
+	fmt.Printf("[sub3b] users interested in dogs (indexed query): %v\n", ids)
+
+	// An update reshapes the join table: user 100 drops cats, picks up
+	// hiking.
+	patch := synapse.NewRecord("User", "100")
+	patch.Set("interests", []string{"dogs", "hiking"})
+	_, err = ctl.Update(patch)
+	check(err)
+	waitUntil(func() bool {
+		rows, err := joinMapper.DB().Select("interests",
+			storage.Predicate{Field: "user", Op: storage.Eq, Value: "100"})
+		if err != nil || len(rows) != 2 {
+			return false
+		}
+		tags := map[string]bool{}
+		for _, row := range rows {
+			tags[row.Cols["tag"].(string)] = true
+		}
+		return tags["dogs"] && tags["hiking"]
+	})
+	fmt.Println("[sub3b] after update, User/100 rows resynced to {dogs, hiking}")
+
+	fmt.Println("interests: OK")
+	subFlat.StopWorkers()
+	subJoin.StopWorkers()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatal("timed out waiting for replication")
+}

@@ -1,0 +1,173 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§6). It is shared between the
+// synapse-bench command (full parameter sweeps, paper-style output) and
+// the repository's testing.B benchmarks (reduced configurations).
+//
+// Absolute numbers differ from the paper — the substrates are in-process
+// simulators with scaled-down latency profiles, not a fleet of c3.large
+// instances — but the harness preserves the experiments' structure:
+// which system wins, by roughly what factor, and where the knees and
+// crossovers fall. EXPERIMENTS.md records the scaling choices and the
+// measured results side by side with the paper's.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/model"
+	"synapse/internal/orm"
+	"synapse/internal/orm/activerecord"
+	"synapse/internal/orm/columnorm"
+	"synapse/internal/orm/documentorm"
+	"synapse/internal/orm/graphorm"
+	"synapse/internal/orm/searchorm"
+	"synapse/internal/storage"
+	"synapse/internal/storage/coldb"
+	"synapse/internal/storage/docdb"
+	"synapse/internal/storage/graphdb"
+	"synapse/internal/storage/reldb"
+	"synapse/internal/storage/searchdb"
+)
+
+// Engine names accepted by NewMapper.
+const (
+	PostgreSQL    = "postgresql"
+	MySQL         = "mysql"
+	Oracle        = "oracle"
+	MongoDB       = "mongodb"
+	TokuMX        = "tokumx"
+	RethinkDB     = "rethinkdb"
+	Cassandra     = "cassandra"
+	Elasticsearch = "elasticsearch"
+	Neo4j         = "neo4j"
+	Ephemeral     = "ephemeral" // DB-less (nil mapper)
+)
+
+// Engines lists every backed engine (everything but Ephemeral).
+func Engines() []string {
+	return []string{PostgreSQL, MySQL, Oracle, MongoDB, TokuMX, RethinkDB, Cassandra, Elasticsearch, Neo4j}
+}
+
+// NewMapper builds a fresh mapper over the named engine with the given
+// performance profile. Ephemeral returns nil (a DB-less app).
+func NewMapper(engine string, p storage.Profile) orm.Mapper {
+	switch engine {
+	case PostgreSQL:
+		return activerecord.New(reldb.NewWithProfile(reldb.Postgres, p))
+	case MySQL:
+		return activerecord.New(reldb.NewWithProfile(reldb.MySQL, p))
+	case Oracle:
+		return activerecord.New(reldb.NewWithProfile(reldb.Oracle, p))
+	case MongoDB:
+		return documentorm.New(docdb.NewWithProfile(docdb.MongoDB, p))
+	case TokuMX:
+		return documentorm.New(docdb.NewWithProfile(docdb.TokuMX, p))
+	case RethinkDB:
+		return documentorm.New(docdb.NewWithProfile(docdb.RethinkDB, p))
+	case Cassandra:
+		return columnorm.New(coldb.NewWithProfile(p))
+	case Elasticsearch:
+		return searchorm.New(searchdb.NewWithProfile(p))
+	case Neo4j:
+		return graphorm.New(graphdb.NewWithProfile(p))
+	case Ephemeral:
+		return nil
+	}
+	panic("bench: unknown engine " + engine)
+}
+
+// WriteLatencyFor returns the per-write engine latency used as the
+// no-Synapse baseline in Fig 13(a). PostgreSQL's 0.81ms and Cassandra's
+// 1.9ms come from the paper; the others are interpolated.
+func WriteLatencyFor(engine string) time.Duration {
+	switch engine {
+	case PostgreSQL, Oracle:
+		return 810 * time.Microsecond
+	case MySQL:
+		return 900 * time.Microsecond
+	case MongoDB:
+		return 600 * time.Microsecond
+	case TokuMX:
+		return 700 * time.Microsecond
+	case RethinkDB:
+		return 750 * time.Microsecond
+	case Cassandra:
+		return 1900 * time.Microsecond
+	case Elasticsearch:
+		return 1200 * time.Microsecond
+	case Neo4j:
+		return 1500 * time.Microsecond
+	}
+	return 0
+}
+
+// MaxWriteRateFor returns the sustained write throughput at which each
+// engine saturates in the Fig 13(b) runs. PostgreSQL's 12,000 writes/s
+// and Elasticsearch's 20,000 writes/s are the saturation points the
+// paper reports; the others are plausible relative figures chosen to
+// keep the paper's ranking (column stores fastest, graph slowest).
+func MaxWriteRateFor(engine string) float64 {
+	switch engine {
+	case PostgreSQL, Oracle:
+		return 12000
+	case MySQL:
+		return 18000
+	case MongoDB:
+		return 26000
+	case TokuMX:
+		return 30000
+	case RethinkDB:
+		return 22000
+	case Cassandra:
+		return 45000
+	case Elasticsearch:
+		return 20000
+	case Neo4j:
+		return 9000
+	}
+	return 0 // ephemeral: unlimited
+}
+
+// SocialModels returns fresh Post and Comment descriptors for the §6.3
+// social microbenchmark.
+func SocialModels() (post, comment *model.Descriptor) {
+	post = model.NewDescriptor("Post",
+		model.Field{Name: "author", Type: model.Ref, RefModel: "User"},
+		model.Field{Name: "body", Type: model.String},
+	)
+	comment = model.NewDescriptor("Comment",
+		model.Field{Name: "post", Type: model.Ref, RefModel: "Post"},
+		model.Field{Name: "author", Type: model.Ref, RefModel: "User"},
+		model.Field{Name: "body", Type: model.String},
+	)
+	return post, comment
+}
+
+// mustApp registers an app or panics (harness setup errors are bugs).
+func mustApp(f *core.Fabric, name string, m orm.Mapper, cfg core.Config) *core.App {
+	a, err := core.NewApp(f, name, m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// fmtRate renders a throughput for the paper-style tables.
+func fmtRate(v float64) string {
+	switch {
+	case v >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}

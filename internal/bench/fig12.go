@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/metrics"
+	"synapse/internal/model"
+	"synapse/internal/storage"
+	"synapse/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Fig 12(a): per-controller publishing overheads on the Crowdtap mix.
+// ---------------------------------------------------------------------
+
+// Fig12aConfig parameterizes the Crowdtap replay.
+type Fig12aConfig struct {
+	Calls int
+	// TimeScale shrinks the paper's production controller times (0.1 =
+	// one tenth) so the replay finishes quickly; overheads scale with
+	// it, percentages do not.
+	TimeScale float64
+	Shards    int
+	VStoreRTT time.Duration
+	Seed      int64
+}
+
+// DefaultFig12a replays 2,000 controller calls at one tenth of the
+// production controller times.
+func DefaultFig12a() Fig12aConfig {
+	return Fig12aConfig{
+		Calls:     2000,
+		TimeScale: 0.1,
+		Shards:    8,
+		VStoreRTT: 400 * time.Microsecond,
+		Seed:      1,
+	}
+}
+
+// Fig12aRow is one controller's measured line of the table.
+type Fig12aRow struct {
+	Controller   string
+	CallPct      float64
+	MsgsMean     float64
+	MsgsP99      int
+	DepsMean     float64
+	DepsP99      int
+	CtrlTimeMean time.Duration
+	CtrlTimeP99  time.Duration
+	SynTimeMean  time.Duration
+	SynTimeP99   time.Duration
+	OverheadPct  float64
+}
+
+// Fig12aResult is the full table plus the aggregate overhead.
+type Fig12aResult struct {
+	Rows            []Fig12aRow
+	MeanOverheadPct float64
+}
+
+// RunFig12a replays the Crowdtap controller mix through a causal-mode
+// publisher, measuring per-controller message counts, dependency
+// counts, controller times, and Synapse time — the columns of the
+// paper's Fig 12(a).
+func RunFig12a(cfg Fig12aConfig) Fig12aResult {
+	f := core.NewFabric()
+	app := mustApp(f, "crowdtap-main", NewMapper(MongoDB, storage.Profile{}), core.Config{
+		Mode:          core.Causal,
+		VStoreShards:  cfg.Shards,
+		VStoreRTT:     cfg.VStoreRTT,
+		VStorePrecise: true, // sequential replay: spin-wait
+	})
+	action := model.NewDescriptor("Action",
+		model.Field{Name: "kind", Type: model.String},
+		model.Field{Name: "payload", Type: model.String},
+	)
+	must(app.Publish(action, core.PubSpec{Attrs: []string{"kind", "payload"}}))
+
+	mix := workload.CrowdtapMix()
+	sampler := workload.NewSampler(cfg.Seed, mix)
+
+	type stats struct {
+		ctrl, syn  *metrics.Histogram
+		msgSamples []int
+		depSamples []int
+		calls      int
+	}
+	byCtrl := make(map[string]*stats)
+	for _, c := range mix {
+		byCtrl[c.Name] = &stats{ctrl: metrics.NewHistogram(), syn: metrics.NewHistogram()}
+	}
+
+	next := 0
+	for i := 0; i < cfg.Calls; i++ {
+		profile, msgs := sampler.Next()
+		st := byCtrl[profile.Name]
+		st.calls++
+
+		appTime := time.Duration(float64(profile.AppTime) * cfg.TimeScale)
+		synBefore := app.PublishLatency.Sum()
+		start := time.Now()
+		time.Sleep(appTime) // the application's own work
+		ctl := app.NewController(app.NewSession("User", fmt.Sprintf("u%d", i%500)))
+		depTotal := 0
+		for m := 0; m < msgs; m++ {
+			deps := sampler.SampleDeps(profile)
+			for d := 0; d < deps; d++ {
+				ctl.AddReadDeps("Action", fmt.Sprintf("seen-%d", d))
+			}
+			rec := model.NewRecord("Action", fmt.Sprintf("a-%d", next))
+			next++
+			rec.Set("kind", profile.Name)
+			rec.Set("payload", "x")
+			if _, err := ctl.Create(rec); err != nil {
+				panic(err)
+			}
+			depTotal += deps
+			st.depSamples = append(st.depSamples, deps)
+		}
+		st.ctrl.Observe(time.Since(start))
+		st.syn.Observe(app.PublishLatency.Sum() - synBefore)
+		st.msgSamples = append(st.msgSamples, msgs)
+	}
+
+	var res Fig12aResult
+	var overheadSum float64
+	var overheadN int
+	for _, c := range mix {
+		st := byCtrl[c.Name]
+		if st.calls == 0 {
+			continue
+		}
+		row := Fig12aRow{
+			Controller:   c.Name,
+			CallPct:      float64(st.calls) / float64(cfg.Calls),
+			CtrlTimeMean: st.ctrl.Mean(),
+			CtrlTimeP99:  st.ctrl.Percentile(99),
+			SynTimeMean:  st.syn.Mean(),
+			SynTimeP99:   st.syn.Percentile(99),
+		}
+		row.MsgsMean, row.MsgsP99 = intStats(st.msgSamples)
+		row.DepsMean, row.DepsP99 = intStats(st.depSamples)
+		if row.CtrlTimeMean > 0 {
+			row.OverheadPct = 100 * float64(row.SynTimeMean) / float64(row.CtrlTimeMean)
+		}
+		overheadSum += row.OverheadPct
+		overheadN++
+		res.Rows = append(res.Rows, row)
+	}
+	if overheadN > 0 {
+		res.MeanOverheadPct = overheadSum / float64(overheadN)
+	}
+	return res
+}
+
+func intStats(samples []int) (mean float64, p99 int) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	h := metrics.NewHistogram()
+	total := 0
+	for _, s := range samples {
+		total += s
+		h.Observe(time.Duration(s))
+	}
+	return float64(total) / float64(len(samples)), int(h.Percentile(99))
+}
+
+// Format renders the table in the layout of Fig 12(a).
+func (r Fig12aResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 12(a): Synapse overheads, Crowdtap controller mix (times scaled)\n")
+	fmt.Fprintf(&b, "%-20s %7s  %13s  %13s  %17s  %22s\n",
+		"Controller", "%Calls", "Msgs (m/p99)", "Deps (m/p99)", "Ctrl ms (m/p99)", "Synapse ms (m/p99/%)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s %6.1f%%  %6.2f %6d  %6.1f %6d  %8.1f %8.1f  %8.2f %8.2f %4.1f%%\n",
+			row.Controller, row.CallPct*100,
+			row.MsgsMean, row.MsgsP99,
+			row.DepsMean, row.DepsP99,
+			ms(row.CtrlTimeMean), ms(row.CtrlTimeP99),
+			ms(row.SynTimeMean), ms(row.SynTimeP99), row.OverheadPct)
+	}
+	fmt.Fprintf(&b, "Overhead across all controllers: mean=%.1f%%\n", r.MeanOverheadPct)
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// ---------------------------------------------------------------------
+// Fig 12(b): overheads for three controllers in three applications.
+// ---------------------------------------------------------------------
+
+// Fig12bRow is one controller bar of Fig 12(b).
+type Fig12bRow struct {
+	App         string
+	Controller  string
+	CtrlTime    time.Duration
+	SynTime     time.Duration
+	OverheadPct float64
+}
+
+// RunFig12b replays three controllers in each of the Crowdtap,
+// Diaspora, and Discourse profiles, reporting the Synapse share of each
+// controller's execution time (the grey bars of Fig 12(b)).
+func RunFig12b(cfg Fig12aConfig) []Fig12bRow {
+	var out []Fig12bRow
+	for _, appName := range []string{"crowdtap", "diaspora", "discourse"} {
+		profiles := workload.OpenSourceMix()[appName]
+		f := core.NewFabric()
+		app := mustApp(f, appName, NewMapper(PostgreSQL, storage.Profile{}), core.Config{
+			Mode:          core.Causal,
+			VStoreShards:  cfg.Shards,
+			VStoreRTT:     cfg.VStoreRTT,
+			VStorePrecise: true, // sequential replay: spin-wait
+		})
+		item := model.NewDescriptor("Item",
+			model.Field{Name: "kind", Type: model.String},
+		)
+		must(app.Publish(item, core.PubSpec{Attrs: []string{"kind"}}))
+
+		next := 0
+		rng := rand.New(rand.NewSource(cfg.Seed + 7))
+		for _, profile := range profiles {
+			const calls = 40
+			ctrl := metrics.NewHistogram()
+			syn := metrics.NewHistogram()
+			for i := 0; i < calls; i++ {
+				msgs := int(profile.MsgsPerCall)
+				if rng.Float64() < profile.MsgsPerCall-float64(msgs) {
+					msgs++
+				}
+				synBefore := app.PublishLatency.Sum()
+				start := time.Now()
+				time.Sleep(time.Duration(float64(profile.AppTime) * cfg.TimeScale))
+				ctl := app.NewController(app.NewSession("User", fmt.Sprintf("u%d", i)))
+				for m := 0; m < msgs; m++ {
+					for d := 0; d < int(profile.DepsPerMsg); d++ {
+						ctl.AddReadDeps("Item", fmt.Sprintf("dep-%d", d))
+					}
+					rec := model.NewRecord("Item", fmt.Sprintf("%s-%d", profile.Name, next))
+					next++
+					rec.Set("kind", profile.Name)
+					if _, err := ctl.Create(rec); err != nil {
+						panic(err)
+					}
+				}
+				ctrl.Observe(time.Since(start))
+				syn.Observe(app.PublishLatency.Sum() - synBefore)
+			}
+			row := Fig12bRow{
+				App:        appName,
+				Controller: profile.Name,
+				CtrlTime:   ctrl.Mean(),
+				SynTime:    syn.Mean(),
+			}
+			if row.CtrlTime > 0 {
+				row.OverheadPct = 100 * float64(row.SynTime) / float64(row.CtrlTime)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// FormatFig12b renders the per-controller overhead bars.
+func FormatFig12b(rows []Fig12bRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 12(b): Synapse overhead share per controller (times scaled)")
+	fmt.Fprintf(&b, "%-11s %-16s %12s %12s %9s\n", "App", "Controller", "Ctrl [ms]", "Synapse [ms]", "Overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %-16s %12.1f %12.2f %8.1f%%\n",
+			r.App, r.Controller, ms(r.CtrlTime), ms(r.SynTime), r.OverheadPct)
+	}
+	return b.String()
+}

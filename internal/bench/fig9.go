@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/metrics"
+	"synapse/internal/model"
+	"synapse/internal/storage"
+)
+
+// ecosystem wires the §5.2 open-source social ecosystem used by the
+// Fig 9 execution samples: Diaspora (PostgreSQL) publishes posts and
+// users, a mailer observes posts, a semantic analyzer decorates users
+// with interests, and both Diaspora and Spree (MySQL) subscribe to the
+// decorated model.
+type ecosystem struct {
+	fabric   *core.Fabric
+	diaspora *core.App
+	mailer   *core.App
+	analyzer *core.App
+	spree    *core.App
+	timeline *metrics.Timeline
+}
+
+// mailDelay is the simulated email-send cost in the mailer callbacks.
+const mailDelay = 25 * time.Millisecond
+
+func buildEcosystem(mailerWorkers, analyzerWorkers int) *ecosystem {
+	e := &ecosystem{fabric: core.NewFabric(), timeline: metrics.NewTimeline()}
+
+	// Diaspora: the social network, owner of User and Post.
+	e.diaspora = mustApp(e.fabric, "diaspora", NewMapper(PostgreSQL, storage.Profile{}), core.Config{Mode: core.Causal})
+	e.diaspora.Timeline = e.timeline
+	// The User model declares the interests column up front so the
+	// decoration subscribed back from the analyzer has a home.
+	user := model.NewDescriptor("User",
+		model.Field{Name: "name", Type: model.String},
+		model.Field{Name: "interests", Type: model.StringList},
+	)
+	post := model.NewDescriptor("Post",
+		model.Field{Name: "author", Type: model.Ref, RefModel: "User"},
+		model.Field{Name: "body", Type: model.String},
+	)
+	must(e.diaspora.Publish(user, core.PubSpec{Attrs: []string{"name"}}))
+	must(e.diaspora.Publish(post, core.PubSpec{Attrs: []string{"author", "body"}}))
+
+	// Mailer: DB-less observer notifying friends of new posts (Fig 2).
+	e.mailer = mustApp(e.fabric, "mailer", nil, core.Config{Mode: core.Causal})
+	e.mailer.Timeline = e.timeline
+	mailerPost := model.NewDescriptor("Post",
+		model.Field{Name: "author", Type: model.Ref, RefModel: "User"},
+		model.Field{Name: "body", Type: model.String},
+	)
+	mailerPost.Callbacks.On(model.AfterCreate, func(ctx *model.CallbackCtx) error {
+		if ctx.Bootstrapping {
+			return nil
+		}
+		time.Sleep(mailDelay) // sending the notification email
+		e.timeline.Record("mailer", "app", fmt.Sprintf("emailed friends of %s about %s",
+			ctx.Record.String("author"), ctx.Record.ID))
+		return nil
+	})
+	must(e.mailer.Subscribe(mailerPost, core.SubSpec{From: "diaspora", Attrs: []string{"author", "body"}, Observer: true}))
+	if mailerWorkers > 0 {
+		e.mailer.StartWorkers(mailerWorkers)
+	}
+
+	// Semantic analyzer: decorates User with interests extracted from
+	// post bodies (the Textalytics stand-in).
+	e.analyzer = mustApp(e.fabric, "analyzer", NewMapper(MySQL, storage.Profile{}), core.Config{Mode: core.Causal})
+	e.analyzer.Timeline = e.timeline
+	anUser := model.NewDescriptor("User",
+		model.Field{Name: "name", Type: model.String},
+		model.Field{Name: "interests", Type: model.StringList},
+	)
+	anPost := model.NewDescriptor("Post",
+		model.Field{Name: "author", Type: model.Ref, RefModel: "User"},
+		model.Field{Name: "body", Type: model.String},
+	)
+	anPost.Callbacks.On(model.AfterCreate, func(ctx *model.CallbackCtx) error {
+		if ctx.Bootstrapping {
+			return nil
+		}
+		// Extract topics and decorate the author.
+		interests := extractTopics(ctx.Record.String("body"))
+		if len(interests) == 0 {
+			return nil
+		}
+		ctl := e.analyzer.NewController(nil)
+		if _, err := ctl.Find("User", ctx.Record.String("author")); err != nil {
+			return err
+		}
+		deco := model.NewRecord("User", ctx.Record.String("author"))
+		deco.Set("interests", interests)
+		_, err := ctl.Update(deco)
+		return err
+	})
+	must(e.analyzer.Subscribe(anUser, core.SubSpec{From: "diaspora", Attrs: []string{"name"}}))
+	must(e.analyzer.Subscribe(anPost, core.SubSpec{From: "diaspora", Attrs: []string{"author", "body"}}))
+	must(e.analyzer.Publish(anUser, core.PubSpec{Attrs: []string{"interests"}}))
+	e.analyzer.StartWorkers(analyzerWorkers)
+
+	// Diaspora incorporates its users' interests back (Fig 9a step 4).
+	must(e.diaspora.Subscribe(user, core.SubSpec{From: "analyzer", Attrs: []string{"interests"}}))
+	e.diaspora.StartWorkers(2)
+
+	// Spree: the e-commerce recommender, subscribing to the decorated
+	// User from both origins.
+	e.spree = mustApp(e.fabric, "spree", NewMapper(MySQL, storage.Profile{}), core.Config{Mode: core.Causal})
+	e.spree.Timeline = e.timeline
+	spreeUser := model.NewDescriptor("User",
+		model.Field{Name: "name", Type: model.String},
+		model.Field{Name: "interests", Type: model.StringList},
+	)
+	must(e.spree.Subscribe(spreeUser, core.SubSpec{From: "diaspora", Attrs: []string{"name"}}))
+	must(e.spree.Subscribe(spreeUser, core.SubSpec{From: "analyzer", Attrs: []string{"interests"}}))
+	e.spree.StartWorkers(2)
+
+	return e
+}
+
+func (e *ecosystem) stop() {
+	e.diaspora.StopWorkers()
+	e.mailer.StopWorkers()
+	e.analyzer.StopWorkers()
+	e.spree.StopWorkers()
+}
+
+// extractTopics is the deterministic keyword extractor standing in for
+// the paper's Textalytics service.
+func extractTopics(body string) []string {
+	known := []string{"cats", "dogs", "music", "cooking", "hiking"}
+	var out []string
+	lower := strings.ToLower(body)
+	for _, k := range known {
+		if strings.Contains(lower, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// RunFig9a reproduces the Fig 9(a) execution sample: a user posts on
+// Diaspora; the mailer and the semantic analyzer receive the post in
+// parallel; the analyzer publishes the decorated User; Diaspora and
+// Spree each receive the decoration. Returns the unified timeline.
+func RunFig9a() *metrics.Timeline {
+	e := buildEcosystem(2, 2)
+	defer e.stop()
+
+	ctl := e.diaspora.NewController(e.diaspora.NewSession("User", "1"))
+	u := model.NewRecord("User", "1")
+	u.Set("name", "alice")
+	if _, err := ctl.Create(u); err != nil {
+		panic(err)
+	}
+	// Let the user propagate before the post references it.
+	waitUntil(5*time.Second, func() bool {
+		_, err := e.analyzer.Mapper().Find("User", "1")
+		return err == nil
+	})
+
+	e.timeline.Record("diaspora", "app", "user 1 posts a message")
+	p := model.NewRecord("Post", "p1")
+	p.Set("author", "1")
+	p.Set("body", "I love cats and hiking")
+	if _, err := ctl.Create(p); err != nil {
+		panic(err)
+	}
+
+	// Wait for the decoration to land everywhere.
+	waitUntil(5*time.Second, func() bool {
+		rec, err := e.spree.Mapper().Find("User", "1")
+		if err != nil {
+			return false
+		}
+		return len(rec.Strings("interests")) > 0
+	})
+	waitUntil(5*time.Second, func() bool {
+		rec, err := e.diaspora.Mapper().Find("User", "1")
+		if err != nil {
+			return false
+		}
+		return len(rec.Strings("interests")) > 0
+	})
+	return e.timeline
+}
+
+// RunFig9b reproduces the Fig 9(b) execution sample: two users post two
+// messages each while the mailer is disconnected; when the mailer comes
+// back online, it processes the two users' messages in parallel but
+// each user's posts in serial order, enforcing causality.
+func RunFig9b() *metrics.Timeline {
+	e := buildEcosystem(0, 2) // mailer starts with no workers: offline
+	defer e.stop()
+
+	seed := e.diaspora.NewController(nil)
+	for _, id := range []string{"1", "2"} {
+		u := model.NewRecord("User", id)
+		u.Set("name", "user"+id)
+		if _, err := seed.Create(u); err != nil {
+			panic(err)
+		}
+	}
+
+	// Both users post twice while the mailer is offline.
+	for round := 1; round <= 2; round++ {
+		for _, id := range []string{"1", "2"} {
+			ctl := e.diaspora.NewController(e.diaspora.NewSession("User", id))
+			p := model.NewRecord("Post", fmt.Sprintf("u%s-post%d", id, round))
+			p.Set("author", id)
+			p.Set("body", "dogs")
+			e.timeline.Record("diaspora", "app", fmt.Sprintf("user %s posts #%d", id, round))
+			if _, err := ctl.Create(p); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	e.timeline.Record("mailer", "app", "mailer reconnects")
+	e.mailer.StartWorkers(4)
+	waitUntil(10*time.Second, func() bool {
+		count := 0
+		for _, ev := range e.timeline.Events() {
+			if ev.Actor == "mailer" && ev.Phase == "app" && strings.Contains(ev.Label, "emailed") {
+				count++
+			}
+		}
+		return count == 4
+	})
+	return e.timeline
+}
+
+func waitUntil(timeout time.Duration, cond func() bool) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	panic("bench: condition never became true")
+}

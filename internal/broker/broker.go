@@ -1,0 +1,360 @@
+// Package broker implements the reliable publish/subscribe message
+// broker Synapse rides on (RabbitMQ in the paper's deployment, §4).
+//
+// Topology follows the paper: each publisher app owns a fanout exchange;
+// each subscriber app owns one durable queue bound to the exchanges of
+// every publisher it subscribes to. Queue messages are consumed by many
+// workers in parallel, acked after persistence, and redelivered on nack.
+//
+// Two failure behaviours from the paper are modelled directly:
+//
+//   - Queue-length decommission (§4.4): if a subscriber stays down and
+//     its queue exceeds its limit, the broker kills the queue; the
+//     subscriber must partial-bootstrap when it returns.
+//   - Message loss (§6.5): even reliable brokers lose messages in rare
+//     operational events (the RabbitMQ upgrade incident). An injectable
+//     loss function drops messages between exchange and queue so the
+//     recovery paths can be exercised.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by queue operations.
+var (
+	ErrClosed         = errors.New("broker: queue closed")
+	ErrDecommissioned = errors.New("broker: queue decommissioned")
+	ErrUnknownQueue   = errors.New("broker: unknown queue")
+	ErrBadTag         = errors.New("broker: unknown delivery tag")
+	ErrCanceled       = errors.New("broker: consume canceled")
+)
+
+// Delivery is one message handed to a consumer. It must be Acked or
+// Nacked on its queue.
+type Delivery struct {
+	Payload     []byte
+	Tag         uint64
+	Redelivered bool
+	Exchange    string
+}
+
+type item struct {
+	payload     []byte
+	exchange    string
+	redelivered bool
+}
+
+// LossFunc decides whether to drop a message on its way into a queue.
+type LossFunc func(queue, exchange string, payload []byte) bool
+
+// Broker routes published messages from exchanges to bound queues.
+type Broker struct {
+	mu        sync.Mutex
+	bindings  map[string][]*Queue // exchange -> queues
+	queues    map[string]*Queue
+	loss      LossFunc
+	published int64
+}
+
+// New returns an empty broker.
+func New() *Broker {
+	return &Broker{
+		bindings: make(map[string][]*Queue),
+		queues:   make(map[string]*Queue),
+	}
+}
+
+// SetLoss installs (or clears, with nil) the loss-injection function.
+func (b *Broker) SetLoss(f LossFunc) {
+	b.mu.Lock()
+	b.loss = f
+	b.mu.Unlock()
+}
+
+// DeclareQueue creates (or returns) the named durable queue. maxLen <= 0
+// means unbounded; otherwise exceeding maxLen pending messages
+// decommissions the queue (§4.4).
+func (b *Broker) DeclareQueue(name string, maxLen int) *Queue {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if q, ok := b.queues[name]; ok {
+		return q
+	}
+	q := newQueue(name, maxLen)
+	b.queues[name] = q
+	return q
+}
+
+// Queue returns the named queue, if declared.
+func (b *Broker) Queue(name string) (*Queue, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[name]
+	return q, ok
+}
+
+// DeleteQueue removes a queue entirely (used after decommission, before
+// the replacement queue is declared for a re-bootstrapping subscriber).
+func (b *Broker) DeleteQueue(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[name]
+	if !ok {
+		return
+	}
+	q.close()
+	delete(b.queues, name)
+	for ex, qs := range b.bindings {
+		for i, bound := range qs {
+			if bound == q {
+				b.bindings[ex] = append(qs[:i], qs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Bind subscribes the named queue to an exchange's messages.
+func (b *Broker) Bind(queueName, exchange string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[queueName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownQueue, queueName)
+	}
+	for _, bound := range b.bindings[exchange] {
+		if bound == q {
+			return nil
+		}
+	}
+	b.bindings[exchange] = append(b.bindings[exchange], q)
+	return nil
+}
+
+// Unbind removes a queue's binding to an exchange.
+func (b *Broker) Unbind(queueName, exchange string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[queueName]
+	if !ok {
+		return
+	}
+	qs := b.bindings[exchange]
+	for i, bound := range qs {
+		if bound == q {
+			b.bindings[exchange] = append(qs[:i], qs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish fans the payload out to every queue bound to the exchange.
+// Delivery into each queue is independent: one decommissioned queue does
+// not affect the others.
+func (b *Broker) Publish(exchange string, payload []byte) {
+	b.mu.Lock()
+	qs := append([]*Queue(nil), b.bindings[exchange]...)
+	loss := b.loss
+	b.published++
+	b.mu.Unlock()
+	for _, q := range qs {
+		if loss != nil && loss(q.name, exchange, payload) {
+			continue
+		}
+		q.push(payload, exchange)
+	}
+}
+
+// Published reports the total number of Publish calls (metrics).
+func (b *Broker) Published() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published
+}
+
+// Queues lists declared queue names, sorted.
+func (b *Broker) Queues() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.queues))
+	for n := range b.queues {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Queue is one subscriber app's durable message queue.
+type Queue struct {
+	name   string
+	maxLen int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []*item
+	unacked   map[uint64]*item
+	nextTag   uint64
+	cancelSeq uint64 // bumped by CancelWaiters to wake blocked Gets
+	dead      bool   // decommissioned
+	closed    bool
+}
+
+func newQueue(name string, maxLen int) *Queue {
+	q := &Queue{
+		name:    name,
+		maxLen:  maxLen,
+		unacked: make(map[uint64]*item),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+func (q *Queue) push(payload []byte, exchange string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.dead || q.closed {
+		return
+	}
+	q.pending = append(q.pending, &item{payload: payload, exchange: exchange})
+	if q.maxLen > 0 && len(q.pending) > q.maxLen {
+		// Decommission: the subscriber has been away too long; kill the
+		// queue rather than grow without bound (§4.4).
+		q.pending = nil
+		for tag := range q.unacked {
+			delete(q.unacked, tag)
+		}
+		q.dead = true
+	}
+	q.cond.Broadcast()
+}
+
+// Get blocks until a message is available, the queue is decommissioned,
+// the queue is closed, or CancelWaiters interrupts the wait
+// (ErrCanceled — used for graceful worker shutdown; the queue itself
+// stays usable).
+func (q *Queue) Get() (Delivery, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	seq := q.cancelSeq
+	for {
+		if q.dead {
+			return Delivery{}, ErrDecommissioned
+		}
+		if q.closed {
+			return Delivery{}, ErrClosed
+		}
+		if len(q.pending) > 0 {
+			return q.takeLocked(), nil
+		}
+		if q.cancelSeq != seq {
+			return Delivery{}, ErrCanceled
+		}
+		q.cond.Wait()
+	}
+}
+
+// CancelWaiters wakes every consumer currently blocked in Get with
+// ErrCanceled. Pending messages and future Gets are unaffected.
+func (q *Queue) CancelWaiters() {
+	q.mu.Lock()
+	q.cancelSeq++
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// TryGet returns a message if one is immediately available.
+func (q *Queue) TryGet() (Delivery, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.dead {
+		return Delivery{}, false, ErrDecommissioned
+	}
+	if q.closed {
+		return Delivery{}, false, ErrClosed
+	}
+	if len(q.pending) == 0 {
+		return Delivery{}, false, nil
+	}
+	return q.takeLocked(), true, nil
+}
+
+func (q *Queue) takeLocked() Delivery {
+	it := q.pending[0]
+	q.pending = q.pending[1:]
+	q.nextTag++
+	tag := q.nextTag
+	q.unacked[tag] = it
+	return Delivery{Payload: it.payload, Tag: tag, Redelivered: it.redelivered, Exchange: it.exchange}
+}
+
+// Ack confirms processing of a delivery.
+func (q *Queue) Ack(tag uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.unacked[tag]; !ok {
+		if q.dead {
+			return ErrDecommissioned
+		}
+		return ErrBadTag
+	}
+	delete(q.unacked, tag)
+	return nil
+}
+
+// Nack returns a delivery to the queue. With requeue, the message goes
+// to the front (preserving order as far as possible) marked redelivered;
+// without, it is dropped.
+func (q *Queue) Nack(tag uint64, requeue bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.unacked[tag]
+	if !ok {
+		if q.dead {
+			return ErrDecommissioned
+		}
+		return ErrBadTag
+	}
+	delete(q.unacked, tag)
+	if requeue && !q.dead && !q.closed {
+		it.redelivered = true
+		q.pending = append([]*item{it}, q.pending...)
+		q.cond.Broadcast()
+	}
+	return nil
+}
+
+// Len reports pending (undelivered) messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Unacked reports delivered-but-unacked messages.
+func (q *Queue) Unacked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.unacked)
+}
+
+// Dead reports whether the queue was decommissioned.
+func (q *Queue) Dead() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dead
+}
+
+// close wakes all consumers with ErrClosed.
+func (q *Queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAtLeastOnce drives random consume/ack/nack schedules and
+// checks the at-least-once contract: with no loss injection, every
+// published message is eventually acked, and requeued messages are
+// redelivered rather than dropped.
+func TestQuickAtLeastOnce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		q := b.DeclareQueue("s", 0)
+		if err := b.Bind("s", "p"); err != nil {
+			return false
+		}
+		const n = 100
+		for i := 0; i < n; i++ {
+			b.Publish("p", []byte(fmt.Sprintf("m%d", i)))
+		}
+		acked := make(map[string]bool)
+		inflight := make(map[uint64]string)
+		for len(acked) < n {
+			// Random schedule: consume, ack, or requeue.
+			switch rng.Intn(4) {
+			case 0, 1:
+				d, ok, err := q.TryGet()
+				if err != nil {
+					return false
+				}
+				if ok {
+					inflight[d.Tag] = string(d.Payload)
+				}
+			case 2:
+				for tag, payload := range inflight {
+					if err := q.Ack(tag); err != nil {
+						return false
+					}
+					acked[payload] = true
+					delete(inflight, tag)
+					break
+				}
+			case 3:
+				for tag := range inflight {
+					if err := q.Nack(tag, true); err != nil {
+						return false
+					}
+					delete(inflight, tag)
+					break
+				}
+			}
+			// Invariant: pending + unacked + acked covers everything.
+			if q.Len()+q.Unacked()+len(acked) < n {
+				return false
+			}
+		}
+		return q.Len() == 0 && q.Unacked() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFanout(t *testing.T) {
+	b := New()
+	q1 := b.DeclareQueue("sub1", 0)
+	q2 := b.DeclareQueue("sub2", 0)
+	if err := b.Bind("sub1", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind("sub2", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("pub", []byte("m1"))
+	for _, q := range []*Queue{q1, q2} {
+		d, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(d.Payload) != "m1" || d.Exchange != "pub" {
+			t.Errorf("delivery = %+v", d)
+		}
+		if err := q.Ack(d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Published() != 1 {
+		t.Errorf("Published = %d", b.Published())
+	}
+}
+
+func TestBindIdempotentAndUnbound(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	_ = b.Bind("s", "p") // no double delivery
+	b.Publish("p", []byte("x"))
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	// Messages to unbound exchanges go nowhere.
+	b.Publish("other", []byte("y"))
+	if q.Len() != 1 {
+		t.Fatal("message from unbound exchange delivered")
+	}
+	if err := b.Bind("ghost", "p"); !errors.Is(err, ErrUnknownQueue) {
+		t.Errorf("Bind unknown queue = %v", err)
+	}
+}
+
+func TestUnbindStopsDelivery(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	b.Unbind("s", "p")
+	b.Publish("p", []byte("x"))
+	if q.Len() != 0 {
+		t.Fatal("unbound queue received message")
+	}
+}
+
+func TestFIFOAndAck(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	for i := 0; i < 5; i++ {
+		b.Publish("p", []byte(fmt.Sprintf("m%d", i)))
+	}
+	for i := 0; i < 5; i++ {
+		d, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(d.Payload) != fmt.Sprintf("m%d", i) {
+			t.Errorf("got %s at position %d", d.Payload, i)
+		}
+		if err := q.Ack(d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 0 || q.Unacked() != 0 {
+		t.Errorf("Len=%d Unacked=%d after draining", q.Len(), q.Unacked())
+	}
+	if err := q.Ack(999); !errors.Is(err, ErrBadTag) {
+		t.Errorf("Ack bad tag = %v", err)
+	}
+}
+
+func TestNackRequeueFront(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	b.Publish("p", []byte("first"))
+	b.Publish("p", []byte("second"))
+	d, _ := q.Get()
+	if err := q.Nack(d.Tag, true); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := q.Get()
+	if string(d2.Payload) != "first" || !d2.Redelivered {
+		t.Errorf("redelivery = %+v", d2)
+	}
+	_ = q.Ack(d2.Tag)
+	d3, _ := q.Get()
+	if string(d3.Payload) != "second" || d3.Redelivered {
+		t.Errorf("second delivery = %+v", d3)
+	}
+}
+
+func TestNackDrop(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	b.Publish("p", []byte("gone"))
+	d, _ := q.Get()
+	if err := q.Nack(d.Tag, false); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 || q.Unacked() != 0 {
+		t.Error("dropped message still tracked")
+	}
+}
+
+func TestGetBlocksUntilPublish(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	got := make(chan string, 1)
+	go func() {
+		d, err := q.Get()
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- string(d.Payload)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish("p", []byte("late"))
+	select {
+	case v := <-got:
+		if v != "late" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get never woke")
+	}
+}
+
+func TestTryGet(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	if _, ok, err := q.TryGet(); ok || err != nil {
+		t.Fatalf("TryGet on empty = %v %v", ok, err)
+	}
+	b.Publish("p", []byte("x"))
+	d, ok, err := q.TryGet()
+	if !ok || err != nil || string(d.Payload) != "x" {
+		t.Fatalf("TryGet = %+v %v %v", d, ok, err)
+	}
+}
+
+func TestDecommissionOnOverflow(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 3)
+	_ = b.Bind("s", "p")
+	for i := 0; i < 4; i++ {
+		b.Publish("p", []byte("x"))
+	}
+	if !q.Dead() {
+		t.Fatal("queue not decommissioned after overflow")
+	}
+	if q.Len() != 0 {
+		t.Error("decommissioned queue kept messages")
+	}
+	if _, err := q.Get(); !errors.Is(err, ErrDecommissioned) {
+		t.Errorf("Get on dead queue = %v", err)
+	}
+	// Other queues are unaffected.
+	q2 := b.DeclareQueue("s2", 0)
+	_ = b.Bind("s2", "p")
+	b.Publish("p", []byte("y"))
+	if q2.Len() != 1 {
+		t.Error("healthy queue affected by sibling decommission")
+	}
+}
+
+func TestDecommissionWakesBlockedConsumer(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 1)
+	_ = b.Bind("s", "p")
+	errc := make(chan error, 1)
+	go func() {
+		// Consume the first message, do not ack, block on the next Get.
+		d, err := q.Get()
+		if err != nil {
+			errc <- err
+			return
+		}
+		_ = d
+		_, err = q.Get()
+		errc <- err
+	}()
+	b.Publish("p", []byte("1"))
+	time.Sleep(10 * time.Millisecond)
+	b.Publish("p", []byte("2"))
+	b.Publish("p", []byte("3")) // overflow -> decommission
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrDecommissioned) {
+			t.Fatalf("blocked Get = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked consumer never woke on decommission")
+	}
+}
+
+func TestDeleteQueueRebootstrapCycle(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 1)
+	_ = b.Bind("s", "p")
+	b.Publish("p", []byte("1"))
+	b.Publish("p", []byte("2")) // decommission
+	if !q.Dead() {
+		t.Fatal("expected dead queue")
+	}
+	b.DeleteQueue("s")
+	if _, ok := b.Queue("s"); ok {
+		t.Fatal("queue still registered after delete")
+	}
+	// Redeclare: fresh queue, must rebind.
+	q2 := b.DeclareQueue("s", 10)
+	if q2 == q {
+		t.Fatal("DeclareQueue returned the dead queue")
+	}
+	b.Publish("p", []byte("x"))
+	if q2.Len() != 0 {
+		t.Fatal("fresh queue received without binding")
+	}
+	_ = b.Bind("s", "p")
+	b.Publish("p", []byte("y"))
+	if q2.Len() != 1 {
+		t.Fatal("fresh queue not receiving after rebind")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	n := 0
+	b.SetLoss(func(queue, exchange string, payload []byte) bool {
+		n++
+		return n == 2 // drop exactly the second message
+	})
+	for i := 0; i < 3; i++ {
+		b.Publish("p", []byte(fmt.Sprintf("m%d", i)))
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after one loss", q.Len())
+	}
+	d1, _ := q.Get()
+	d2, _ := q.Get()
+	if string(d1.Payload) != "m0" || string(d2.Payload) != "m2" {
+		t.Errorf("surviving messages = %s, %s", d1.Payload, d2.Payload)
+	}
+}
+
+func TestConcurrentConsumersNoDuplicates(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	const n = 500
+	for i := 0; i < n; i++ {
+		b.Publish("p", []byte(fmt.Sprintf("m%d", i)))
+	}
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				d, ok, err := q.TryGet()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[string(d.Payload)]++
+				mu.Unlock()
+				if err := q.Ack(d.Tag); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("consumed %d distinct messages, want %d", len(seen), n)
+	}
+	for msg, count := range seen {
+		if count != 1 {
+			t.Fatalf("message %s delivered %d times", msg, count)
+		}
+	}
+}
+
+func TestQueuesListing(t *testing.T) {
+	b := New()
+	b.DeclareQueue("beta", 0)
+	b.DeclareQueue("alpha", 0)
+	qs := b.Queues()
+	if len(qs) != 2 || qs[0] != "alpha" || qs[1] != "beta" {
+		t.Errorf("Queues = %v", qs)
+	}
+}

@@ -1,0 +1,76 @@
+// Package coord implements the tiny, reliable coordination service
+// Synapse needs for generation numbers (Chubby/ZooKeeper in the paper,
+// §4.4): a linearizable key-value store of counters with watches.
+//
+// When a publisher's version store dies, the publisher atomically
+// increments its generation counter here and resumes publishing;
+// subscribers watch the counter and run the generation barrier when it
+// moves.
+package coord
+
+import "sync"
+
+// Coordinator is a linearizable counter store with watch support. The
+// zero value is not usable; call New.
+type Coordinator struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	watchers map[string][]chan uint64
+}
+
+// New returns an empty coordinator.
+func New() *Coordinator {
+	return &Coordinator{
+		counters: make(map[string]uint64),
+		watchers: make(map[string][]chan uint64),
+	}
+}
+
+// Get returns the current value of a counter (0 when never set).
+func (c *Coordinator) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Increment atomically bumps a counter and notifies watchers, returning
+// the new value.
+func (c *Coordinator) Increment(name string) uint64 {
+	c.mu.Lock()
+	c.counters[name]++
+	v := c.counters[name]
+	ws := append([]chan uint64(nil), c.watchers[name]...)
+	c.mu.Unlock()
+	for _, w := range ws {
+		select {
+		case w <- v:
+		default:
+			// A slow watcher misses intermediate values but will read
+			// the latest on its next Get — counters only move forward.
+		}
+	}
+	return v
+}
+
+// Watch registers a channel receiving new values of the counter. The
+// channel is buffered by one; slow consumers see only the latest value.
+func (c *Coordinator) Watch(name string) <-chan uint64 {
+	ch := make(chan uint64, 1)
+	c.mu.Lock()
+	c.watchers[name] = append(c.watchers[name], ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// Unwatch removes a previously registered watch channel.
+func (c *Coordinator) Unwatch(name string, ch <-chan uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.watchers[name]
+	for i, w := range ws {
+		if w == ch {
+			c.watchers[name] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}

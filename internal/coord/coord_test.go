@@ -1,0 +1,91 @@
+package coord
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetIncrement(t *testing.T) {
+	c := New()
+	if c.Get("gen") != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	if v := c.Increment("gen"); v != 1 {
+		t.Fatalf("Increment = %d", v)
+	}
+	if v := c.Increment("gen"); v != 2 {
+		t.Fatalf("Increment = %d", v)
+	}
+	if c.Get("gen") != 2 {
+		t.Fatalf("Get = %d", c.Get("gen"))
+	}
+	if c.Get("other") != 0 {
+		t.Fatal("counters not independent")
+	}
+}
+
+func TestWatchDelivers(t *testing.T) {
+	c := New()
+	ch := c.Watch("gen")
+	c.Increment("gen")
+	select {
+	case v := <-ch:
+		if v != 1 {
+			t.Fatalf("watch value = %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch never fired")
+	}
+}
+
+func TestSlowWatcherSeesLatestViaGet(t *testing.T) {
+	c := New()
+	ch := c.Watch("gen")
+	// Buffer size 1: second increment is dropped for the slow watcher.
+	c.Increment("gen")
+	c.Increment("gen")
+	<-ch
+	select {
+	case v := <-ch:
+		// Acceptable: delivered 2.
+		if v != 2 {
+			t.Fatalf("unexpected watch value %d", v)
+		}
+	default:
+		// Dropped: the contract is Get returns the latest.
+		if c.Get("gen") != 2 {
+			t.Fatal("Get did not observe latest")
+		}
+	}
+}
+
+func TestUnwatch(t *testing.T) {
+	c := New()
+	ch := c.Watch("gen")
+	c.Unwatch("gen", ch)
+	c.Increment("gen")
+	select {
+	case <-ch:
+		t.Fatal("unwatched channel received")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Increment("gen")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("gen") != 1600 {
+		t.Fatalf("Get = %d, want 1600", c.Get("gen"))
+	}
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"synapse/internal/broker"
+	"synapse/internal/metrics"
+	"synapse/internal/model"
+	"synapse/internal/orm"
+	"synapse/internal/vstore"
+)
+
+// PubSpec declares what an app publishes for a model (Table 2:
+// Publisher, Ephemeral, Decorator).
+type PubSpec struct {
+	// Attrs are the published attributes (persisted fields or virtual
+	// attributes of the model).
+	Attrs []string
+	// Ephemeral marks a DB-less published model: instances are shipped
+	// to subscribers but never persisted locally.
+	Ephemeral bool
+}
+
+// SubSpec declares a subscription to another app's model (Table 2:
+// Subscriber, Observer).
+type SubSpec struct {
+	// From names the origin app (the model's owner or a decorator).
+	From string
+	// Attrs are the attributes to incorporate.
+	Attrs []string
+	// Mode is the delivery mode for updates from this origin; it must
+	// not exceed the origin's publisher mode. Zero selects the strongest
+	// mode the origin supports, capped at Causal (the paper's
+	// recommended subscriber default).
+	Mode DeliveryMode
+	// Observer marks a DB-less subscribed model: updates trigger
+	// callbacks but are not persisted.
+	Observer bool
+}
+
+type pubSpec struct {
+	attrs     map[string]struct{}
+	ephemeral bool
+	// owner marks the model's originator: the app published the model
+	// before subscribing to it from anywhere. Decorators (which
+	// subscribe first) are not owners; an owner that later subscribes
+	// to decorations of its own model (the Fig 9a Diaspora pattern)
+	// remains the owner.
+	owner bool
+}
+
+type subSpec struct {
+	origin   string
+	attrs    map[string]struct{}
+	mode     DeliveryMode
+	observer bool
+}
+
+// App is one Synapse service: a publisher, subscriber, decorator, or any
+// mix. Every app has its own database (via its ORM mapper), its own
+// version store, and — when it subscribes — its own broker queue.
+type App struct {
+	fabric *Fabric
+	name   string
+	mapper orm.Mapper
+	cfg    Config
+	store  *vstore.Store
+	queue  *broker.Queue
+
+	mu       sync.RWMutex
+	pubs     map[string]*pubSpec            // model -> publication
+	subs     map[string]map[string]*subSpec // model -> origin -> subscription
+	descs    map[string]*model.Descriptor   // all models this app knows
+	gens     map[string]*genState           // origin -> generation barrier state
+	bootSeqs map[string]uint64              // origin -> bootstrap snapshot seq
+
+	bootDepth  atomic.Int64  // >0 while any bootstrap runs
+	generation atomic.Uint64 // this app's publisher generation
+	seq        atomic.Uint64
+	env        map[string]any
+	envMu      sync.Mutex
+	recoverMu  sync.Mutex // serializes queue recovery
+
+	workersMu sync.Mutex
+	stopCh    chan struct{}
+	workersWG sync.WaitGroup
+
+	// Metrics consumed by the benchmarks.
+	PublishLatency *metrics.Histogram
+	Processed      *metrics.Meter
+	Timeline       *metrics.Timeline
+
+	// hooks for fault injection in tests (nil in production).
+	beforePublish func(*App)
+}
+
+// NewApp registers a service on the fabric. mapper may be nil only for
+// apps whose models are all ephemeral or observed (DB-less services).
+func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	a := &App{
+		fabric: f,
+		name:   name,
+		mapper: mapper,
+		cfg:    cfg,
+		store: vstore.New(vstore.Config{
+			Shards:      cfg.VStoreShards,
+			Cardinality: cfg.DepCardinality,
+			RTT:         cfg.VStoreRTT,
+			PerKey:      cfg.VStorePerKey,
+			Precise:     cfg.VStorePrecise,
+		}),
+		pubs:           make(map[string]*pubSpec),
+		subs:           make(map[string]map[string]*subSpec),
+		descs:          make(map[string]*model.Descriptor),
+		gens:           make(map[string]*genState),
+		env:            make(map[string]any),
+		PublishLatency: metrics.NewHistogram(),
+		Processed:      metrics.NewMeter(),
+	}
+	if err := f.registerApp(a); err != nil {
+		return nil, err
+	}
+	if mapper != nil {
+		mapper.SetHost(a)
+	}
+	// The publisher generation starts at whatever the coordinator
+	// remembers (a restarted app resumes its generation).
+	a.generation.Store(f.Coord.Get(genCounterName(name)))
+	return a, nil
+}
+
+func genCounterName(app string) string { return "generation/" + app }
+
+// Name returns the app name (also its broker exchange name).
+func (a *App) Name() string { return a.name }
+
+// Mapper returns the app's ORM mapper.
+func (a *App) Mapper() orm.Mapper { return a.mapper }
+
+// Store returns the app's version store (benchmarks and tests).
+func (a *App) Store() *vstore.Store { return a.store }
+
+// Config returns the app's configuration.
+func (a *App) Config() Config { return a.cfg }
+
+// Bootstrapping implements orm.Host and the Bootstrap? predicate of
+// Table 2: callbacks consult it to skip side effects (e.g. emails)
+// while the app is catching up.
+func (a *App) Bootstrapping() bool { return a.bootDepth.Load() > 0 }
+
+// Env implements orm.Host: shared state threaded into callbacks.
+func (a *App) Env() map[string]any { return a.env }
+
+// SetEnv stores a value visible to callbacks via CallbackCtx.Env.
+func (a *App) SetEnv(key string, v any) {
+	a.envMu.Lock()
+	a.env[key] = v
+	a.envMu.Unlock()
+}
+
+// Descriptor returns the descriptor for a model known to this app.
+func (a *App) Descriptor(modelName string) (*model.Descriptor, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	d, ok := a.descs[modelName]
+	return d, ok
+}
+
+// Publish declares a published model (Fig 1 top). For persisted models
+// the descriptor is registered with the app's mapper; ephemerals are
+// DB-less. Publishing attributes of a model the app also subscribes to
+// makes the app a decorator for that model, subject to the decorator
+// restrictions of §3.1.
+func (a *App) Publish(d *model.Descriptor, spec PubSpec) error {
+	if len(spec.Attrs) == 0 {
+		return fmt.Errorf("synapse: publish %s/%s with no attributes", a.name, d.Name)
+	}
+	if !spec.Ephemeral && a.mapper == nil {
+		return fmt.Errorf("synapse: app %s has no database; only ephemeral models can be published", a.name)
+	}
+	for _, attr := range spec.Attrs {
+		if !d.HasAttr(attr) {
+			return fmt.Errorf("synapse: publish %s/%s: model has no attribute %q", a.name, d.Name, attr)
+		}
+	}
+
+	a.mu.Lock()
+	if existing, ok := a.descs[d.Name]; ok && existing != d {
+		a.mu.Unlock()
+		return fmt.Errorf("synapse: model %s declared with a different descriptor", d.Name)
+	}
+	subOrigins := a.subs[d.Name]
+	if len(subOrigins) > 0 {
+		// Decorator: published attributes must not overlap subscribed
+		// ones ("decorators cannot publish attributes that they
+		// subscribe to").
+		for _, sub := range subOrigins {
+			for _, attr := range spec.Attrs {
+				if _, ok := sub.attrs[attr]; ok {
+					a.mu.Unlock()
+					return fmt.Errorf("%w: %s.%s (subscribed from %s)", ErrDecoratorAttr, d.Name, attr, sub.origin)
+				}
+			}
+		}
+		if spec.Ephemeral {
+			a.mu.Unlock()
+			return fmt.Errorf("synapse: decorated model %s cannot be ephemeral", d.Name)
+		}
+	}
+	ps := a.pubs[d.Name]
+	if ps == nil {
+		ps = &pubSpec{
+			attrs:     make(map[string]struct{}),
+			ephemeral: spec.Ephemeral,
+			owner:     len(subOrigins) == 0,
+		}
+		a.pubs[d.Name] = ps
+	}
+	for _, attr := range spec.Attrs {
+		ps.attrs[attr] = struct{}{}
+	}
+	a.descs[d.Name] = d
+	needRegister := !spec.Ephemeral && a.mapper != nil
+	if needRegister {
+		if _, ok := a.mapper.Descriptor(d.Name); ok {
+			needRegister = false
+		}
+	}
+	a.mu.Unlock()
+
+	if needRegister {
+		if err := a.mapper.Register(d); err != nil {
+			return err
+		}
+	}
+	return a.fabric.declarePublished(a.name, d.Name, spec.Attrs)
+}
+
+// Subscribe declares a subscription (Fig 1 bottom). The static check of
+// §4.5 rejects subscribing to anything the origin does not publish; the
+// requested mode must not exceed the origin's publisher mode.
+func (a *App) Subscribe(d *model.Descriptor, spec SubSpec) error {
+	if spec.From == "" {
+		return fmt.Errorf("synapse: subscribe %s/%s without origin", a.name, d.Name)
+	}
+	if len(spec.Attrs) == 0 {
+		return fmt.Errorf("synapse: subscribe %s/%s with no attributes", a.name, d.Name)
+	}
+	if !spec.Observer && a.mapper == nil {
+		return fmt.Errorf("synapse: app %s has no database; only observer models can be subscribed", a.name)
+	}
+	if err := a.fabric.checkSubscribable(spec.From, d.Name, spec.Attrs); err != nil {
+		return err
+	}
+	pubMode, ok := a.fabric.publisherMode(spec.From)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, spec.From)
+	}
+	mode := spec.Mode
+	if mode == modeUnset {
+		mode = pubMode
+		if mode > Causal {
+			mode = Causal
+		}
+	}
+	if mode > pubMode {
+		return fmt.Errorf("%w: %s is %s, requested %s", ErrModeTooStrong, spec.From, pubMode, mode)
+	}
+	for _, attr := range spec.Attrs {
+		if !d.HasAttr(attr) {
+			return fmt.Errorf("synapse: subscribe %s/%s: model has no attribute %q", a.name, d.Name, attr)
+		}
+	}
+
+	a.mu.Lock()
+	if existing, ok := a.descs[d.Name]; ok && existing != d {
+		a.mu.Unlock()
+		return fmt.Errorf("synapse: model %s declared with a different descriptor", d.Name)
+	}
+	// Decorator restriction in the other declaration order: if already
+	// published, the published attrs must not be re-subscribed.
+	if ps := a.pubs[d.Name]; ps != nil {
+		for _, attr := range spec.Attrs {
+			if _, ok := ps.attrs[attr]; ok {
+				a.mu.Unlock()
+				return fmt.Errorf("%w: %s.%s", ErrDecoratorAttr, d.Name, attr)
+			}
+		}
+	}
+	origins := a.subs[d.Name]
+	if origins == nil {
+		origins = make(map[string]*subSpec)
+		a.subs[d.Name] = origins
+	}
+	ss := origins[spec.From]
+	if ss == nil {
+		ss = &subSpec{origin: spec.From, attrs: make(map[string]struct{}), mode: mode, observer: spec.Observer}
+		origins[spec.From] = ss
+	}
+	ss.mode = mode
+	ss.observer = spec.Observer
+	for _, attr := range spec.Attrs {
+		ss.attrs[attr] = struct{}{}
+	}
+	a.descs[d.Name] = d
+	needRegister := !spec.Observer && a.mapper != nil
+	if needRegister {
+		if _, ok := a.mapper.Descriptor(d.Name); ok {
+			needRegister = false
+		}
+	}
+	a.mu.Unlock()
+
+	if needRegister {
+		if err := a.mapper.Register(d); err != nil {
+			return err
+		}
+	}
+	// Ensure the queue exists and is bound to the origin's exchange.
+	a.ensureQueue()
+	return a.fabric.Broker.Bind(a.queueName(), spec.From)
+}
+
+func (a *App) queueName() string { return a.name }
+
+func (a *App) ensureQueue() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queue == nil || a.queue.Dead() {
+		a.queue = a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+	}
+}
+
+// Queue returns the app's subscriber queue (nil when it subscribes to
+// nothing).
+func (a *App) Queue() *broker.Queue {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.queue
+}
+
+// owned reports whether this app is the model's owner (its originator:
+// only owners create and delete instances, §3.1). Decorators, which
+// subscribe to the model before publishing decorations for it, are not
+// owners.
+func (a *App) owned(modelName string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ps, pub := a.pubs[modelName]
+	return pub && ps.owner
+}
+
+// publishedAttrs returns this app's published attribute set for a model.
+func (a *App) publishedAttrs(modelName string) (map[string]struct{}, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ps, ok := a.pubs[modelName]
+	if !ok {
+		return nil, false
+	}
+	return ps.attrs, true
+}
+
+// subscribedAttrSet returns the union of attributes this app subscribes
+// to for a model (used for decorator write restrictions).
+func (a *App) subscribedAttrSet(modelName string) map[string]struct{} {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[string]struct{})
+	for _, ss := range a.subs[modelName] {
+		for attr := range ss.attrs {
+			out[attr] = struct{}{}
+		}
+	}
+	return out
+}
+
+// subscription returns the subscription spec for (model, origin).
+func (a *App) subscription(modelName, origin string) (*subSpec, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ss, ok := a.subs[modelName][origin]
+	return ss, ok
+}
+
+// subscribedOrigins returns the origins this app subscribes to, sorted.
+func (a *App) subscribedOrigins() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	set := make(map[string]struct{})
+	for _, origins := range a.subs {
+		for origin := range origins {
+			set[origin] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for origin := range set {
+		out = append(out, origin)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// modelsFrom returns the models this app subscribes to from origin,
+// sorted.
+func (a *App) modelsFrom(origin string) []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []string
+	for modelName, origins := range a.subs {
+		if _, ok := origins[origin]; ok {
+			out = append(out, modelName)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isEphemeral reports whether the model is published DB-less.
+func (a *App) isEphemeral(modelName string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ps, ok := a.pubs[modelName]
+	return ok && ps.ephemeral
+}
+
+// depName builds the canonical dependency name for an object owned by
+// an app, matching the paper's "pub3/users/id/100" form.
+func depName(app, modelName, id string) string {
+	return app + "/" + orm.Tableize(modelName) + "/id/" + id
+}
+
+// globalDepName is the synthetic object serializing all writes in
+// global mode.
+func globalDepName(app string) string { return app + "/global" }

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"synapse/internal/broker"
+	"synapse/internal/model"
+	"synapse/internal/vstore"
+	"synapse/internal/wire"
+)
+
+type vKey = vstore.Key
+
+// Bootstrap synchronizes this app with a publisher in the three-step
+// process of §4.4:
+//
+//  1. all current publisher versions are sent in bulk and saved in the
+//     subscriber's version store;
+//  2. all objects of the subscribed models are sent and persisted;
+//  3. all messages published during the previous steps are processed
+//     (with weak semantics, guarded so that messages already reflected
+//     in the version snapshot are not double-counted).
+//
+// Passing model names restricts the object snapshot to those models (a
+// partial bootstrap, used after live schema migrations when new data is
+// subscribed, §4.3). With none given, every subscribed model from the
+// origin is synced.
+//
+// During bootstrap the Bootstrap? predicate reports true and delivery
+// degrades to weak semantics, as the paper specifies.
+func (a *App) Bootstrap(from string, models ...string) error {
+	pub, ok := a.fabric.App(from)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, from)
+	}
+	if len(models) == 0 {
+		models = a.modelsFrom(from)
+	}
+	if len(models) == 0 {
+		return fmt.Errorf("%w: %s from %s", ErrNotSubscribed, a.name, from)
+	}
+	a.ensureQueue()
+	if err := a.fabric.Broker.Bind(a.queueName(), from); err != nil {
+		return err
+	}
+
+	a.bootDepth.Add(1)
+	defer a.bootDepth.Add(-1)
+
+	// Snapshot boundary: messages with Seq <= s0 are already reflected
+	// in the version snapshot below and must not re-increment counters.
+	s0 := pub.seq.Load()
+	a.setBootSeq(from, s0)
+
+	// Adopt the publisher's current generation: everything older is
+	// superseded by this snapshot.
+	gs := a.genStateFor(from)
+	gs.mu.Lock()
+	if g := pub.generation.Load(); g > gs.cur {
+		gs.cur = g
+		gs.cond.Broadcast()
+	}
+	gs.mu.Unlock()
+
+	// Step 1: bulk version load (max-merge; concurrent processing can
+	// only have moved counters forward).
+	snap, err := pub.store.Snapshot()
+	if err != nil {
+		return fmt.Errorf("synapse: bootstrap version snapshot: %w", err)
+	}
+	for k, c := range snap {
+		if err := a.store.SetOps(k, c.Ops); err != nil {
+			return err
+		}
+	}
+
+	// Step 2: object snapshot, applied with weak semantics so replays
+	// and races with live messages resolve to the newest version.
+	for _, modelName := range models {
+		if err := a.bootstrapModel(pub, modelName); err != nil {
+			return err
+		}
+	}
+
+	// Step 3: drain the backlog accumulated during steps 1-2. Workers
+	// may be running concurrently (decommission recovery); TryGet
+	// interleaves safely with them.
+	q := a.Queue()
+	for {
+		d, got, err := q.TryGet()
+		if err != nil {
+			if errors.Is(err, broker.ErrDecommissioned) {
+				return err
+			}
+			return nil // queue closed
+		}
+		if !got {
+			break
+		}
+		if perr := a.consume(d.Payload, nil); perr != nil {
+			_ = q.Nack(d.Tag, true)
+			continue
+		}
+		_ = q.Ack(d.Tag)
+	}
+	return nil
+}
+
+// bootstrapModel streams one model's objects from the publisher and
+// applies them as weak upserts guarded by object versions.
+func (a *App) bootstrapModel(pub *App, modelName string) error {
+	if _, ok := a.subscription(modelName, pub.name); !ok {
+		return fmt.Errorf("%w: %s/%s from %s", ErrNotSubscribed, a.name, modelName, pub.name)
+	}
+	if pub.isEphemeral(modelName) || pub.mapper == nil {
+		return nil // nothing persisted to snapshot
+	}
+	desc, ok := pub.Descriptor(modelName)
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrUnpublished, pub.name, modelName)
+	}
+
+	var innerErr error
+	err := pub.mapper.Each(modelName, "", func(rec *model.Record) bool {
+		key := pub.store.KeyFor(depName(pub.name, modelName, rec.ID))
+		version := pub.store.Counters(key).Version
+		if version > 0 {
+			applied, _, aerr := a.store.ApplyIfNewer(key, version)
+			if aerr != nil {
+				innerErr = aerr
+				return false
+			}
+			if !applied {
+				return true // a newer live update already landed
+			}
+		}
+		op := wire.Operation{
+			Operation:  wire.OpUpdate,
+			Types:      desc.TypeChain(),
+			ID:         rec.ID,
+			Attributes: pub.projectPublished(desc, rec),
+			ObjectDep:  wire.DepKey(uint64(key)),
+		}
+		if aerr := a.applyOp(pub.name, &op); aerr != nil {
+			innerErr = aerr
+			return false
+		}
+		return true
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
+// processBootstrapMessage handles live messages while bootstrapping:
+// weak per-object application, with counter increments only for
+// messages published after the snapshot boundary (so the bulk-loaded
+// counters are not double-counted).
+func (a *App) processBootstrapMessage(msg *wire.Message) error {
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		if err := a.applyGuarded(msg, op); err != nil {
+			return err
+		}
+	}
+	if msg.Seq > a.bootSeqFor(msg.App) && a.originMode(msg.App) >= Causal {
+		keys := depKeys(msg)
+		if err := a.store.IncrOps(keys); err != nil {
+			return err
+		}
+	}
+	a.Processed.Add(1)
+	return nil
+}
+
+func depKeys(msg *wire.Message) []vKey {
+	keys := make([]vKey, 0, len(msg.Dependencies))
+	for depKey := range msg.Dependencies {
+		keys = append(keys, keyOf(depKey))
+	}
+	return keys
+}
+
+func (a *App) setBootSeq(origin string, seq uint64) {
+	a.mu.Lock()
+	if a.bootSeqs == nil {
+		a.bootSeqs = make(map[string]uint64)
+	}
+	a.bootSeqs[origin] = seq
+	a.mu.Unlock()
+}
+
+func (a *App) bootSeqFor(origin string) uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.bootSeqs[origin]
+}
+
+// RecoverQueue rebuilds a decommissioned queue and partial-bootstraps
+// from every subscribed origin (§4.4: "If the subscriber comes back,
+// Synapse initiates a partial bootstrap to get the application back in
+// sync"). Safe to call from multiple workers; only one recovery runs.
+func (a *App) RecoverQueue() error {
+	a.recoverMu.Lock()
+	defer a.recoverMu.Unlock()
+	q := a.Queue()
+	if q != nil && !q.Dead() {
+		return nil // another worker already recovered
+	}
+	a.fabric.Broker.DeleteQueue(a.queueName())
+	a.mu.Lock()
+	a.queue = a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+	a.mu.Unlock()
+	for _, origin := range a.subscribedOrigins() {
+		if err := a.fabric.Broker.Bind(a.queueName(), origin); err != nil {
+			return err
+		}
+	}
+	for _, origin := range a.subscribedOrigins() {
+		if err := a.Bootstrap(origin); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverVersionStore is the publisher-side recovery of §4.4: when the
+// version store dies, the generation number (reliably stored in the
+// coordinator) is incremented, the store is revived empty, and
+// publishing resumes. Subscribers observing the new generation flush
+// and resynchronize.
+func (a *App) RecoverVersionStore() uint64 {
+	gen := a.fabric.Coord.Increment(genCounterName(a.name))
+	a.store.Revive()
+	a.generation.Store(gen)
+	return gen
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"synapse/internal/model"
+)
+
+// TestBootstrapNewSubscriber: a subscriber that comes online late
+// receives the publisher's full state through the three-step bootstrap.
+func TestBootstrapNewSubscriber(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name", "likes")
+
+	// Fifty objects exist before the subscriber is born.
+	ctl := pub.NewController(nil)
+	for i := 0; i < 50; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+		rec.Set("name", fmt.Sprintf("user-%d", i))
+		rec.Set("likes", i)
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name", "likes"}})
+	if err := sub.Bootstrap("pub"); err != nil {
+		t.Fatal(err)
+	}
+	if n := subMapper.Len("User"); n != 50 {
+		t.Fatalf("bootstrapped %d users, want 50", n)
+	}
+	got, _ := subMapper.Find("User", "u07")
+	if got.String("name") != "user-7" || got.Int("likes") != 7 {
+		t.Errorf("bootstrapped record = %+v", got.Attrs)
+	}
+
+	// Post-bootstrap updates flow causally with the loaded counters.
+	patch := model.NewRecord("User", "u07")
+	patch.Set("likes", 999)
+	if _, err := ctl.Update(patch); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, sub)
+	got, _ = subMapper.Find("User", "u07")
+	if got.Int("likes") != 999 {
+		t.Errorf("post-bootstrap update = %+v", got.Attrs)
+	}
+}
+
+// TestBootstrapPredicateInCallbacks reproduces Fig 2: a mailer callback
+// skips sending during bootstrap.
+func TestBootstrapPredicateInCallbacks(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name", "email")
+
+	ctl := pub.NewController(nil)
+	for i := 0; i < 5; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%d", i))
+		rec.Set("name", "x")
+		rec.Set("email", fmt.Sprintf("u%d@example.com", i))
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mailer, _ := newDocApp(t, f, "mailer", Config{})
+	d := userDesc()
+	var sent []string
+	d.Callbacks.On(model.AfterCreate, func(ctx *model.CallbackCtx) error {
+		if !ctx.Bootstrapping {
+			sent = append(sent, ctx.Record.String("email"))
+		}
+		return nil
+	})
+	mustSubscribe(t, mailer, d, SubSpec{From: "pub", Attrs: []string{"name", "email"}})
+	if err := mailer.Bootstrap("pub"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 0 {
+		t.Fatalf("mailer sent %d emails during bootstrap", len(sent))
+	}
+
+	// New users after bootstrap do get welcome emails.
+	rec := model.NewRecord("User", "new")
+	rec.Set("name", "x")
+	rec.Set("email", "new@example.com")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, mailer)
+	if len(sent) != 1 || sent[0] != "new@example.com" {
+		t.Errorf("post-bootstrap emails = %v", sent)
+	}
+}
+
+// TestBootstrapConcurrentWithLiveTraffic: writes racing the bootstrap
+// are neither lost nor double-applied; the subscriber converges to the
+// publisher's state.
+func TestBootstrapConcurrentWithLiveTraffic(t *testing.T) {
+	f := NewFabric()
+	pub, pubMapper := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "likes")
+
+	ctl := pub.NewController(nil)
+	for i := 0; i < 20; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+		rec.Set("likes", 0)
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"likes"}})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wctl := pub.NewController(nil)
+		for round := 1; round <= 10; round++ {
+			for i := 0; i < 20; i++ {
+				patch := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+				patch.Set("likes", round)
+				if _, err := wctl.Update(patch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	if err := sub.Bootstrap("pub"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	drain(t, sub)
+
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("u%02d", i)
+		want, _ := pubMapper.Find("User", id)
+		got, err := subMapper.Find("User", id)
+		if err != nil {
+			t.Fatalf("missing %s: %v", id, err)
+		}
+		if got.Int("likes") != want.Int("likes") {
+			t.Errorf("%s: sub=%d pub=%d", id, got.Int("likes"), want.Int("likes"))
+		}
+	}
+}
+
+// TestDecommissionAndRecovery reproduces §4.4: a subscriber that stays
+// away past its queue limit is decommissioned; on return, a partial
+// bootstrap brings it back in sync.
+func TestDecommissionAndRecovery(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{QueueMaxLen: 5})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	// The subscriber is away; 20 creates overflow its queue.
+	ctl := pub.NewController(nil)
+	for i := 0; i < 20; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+		rec.Set("name", "x")
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sub.Queue().Dead() {
+		t.Fatal("queue not decommissioned")
+	}
+
+	// The subscriber comes back: workers detect the dead queue and run
+	// the partial bootstrap automatically.
+	sub.StartWorkers(2)
+	defer sub.StopWorkers()
+	waitFor(t, 5*time.Second, func() bool { return subMapper.Len("User") == 20 })
+
+	// And live traffic flows again afterwards.
+	rec := model.NewRecord("User", "fresh")
+	rec.Set("name", "y")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return subMapper.Len("User") == 21 })
+}
+
+// TestGenerationRecovery reproduces the publisher version-store death of
+// §4.4: the generation number increments, subscribers flush and resync,
+// and causality resumes within the new generation.
+func TestGenerationRecovery(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "before")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, sub)
+
+	// The publisher's version store dies.
+	pub.Store().Kill()
+	patch := model.NewRecord("User", "u1")
+	patch.Set("name", "during")
+	if _, err := ctl.Update(patch); err == nil {
+		t.Fatal("write succeeded with a dead version store")
+	}
+
+	// Recovery: generation bump + revive.
+	gen := pub.RecoverVersionStore()
+	if gen != 1 {
+		t.Fatalf("generation = %d", gen)
+	}
+
+	// Publishing resumes; the new-generation message carries gen 1 and
+	// fresh (restarted) counters.
+	patch2 := model.NewRecord("User", "u1")
+	patch2.Set("name", "after")
+	if _, err := ctl.Update(patch2); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, sub)
+	got, _ := subMapper.Find("User", "u1")
+	if got.String("name") != "after" {
+		t.Errorf("post-recovery state = %q", got.String("name"))
+	}
+
+	// The subscriber flushed its version store at the barrier; ordering
+	// within the new generation still works.
+	patch3 := model.NewRecord("User", "u1")
+	patch3.Set("name", "after2")
+	if _, err := ctl.Update(patch3); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, sub)
+	got, _ = subMapper.Find("User", "u1")
+	if got.String("name") != "after2" {
+		t.Errorf("second post-recovery update = %q", got.String("name"))
+	}
+}
+
+// TestStaleGenerationMessagesDropped: once the barrier has advanced,
+// leftover previous-generation messages are discarded.
+func TestStaleGenerationMessagesDropped(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	msgs := tap(t, f, "pub")
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+	drainQueue(t, sub)
+
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "old-gen")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	oldGen := msgs()
+
+	pub.Store().Kill()
+	pub.RecoverVersionStore()
+	patch := model.NewRecord("User", "u1")
+	patch.Set("name", "new-gen")
+	if _, err := ctl.Update(patch); err != nil {
+		t.Fatal(err)
+	}
+	newGen := msgs()
+
+	// New-generation message first: advances the barrier.
+	if err := sub.ProcessMessage(newGen[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Old-generation message afterwards: dropped as stale.
+	if err := sub.ProcessMessage(oldGen[0]); err != errStaleGeneration {
+		t.Fatalf("stale message error = %v", err)
+	}
+	got, _ := subMapper.Find("User", "u1")
+	if got.String("name") != "new-gen" {
+		t.Errorf("state = %q", got.String("name"))
+	}
+}
+
+// TestLostMessageDecommissionCycle reproduces the §6.5 production
+// incident end to end: a lost message deadlocks a pure-causal
+// subscriber, its queue fills and is decommissioned, and the automatic
+// partial bootstrap recovers the system without human intervention.
+func TestLostMessageDecommissionCycle(t *testing.T) {
+	f := NewFabric()
+	pub, pubMapper := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{QueueMaxLen: 6})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+	sub.StartWorkers(2)
+	defer sub.StopWorkers()
+
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "v0")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return subMapper.Len("User") == 1 })
+
+	// Drop exactly one update on the wire (the RabbitMQ upgrade story).
+	dropped := false
+	f.Broker.SetLoss(func(queue, exchange string, payload []byte) bool {
+		if queue == "sub" && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	})
+	patch := model.NewRecord("User", "u1")
+	patch.Set("name", "lost")
+	if _, err := ctl.Update(patch); err != nil {
+		t.Fatal(err)
+	}
+	f.Broker.SetLoss(nil)
+
+	// Subsequent updates pile up behind the missing dependency until the
+	// queue overflows and the subscriber is decommissioned, then
+	// re-bootstrapped by its own workers.
+	for i := 1; i <= 12; i++ {
+		p := model.NewRecord("User", "u1")
+		p.Set("name", fmt.Sprintf("v%d", i))
+		if _, err := ctl.Update(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		got, err := subMapper.Find("User", "u1")
+		if err != nil {
+			return false
+		}
+		want, _ := pubMapper.Find("User", "u1")
+		return got.String("name") == want.String("name")
+	})
+}
+
+// TestPartialBootstrapSpecificModels only syncs the named models.
+func TestPartialBootstrapSpecificModels(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	mustPublish(t, pub, postDesc(), "body")
+
+	ctl := pub.NewController(nil)
+	u := model.NewRecord("User", "u1")
+	u.Set("name", "a")
+	if _, err := ctl.Create(u); err != nil {
+		t.Fatal(err)
+	}
+	p := model.NewRecord("Post", "p1")
+	p.Set("body", "b")
+	if _, err := ctl.Create(p); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+	mustSubscribe(t, sub, postDesc(), SubSpec{From: "pub", Attrs: []string{"body"}})
+	drainQueue(t, sub) // pretend the live messages were never seen
+
+	if err := sub.Bootstrap("pub", "User"); err != nil {
+		t.Fatal(err)
+	}
+	if subMapper.Len("User") != 1 {
+		t.Error("partial bootstrap missed the requested model")
+	}
+	if subMapper.Len("Post") != 0 {
+		t.Error("partial bootstrap synced an unrequested model")
+	}
+}

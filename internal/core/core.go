@@ -1,0 +1,109 @@
+// Package core implements Synapse itself: the cross-database replication
+// system of the paper. Services (Apps) publish attributes of their data
+// models and subscribe to read-only views of each other's models; the
+// core tracks read/write dependencies through controller scopes, runs
+// the publisher algorithm of §4.2 against a sharded version store,
+// ships write messages through a reliable broker, and applies them on
+// subscribers with global, causal, or weak delivery semantics.
+//
+// The public facade for library users is the root synapse package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DeliveryMode selects update-ordering semantics (§3.2). Stronger modes
+// have larger values, so modes compare with <.
+type DeliveryMode int
+
+const (
+	modeUnset DeliveryMode = iota
+	// Weak orders updates per object only; intermediate updates may be
+	// skipped. Highest availability (tolerates message loss).
+	Weak
+	// Causal serializes updates to the same object, within a controller,
+	// and within a user session, and makes subscriber reads of declared
+	// read dependencies consistent with the publisher's.
+	Causal
+	// Global totally orders all updates. Rarely used in production.
+	Global
+)
+
+// String implements fmt.Stringer.
+func (m DeliveryMode) String() string {
+	switch m {
+	case Weak:
+		return "weak"
+	case Causal:
+		return "causal"
+	case Global:
+		return "global"
+	}
+	return fmt.Sprintf("DeliveryMode(%d)", int(m))
+}
+
+// Errors surfaced by the core API.
+var (
+	ErrUnpublished      = errors.New("synapse: model or attribute not published by origin")
+	ErrModeTooStrong    = errors.New("synapse: subscriber mode stronger than publisher mode")
+	ErrNotOwner         = errors.New("synapse: only the owner may create or delete instances")
+	ErrDecoratorAttr    = errors.New("synapse: decorators cannot update or republish subscribed attributes")
+	ErrUnknownApp       = errors.New("synapse: unknown app")
+	ErrNotSubscribed    = errors.New("synapse: app is not subscribed to this publisher")
+	ErrAlreadyPublished = errors.New("synapse: attribute already published")
+)
+
+// WaitForever is the dependency-wait timeout for pure causal mode; a
+// zero timeout degrades to weak-like processing, exactly the §6.5
+// spectrum ("weak and causal modes are achieved with the timeout set to
+// 0s and ∞, respectively").
+const WaitForever time.Duration = -1
+
+// Config configures one app.
+type Config struct {
+	// Mode is the delivery mode this app supports as a publisher.
+	// Defaults to Causal, the paper's recommended production setting.
+	Mode DeliveryMode
+	// VStoreShards is the number of version-store shards (default 1).
+	VStoreShards int
+	// DepCardinality bounds the dependency hash space (0 = unhashed).
+	DepCardinality uint64
+	// VStoreRTT injects a network round trip per version-store script
+	// call (benchmarks; zero in tests).
+	VStoreRTT time.Duration
+	// VStorePerKey injects per-key version-store command cost
+	// (benchmarks; zero in tests).
+	VStorePerKey time.Duration
+	// VStorePrecise busy-waits injected version-store latencies for
+	// sub-millisecond accuracy (sequential overhead measurements only).
+	VStorePrecise bool
+	// QueueMaxLen bounds this app's subscriber queue; exceeding it
+	// decommissions the queue (§4.4). 0 = unbounded.
+	QueueMaxLen int
+	// DepTimeout bounds how long a causal subscriber waits for a missing
+	// dependency before processing anyway (§6.5). WaitForever (the
+	// default, set when zero and mode is causal at subscribe time) never
+	// gives up.
+	DepTimeout time.Duration
+	// Workers is the default worker-pool size for StartWorkers(0).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == modeUnset {
+		c.Mode = Causal
+	}
+	if c.VStoreShards <= 0 {
+		c.VStoreShards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.DepTimeout == 0 {
+		c.DepTimeout = WaitForever
+	}
+	return c
+}

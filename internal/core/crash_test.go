@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"synapse/internal/model"
+)
+
+// TestCrashBetweenCommitAndPublish simulates the worst 2PC gap: the
+// publisher commits locally and dies before the message reaches the
+// broker. The subscriber diverges until the next bootstrap resyncs it —
+// the recovery the paper's design leans on (§4.4).
+func TestCrashBetweenCommitAndPublish(t *testing.T) {
+	f := NewFabric()
+	pub, pubMapper := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	// Arm the crash: panic after the DB commit, before the broker send.
+	pub.beforePublish = func(*App) { panic("process killed") }
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("crash hook did not fire")
+			}
+		}()
+		ctl := pub.NewController(nil)
+		rec := model.NewRecord("User", "u1")
+		rec.Set("name", "committed-but-unpublished")
+		_, _ = ctl.Create(rec)
+	}()
+	pub.beforePublish = nil
+
+	// The write committed locally but no message exists.
+	if _, err := pubMapper.Find("User", "u1"); err != nil {
+		t.Fatalf("local commit missing: %v", err)
+	}
+	drain(t, sub)
+	if _, err := subMapper.Find("User", "u1"); err == nil {
+		t.Fatal("subscriber received a message that was never published")
+	}
+
+	// Recovery: a (partial) bootstrap closes the gap.
+	if err := sub.Bootstrap("pub"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := subMapper.Find("User", "u1")
+	if err != nil || got.String("name") != "committed-but-unpublished" {
+		t.Fatalf("bootstrap did not heal the gap: %+v, %v", got, err)
+	}
+
+	// And live replication continues normally afterwards.
+	ctl := pub.NewController(nil)
+	patch := model.NewRecord("User", "u1")
+	patch.Set("name", "alive-again")
+	if _, err := ctl.Update(patch); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, sub)
+	got, _ = subMapper.Find("User", "u1")
+	if got.String("name") != "alive-again" {
+		t.Errorf("post-recovery update = %q", got.String("name"))
+	}
+}
+
+// TestPerObjectOrderUnderTimeouts: even when dependency waits time out
+// (lost messages), a causal subscriber never applies an older version of
+// an object over a newer one — the version guard's core invariant.
+func TestPerObjectOrderUnderTimeouts(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{Mode: Causal})
+	mustPublish(t, pub, userDesc(), "likes")
+	msgs := tap(t, f, "pub")
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{DepTimeout: 10 * time.Millisecond})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"likes"}, Mode: Causal})
+	drainQueue(t, sub)
+
+	// One object, 12 sequential versions from independent controllers.
+	ctl0 := pub.NewController(nil)
+	rec := model.NewRecord("User", "u1")
+	rec.Set("likes", 0)
+	if _, err := ctl0.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 12; i++ {
+		ctl := pub.NewController(nil)
+		patch := model.NewRecord("User", "u1")
+		patch.Set("likes", i)
+		if _, err := ctl.Update(patch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := msgs()
+
+	// Record the value after every apply via a callback.
+	var mu sync.Mutex
+	var observed []int64
+	d, _ := sub.Descriptor("User")
+	record := func(ctx *model.CallbackCtx) error {
+		mu.Lock()
+		observed = append(observed, ctx.Record.Int("likes"))
+		mu.Unlock()
+		return nil
+	}
+	d.Callbacks.On(model.AfterCreate, record)
+	d.Callbacks.On(model.AfterUpdate, record)
+
+	// Deliver every third message first (simulating heavy reordering
+	// with gaps), concurrently.
+	var wg sync.WaitGroup
+	order := []int{9, 6, 3, 0, 11, 8, 5, 2, 10, 7, 4, 1}
+	for _, i := range order {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := sub.ProcessMessage(got[i]); err != nil {
+				t.Errorf("M%d: %v", i, err)
+			}
+		}(i)
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+
+	// Whatever subset applied, the observed sequence must be strictly
+	// increasing (no stale overwrite), and the final state is the newest.
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(observed); i++ {
+		if observed[i] <= observed[i-1] {
+			t.Fatalf("stale apply: observed sequence %v", observed)
+		}
+	}
+	final, _ := subMapper.Find("User", "u1")
+	if final.Int("likes") != 11 {
+		t.Errorf("final state = %d, want 11 (sequence %v)", final.Int("likes"), observed)
+	}
+}
+
+// TestManyAppsOneFabricSmoke: a larger ecosystem (12 services in a
+// chain) replicates end to end — the "ecosystems of Web services that
+// subscribe to data from each other, enhance it, and publish it
+// further" claim of §3.1, at depth.
+func TestManyAppsOneFabricSmoke(t *testing.T) {
+	f := NewFabric()
+	const hops = 6
+	// Owner publishes the base model.
+	owner, _ := newDocApp(t, f, "hop0", Config{})
+	base := model.NewDescriptor("Doc", model.Field{Name: "base", Type: model.String})
+	mustPublish(t, owner, base, "base")
+
+	// Each hop decorates with one more attribute and republished it.
+	apps := []*App{owner}
+	for h := 1; h <= hops; h++ {
+		app, _ := newDocApp(t, f, fmt.Sprintf("hop%d", h), Config{})
+		d := model.NewDescriptor("Doc", model.Field{Name: "base", Type: model.String})
+		// Subscribe to the owner's base attribute and every upstream
+		// decoration.
+		mustSubscribe(t, app, d, SubSpec{From: "hop0", Attrs: []string{"base"}})
+		for up := 1; up < h; up++ {
+			attr := fmt.Sprintf("deco%d", up)
+			d.AddField(model.Field{Name: attr, Type: model.String})
+			mustSubscribe(t, app, d, SubSpec{From: fmt.Sprintf("hop%d", up), Attrs: []string{attr}})
+		}
+		own := fmt.Sprintf("deco%d", h)
+		d.AddField(model.Field{Name: own, Type: model.String})
+		if err := app.Publish(d, PubSpec{Attrs: []string{own}}); err != nil {
+			t.Fatal(err)
+		}
+		app.StartWorkers(1)
+		defer app.StopWorkers()
+		apps = append(apps, app)
+
+		// The decoration is computed when the base arrives.
+		d.Callbacks.On(model.AfterCreate, func(ctx *model.CallbackCtx) error {
+			if ctx.Bootstrapping {
+				return nil
+			}
+			ctl := apps[h].NewController(nil)
+			deco := model.NewRecord("Doc", ctx.Record.ID)
+			deco.Set(own, fmt.Sprintf("added-by-hop%d", h))
+			_, err := ctl.Update(deco)
+			return err
+		})
+	}
+
+	ctl := owner.NewController(nil)
+	rec := model.NewRecord("Doc", "d1")
+	rec.Set("base", "origin")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The last hop eventually has the base attribute plus every
+	// upstream decoration.
+	last := apps[hops]
+	waitFor(t, 15*time.Second, func() bool {
+		got, err := last.Mapper().Find("Doc", "d1")
+		if err != nil {
+			return false
+		}
+		if got.String("base") != "origin" {
+			return false
+		}
+		for up := 1; up < hops; up++ {
+			if got.String(fmt.Sprintf("deco%d", up)) == "" {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"synapse/internal/model"
+	"synapse/internal/storage"
+	"synapse/internal/vstore"
+)
+
+func TestClosedControllerRejectsWrites(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	ctl := pub.NewController(nil)
+	ctl.Close()
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "x")
+	if _, err := ctl.Create(rec); err == nil {
+		t.Fatal("closed controller accepted a write")
+	}
+}
+
+func TestDuplicateCreatePublishesNothing(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	msgs := tap(t, f, "pub")
+
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "a")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	_ = msgs()
+	if _, err := ctl.Create(rec); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	if got := msgs(); len(got) != 0 {
+		t.Fatalf("failed create published %d messages", len(got))
+	}
+	// Counters advanced for the failed attempt, but that is harmless:
+	// subscribers never see a message referencing them... the next
+	// successful write must still flow end to end.
+	patch := model.NewRecord("User", "u1")
+	patch.Set("name", "b")
+	if _, err := ctl.Update(patch); err != nil {
+		t.Fatal(err)
+	}
+	if got := msgs(); len(got) != 1 {
+		t.Fatalf("follow-up update published %d messages", len(got))
+	}
+}
+
+func TestDeadVersionStoreFailsWritesCleanly(t *testing.T) {
+	f := NewFabric()
+	pub, pubMapper := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	msgs := tap(t, f, "pub")
+
+	pub.Store().Kill()
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "x")
+	_, err := ctl.Create(rec)
+	if !errors.Is(err, vstore.ErrDead) {
+		t.Fatalf("write with dead store = %v", err)
+	}
+	if got := msgs(); len(got) != 0 {
+		t.Fatal("message published despite dead version store")
+	}
+	if pubMapper.Len("User") != 0 {
+		t.Fatal("record persisted despite failed publish path")
+	}
+}
+
+func TestWriteToUnpublishedModelRejected(t *testing.T) {
+	f := NewFabric()
+	pub, pubMapper := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	// Post is registered locally but never published.
+	if err := pubMapper.Register(postDesc()); err != nil {
+		t.Fatal(err)
+	}
+	ctl := pub.NewController(nil)
+	p := model.NewRecord("Post", "p1")
+	p.Set("body", "local only")
+	if _, err := ctl.Create(p); err == nil {
+		t.Fatal("controller accepted a write to an unpublished model")
+	}
+	// Local persistence bypassing Synapse still works via the mapper.
+	if _, err := pubMapper.Create(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondFabricAppNameCollision(t *testing.T) {
+	f := NewFabric()
+	newDocApp(t, f, "dup", Config{})
+	m := NewFabric() // other fabric: same name is fine
+	if _, err := NewApp(m, "dup", nil, Config{}); err != nil {
+		t.Fatalf("same name on another fabric = %v", err)
+	}
+	if _, err := NewApp(f, "dup", nil, Config{}); err == nil {
+		t.Fatal("duplicate app name accepted on one fabric")
+	}
+}
+
+func TestSubscribeBeforePublishOrderIndependence(t *testing.T) {
+	// Publishing more attributes later extends the contract; an early
+	// subscriber keeps working, a new subscriber can take the new attr.
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+
+	early, earlyMapper := newDocApp(t, f, "early", Config{})
+	mustSubscribe(t, early, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	d, _ := pub.Descriptor("User")
+	if err := pub.Publish(d, PubSpec{Attrs: []string{"email"}}); err != nil {
+		t.Fatal(err)
+	}
+	late, lateMapper := newDocApp(t, f, "late", Config{})
+	mustSubscribe(t, late, userDesc(), SubSpec{From: "pub", Attrs: []string{"name", "email"}})
+
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "a")
+	rec.Set("email", "a@example.com")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, early)
+	drain(t, late)
+	e, _ := earlyMapper.Find("User", "u1")
+	if e.Has("email") {
+		t.Error("early subscriber received an attribute it never asked for")
+	}
+	l, _ := lateMapper.Find("User", "u1")
+	if l.String("email") != "a@example.com" {
+		t.Errorf("late subscriber missing new attribute: %+v", l.Attrs)
+	}
+}
+
+func TestRepublishingSameAttrRejected(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	d, _ := pub.Descriptor("User")
+	if err := pub.Publish(d, PubSpec{Attrs: []string{"name"}}); !errors.Is(err, ErrAlreadyPublished) {
+		t.Fatalf("double publish = %v", err)
+	}
+}

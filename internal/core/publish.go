@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"synapse/internal/model"
+	"synapse/internal/orm"
+	"synapse/internal/vstore"
+	"synapse/internal/wire"
+)
+
+// performWrites runs the publisher algorithm of §4.2 for a group of
+// staged writes (one operation, or a transaction's worth):
+//
+//  1. derive read and write dependencies from the controller scope and
+//     the app's delivery mode;
+//  2. acquire locks on the write dependencies (version-store locks on
+//     non-transactional engines; the engine's own prepared row locks on
+//     transactional ones, per the §4.2 optimization);
+//  3. atomically increment ops, set version for write deps, and collect
+//     the versions to embed in the message (version for reads,
+//     version−1 for writes);
+//  4. perform the operations and read back the written objects;
+//  5. release locks;
+//  6. marshal the published attributes and send one message.
+//
+// The Synapse-specific time (everything except step 4) is recorded in
+// the app's PublishLatency histogram — the "Synapse time" column of
+// Fig 12(a).
+func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]*model.Record, error) {
+	start := time.Now()
+	var dbTime time.Duration
+
+	mode := a.cfg.Mode
+
+	// Load the final state of objects being destroyed so their published
+	// attributes can ride along in the message. The paper only ships
+	// deleted object IDs (§4), relying on the subscriber's local copy;
+	// DB-less observers have no local copy, so we extend the format to
+	// keep the Fig 5 edge-removal pattern working for them.
+	for _, op := range staged {
+		if op.verb != wire.OpDestroy || a.isEphemeral(op.rec.Model) || a.mapper == nil {
+			continue
+		}
+		if last, err := a.mapper.Find(op.rec.Model, op.rec.ID); err == nil {
+			op.rec.Merge(last.Attrs)
+		}
+	}
+
+	// --- Step 1: dependencies.
+	writeNames := make([]string, 0, len(staged)+2)
+	objectDeps := make([]string, len(staged)) // per-op own-object dep name
+	for i, op := range staged {
+		name := depName(a.name, op.rec.Model, op.rec.ID)
+		objectDeps[i] = name
+		writeNames = append(writeNames, name)
+	}
+	var readNames []string
+	var external []depRef
+	if mode >= Causal {
+		if c.session != nil && c.session.userDep != "" {
+			writeNames = append(writeNames, c.session.userDep)
+		}
+		writeNames = append(writeNames, c.pendingWriteDeps...)
+		for _, rd := range c.readDeps {
+			if rd.external {
+				external = append(external, rd)
+			} else {
+				readNames = append(readNames, rd.name)
+			}
+		}
+		if c.prevWriteDep != "" {
+			readNames = append(readNames, c.prevWriteDep)
+		}
+	}
+	if mode == Global {
+		writeNames = append(writeNames, globalDepName(a.name))
+	}
+
+	writeKeys := make([]vstore.Key, len(writeNames))
+	for i, n := range writeNames {
+		writeKeys[i] = a.store.KeyFor(n)
+	}
+	readKeys := make([]vstore.Key, len(readNames))
+	for i, n := range readNames {
+		readKeys[i] = a.store.KeyFor(n)
+	}
+
+	// Decide the apply strategy: a transactional engine takes the 2PC
+	// path (the engine's prepared row locks validate the write set);
+	// everything else applies operations one by one. Ephemeral-only
+	// groups have no DB work at all.
+	allEphemeral := true
+	for _, op := range staged {
+		if !a.isEphemeral(op.rec.Model) {
+			allEphemeral = false
+			break
+		}
+	}
+	txm, transactional := a.mapper.(orm.Transactional)
+	useTx := !allEphemeral && transactional
+
+	var written []*model.Record
+	var deps map[vstore.Key]uint64
+
+	// Version-store locks are held over ALL dependency keys (reads and
+	// writes) from the counter bump through the broker publish. This is
+	// stronger than the paper, which locks only write dependencies and
+	// releases before sending: that leaves a window where a message can
+	// be enqueued ahead of the message carrying its dependency, which a
+	// subscriber can only escape with spare workers or timeouts. Holding
+	// the locks across the publish makes queue order consistent with
+	// dependency order, so even a single-worker causal subscriber never
+	// deadlocks.
+	allKeys := make([]vstore.Key, 0, len(writeKeys)+len(readKeys))
+	allKeys = append(allKeys, writeKeys...)
+	allKeys = append(allKeys, readKeys...)
+
+	var tx orm.MapperTx
+	if useTx {
+		// --- 2PC path: stage + Prepare (engine row locks) first. The
+		// deferred abort is disarmed by setting tx to nil after commit.
+		tx = txm.Begin()
+		defer func() {
+			if tx != nil {
+				tx.Abort()
+			}
+		}()
+		dbStart := time.Now()
+		for _, op := range staged {
+			if a.isEphemeral(op.rec.Model) {
+				continue
+			}
+			var err error
+			switch op.verb {
+			case wire.OpCreate:
+				err = tx.Create(op.rec)
+			case wire.OpUpdate:
+				err = tx.Update(op.rec)
+			case wire.OpDestroy:
+				err = tx.Delete(op.rec.Model, op.rec.ID)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := tx.Prepare(); err != nil {
+			return nil, err
+		}
+		dbTime += time.Since(dbStart)
+	}
+
+	held, err := a.store.LockWrites(allKeys)
+	if err != nil {
+		return nil, err
+	}
+	publishDone := false
+	defer func() {
+		if !publishDone {
+			a.store.UnlockWrites(held)
+		}
+	}()
+
+	deps, err = a.store.Bump(readKeys, writeKeys)
+	if err != nil {
+		return nil, err
+	}
+
+	dbStart := time.Now()
+	if useTx {
+		committed, err := tx.Commit()
+		if err != nil {
+			// The version store advanced but the commit failed after a
+			// successful prepare — engine corruption; surface loudly.
+			tx = nil
+			return nil, fmt.Errorf("synapse: commit after prepare failed: %w", err)
+		}
+		tx = nil
+		written = a.mergeWritten(staged, committed)
+	} else {
+		written = make([]*model.Record, len(staged))
+		for i, op := range staged {
+			w, err := a.applyOne(op)
+			if err != nil {
+				return nil, err
+			}
+			written[i] = w
+		}
+	}
+	dbTime += time.Since(dbStart)
+
+	// --- Step 6: build and send the message.
+	msg := &wire.Message{
+		App:          a.name,
+		Operations:   make([]wire.Operation, len(staged)),
+		Dependencies: make(map[string]uint64, len(deps)),
+		PublishedAt:  time.Now().UTC(),
+		Generation:   a.generation.Load(),
+		Seq:          a.seq.Add(1),
+	}
+	for k, v := range deps {
+		msg.Dependencies[wire.DepKey(uint64(k))] = v
+	}
+	if len(external) > 0 {
+		msg.External = make(map[string]uint64, len(external))
+		for _, e := range external {
+			msg.External[wire.DepKey(e.extKey)] = e.extOps
+		}
+	}
+	if mode == Global {
+		msg.GlobalDep = wire.DepKey(uint64(a.store.KeyFor(globalDepName(a.name))))
+	}
+	for i, op := range staged {
+		w := written[i]
+		desc, _ := a.Descriptor(op.rec.Model)
+		wireOp := wire.Operation{
+			Operation: op.verb,
+			Types:     desc.TypeChain(),
+			ID:        op.rec.ID,
+			ObjectDep: wire.DepKey(uint64(a.store.KeyFor(objectDeps[i]))),
+		}
+		if op.verb != wire.OpDestroy {
+			wireOp.Attributes = a.projectPublished(desc, w)
+		} else if len(op.rec.Attrs) > 0 {
+			// Final attributes for DB-less observers (see above).
+			wireOp.Attributes = a.projectPublished(desc, op.rec)
+		}
+		msg.Operations[i] = wireOp
+	}
+	if err := wire.Validate(msg); err != nil {
+		return nil, err
+	}
+	payload, err := wire.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	if a.beforePublish != nil {
+		a.beforePublish(a)
+	}
+	a.fabric.Broker.Publish(a.name, payload)
+	publishDone = true
+	a.store.UnlockWrites(held)
+
+	// --- Controller scope bookkeeping for causal chaining.
+	if mode >= Causal {
+		c.prevWriteDep = objectDeps[0]
+		c.readDeps = c.readDeps[:0]
+		c.pendingWriteDeps = c.pendingWriteDeps[:0]
+	}
+
+	a.PublishLatency.Observe(time.Since(start) - dbTime)
+	if a.Timeline != nil {
+		a.Timeline.Record(a.name, "synapse-pub", fmt.Sprintf("seq=%d ops=%d", msg.Seq, len(msg.Operations)))
+	}
+	return written, nil
+}
+
+// applyOne performs a single non-transactional operation through the
+// ORM, returning the written object (read back).
+func (a *App) applyOne(op stagedWrite) (*model.Record, error) {
+	if a.isEphemeral(op.rec.Model) {
+		return op.rec, nil
+	}
+	switch op.verb {
+	case wire.OpCreate:
+		return a.mapper.Create(op.rec)
+	case wire.OpUpdate:
+		return a.mapper.Update(op.rec)
+	case wire.OpDestroy:
+		if err := a.mapper.Delete(op.rec.Model, op.rec.ID); err != nil {
+			return nil, err
+		}
+		return op.rec, nil
+	}
+	return nil, fmt.Errorf("synapse: unknown verb %q", op.verb)
+}
+
+// mergeWritten lines up the transaction's committed records with the
+// staged operations, substituting staged records for ephemerals.
+func (a *App) mergeWritten(staged []stagedWrite, committed []*model.Record) []*model.Record {
+	out := make([]*model.Record, len(staged))
+	ci := 0
+	for i, op := range staged {
+		if a.isEphemeral(op.rec.Model) {
+			out[i] = op.rec
+			continue
+		}
+		if ci < len(committed) {
+			out[i] = committed[ci]
+			ci++
+		} else {
+			out[i] = op.rec
+		}
+	}
+	return out
+}
+
+// projectPublished extracts the app's published attributes from the
+// written record, computing virtual attribute getters (§3.1).
+func (a *App) projectPublished(desc *model.Descriptor, rec *model.Record) map[string]any {
+	pubAttrs, ok := a.publishedAttrs(desc.Name)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]any, len(pubAttrs))
+	for attr := range pubAttrs {
+		if v := desc.VirtualAttrFor(attr); v != nil && v.Get != nil {
+			out[attr] = model.Coerce(v.Get(rec))
+			continue
+		}
+		if rec.Has(attr) {
+			out[attr] = rec.Get(attr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"synapse/internal/broker"
+	"synapse/internal/model"
+	"synapse/internal/storage"
+	"synapse/internal/vstore"
+	"synapse/internal/wire"
+)
+
+// genState tracks the generation barrier for one origin (§4.4): when a
+// publisher's version store dies, it bumps its generation; subscribers
+// finish all previous-generation messages, flush their version store,
+// and only then process the new generation.
+type genState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cur      uint64
+	inflight map[uint64]int
+}
+
+func (a *App) genStateFor(origin string) *genState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	gs := a.gens[origin]
+	if gs == nil {
+		gs = &genState{inflight: make(map[uint64]int)}
+		gs.cond = sync.NewCond(&gs.mu)
+		a.gens[origin] = gs
+	}
+	return gs
+}
+
+// errStaleGeneration marks messages from before a generation flush;
+// they are acked and dropped (their state was resynced by bootstrap).
+var errStaleGeneration = errors.New("synapse: stale generation message")
+
+// enter blocks until the message's generation is current, running the
+// flush barrier if this message moves the generation forward.
+func (a *App) enterGeneration(origin string, gen uint64) error {
+	gs := a.genStateFor(origin)
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	for gen > gs.cur {
+		older := 0
+		for g, n := range gs.inflight {
+			if g < gen {
+				older += n
+			}
+		}
+		if older == 0 {
+			// Barrier reached: flush and advance (§4.4). The flush
+			// clears this app's whole version store; counters for the
+			// new generation restart from zero on both sides.
+			a.store.Flush()
+			gs.cur = gen
+			gs.cond.Broadcast()
+			break
+		}
+		gs.cond.Wait()
+	}
+	if gen < gs.cur {
+		return errStaleGeneration
+	}
+	gs.inflight[gen]++
+	return nil
+}
+
+func (a *App) exitGeneration(origin string, gen uint64) {
+	gs := a.genStateFor(origin)
+	gs.mu.Lock()
+	gs.inflight[gen]--
+	if gs.inflight[gen] <= 0 {
+		delete(gs.inflight, gen)
+	}
+	gs.cond.Broadcast()
+	gs.mu.Unlock()
+}
+
+// StartWorkers launches n subscriber workers processing this app's
+// queue in parallel (n <= 0 uses Config.Workers). Workers survive queue
+// decommission by recovering the queue and re-bootstrapping.
+func (a *App) StartWorkers(n int) {
+	if n <= 0 {
+		n = a.cfg.Workers
+	}
+	a.workersMu.Lock()
+	if a.stopCh == nil {
+		a.stopCh = make(chan struct{})
+	}
+	stop := a.stopCh
+	a.workersMu.Unlock()
+	for i := 0; i < n; i++ {
+		a.workersWG.Add(1)
+		go a.workerLoop(stop)
+	}
+}
+
+// StopWorkers stops all workers and waits for them to drain in-flight
+// messages.
+func (a *App) StopWorkers() {
+	a.workersMu.Lock()
+	stop := a.stopCh
+	a.stopCh = nil
+	a.workersMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	if q := a.Queue(); q != nil {
+		q.CancelWaiters()
+	}
+	a.workersWG.Wait()
+}
+
+func (a *App) workerLoop(stop <-chan struct{}) {
+	defer a.workersWG.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		q := a.Queue()
+		if q == nil {
+			return
+		}
+		d, err := q.Get()
+		switch {
+		case err == nil:
+		case errors.Is(err, broker.ErrCanceled):
+			continue
+		case errors.Is(err, broker.ErrDecommissioned):
+			if rerr := a.RecoverQueue(); rerr != nil {
+				// Cannot recover (e.g. origin gone); retry after a beat.
+				time.Sleep(10 * time.Millisecond)
+			}
+			continue
+		default: // closed
+			return
+		}
+		if perr := a.consume(d.Payload, stop); perr != nil {
+			// Redeliver; the message may succeed once its dependencies
+			// arrive or the fault clears.
+			_ = q.Nack(d.Tag, true)
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		_ = q.Ack(d.Tag)
+	}
+}
+
+// consume decodes and processes one message payload.
+func (a *App) consume(payload []byte, cancel <-chan struct{}) error {
+	msg, err := wire.Unmarshal(payload)
+	if err != nil {
+		// Poison message: drop it loudly rather than loop forever.
+		return nil
+	}
+	err = a.processMessage(msg, cancel)
+	if errors.Is(err, errStaleGeneration) {
+		return nil
+	}
+	return err
+}
+
+// ProcessMessage applies one write message with the delivery semantics
+// configured for its origin. Exported for the synchronous processing
+// used by bootstrap and tests.
+func (a *App) ProcessMessage(msg *wire.Message) error {
+	return a.processMessage(msg, nil)
+}
+
+func (a *App) processMessage(msg *wire.Message, cancel <-chan struct{}) error {
+	origin := msg.App
+	if err := a.enterGeneration(origin, msg.Generation); err != nil {
+		return err
+	}
+	defer a.exitGeneration(origin, msg.Generation)
+
+	mode := a.originMode(origin)
+	if a.Bootstrapping() {
+		return a.processBootstrapMessage(msg)
+	}
+
+	switch mode {
+	case Weak:
+		return a.processWeak(msg)
+	default:
+		return a.processCausal(msg, mode, cancel)
+	}
+}
+
+// errWaitInterrupted marks a dependency wait abandoned because the
+// worker is stopping or the queue was decommissioned; the message is
+// nacked back and handled after recovery.
+var errWaitInterrupted = errors.New("synapse: dependency wait interrupted")
+
+// waitDep waits for a dependency counter in slices, so a worker blocked
+// on a dependency that will never arrive (lost message, §6.5) can still
+// observe shutdown and queue decommission instead of hanging forever.
+func (a *App) waitDep(k vstore.Key, min uint64, timeout time.Duration, cancel <-chan struct{}) error {
+	const slice = 100 * time.Millisecond
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		step := slice
+		if timeout == 0 {
+			step = 0
+		} else if timeout > 0 {
+			if rem := time.Until(deadline); rem < step {
+				step = rem
+			}
+		}
+		err := a.store.WaitAtLeast(k, min, step)
+		if err == nil || !errors.Is(err, vstore.ErrTimeout) {
+			return err
+		}
+		if timeout >= 0 && (timeout == 0 || !time.Now().Before(deadline)) {
+			return vstore.ErrTimeout
+		}
+		select {
+		case <-cancel:
+			return errWaitInterrupted
+		default:
+		}
+		if q := a.Queue(); q != nil && q.Dead() {
+			// The queue died while we waited; abandon the message so
+			// the worker can run the recovery path.
+			return errWaitInterrupted
+		}
+	}
+}
+
+// originMode returns the strongest delivery mode among this app's
+// subscriptions from the origin.
+func (a *App) originMode(origin string) DeliveryMode {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	mode := Weak
+	for _, origins := range a.subs {
+		if ss, ok := origins[origin]; ok && ss.mode > mode {
+			mode = ss.mode
+		}
+	}
+	return mode
+}
+
+// processCausal implements the subscriber algorithm of §4.2: wait until
+// every dependency's ops counter reaches the version in the message,
+// apply the operations, then increment the ops counters. Global mode
+// additionally respects the global-object dependency, which causal mode
+// ignores (it only appears when the publisher runs in global mode).
+func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan struct{}) error {
+	timeout := a.cfg.DepTimeout
+	for depKey, minVersion := range msg.Dependencies {
+		if mode < Global && depKey == msg.GlobalDep {
+			continue
+		}
+		k, err := wire.ParseDepKey(depKey)
+		if err != nil {
+			return err
+		}
+		if werr := a.waitDep(vstore.Key(k), minVersion, timeout, cancel); werr != nil {
+			if errors.Is(werr, vstore.ErrTimeout) {
+				// §6.5: give up waiting for late or lost messages and
+				// process anyway, trading consistency for availability.
+				continue
+			}
+			return werr
+		}
+	}
+	// External dependencies (decorator cross-app causality): wait, never
+	// increment.
+	for depKey, minOps := range msg.External {
+		k, err := wire.ParseDepKey(depKey)
+		if err != nil {
+			return err
+		}
+		if werr := a.waitDep(vstore.Key(k), minOps, timeout, cancel); werr != nil && !errors.Is(werr, vstore.ErrTimeout) {
+			return werr
+		}
+	}
+
+	// Apply with a per-object version guard. When the waits succeeded,
+	// the guard always passes (ordering already ensured it); its value
+	// is for the degraded cases: a wait that timed out (§6.5 — the
+	// message may be out of order, so stale versions are discarded,
+	// weak-style) and redelivered messages after a worker failure
+	// (idempotence).
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		if err := a.applyGuarded(msg, op); err != nil {
+			return err
+		}
+	}
+
+	keys := make([]vstore.Key, 0, len(msg.Dependencies))
+	for depKey := range msg.Dependencies {
+		if mode < Global && depKey == msg.GlobalDep {
+			continue
+		}
+		k, _ := wire.ParseDepKey(depKey)
+		keys = append(keys, vstore.Key(k))
+	}
+	if err := a.store.IncrOps(keys); err != nil {
+		return err
+	}
+	a.Processed.Add(1)
+	a.recordApplied(msg)
+	return nil
+}
+
+// recordApplied emits a timeline event for the execution-sample figures.
+func (a *App) recordApplied(msg *wire.Message) {
+	if a.Timeline == nil {
+		return
+	}
+	label := fmt.Sprintf("from=%s seq=%d", msg.App, msg.Seq)
+	if len(msg.Operations) > 0 {
+		op := msg.Operations[0]
+		label = fmt.Sprintf("from=%s %s %s/%s", msg.App, op.Operation, op.Model(), op.ID)
+	}
+	a.Timeline.Record(a.name, "synapse-sub", label)
+}
+
+// processWeak implements weak delivery: per-object last-writer-wins,
+// discarding messages older than what the store has seen (§4.2).
+func (a *App) processWeak(msg *wire.Message) error {
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		if err := a.applyGuarded(msg, op); err != nil {
+			return err
+		}
+	}
+	a.Processed.Add(1)
+	a.recordApplied(msg)
+	return nil
+}
+
+// applyGuarded applies one operation under the per-object version guard:
+// stale versions are skipped (weak-mode last-writer-wins, duplicate
+// redelivery); a failed apply rolls the claim back so the redelivered
+// message can try again.
+func (a *App) applyGuarded(msg *wire.Message, op *wire.Operation) error {
+	newVersion, guarded := a.objectVersion(msg, op)
+	var prev uint64
+	if guarded {
+		applied, p, err := a.store.ApplyIfNewer(keyOf(op.ObjectDep), newVersion)
+		if err != nil {
+			return err
+		}
+		if !applied {
+			return nil // stale update: skip to the latest version
+		}
+		prev = p
+	}
+	if err := a.applyOp(msg.App, op); err != nil {
+		if guarded {
+			_ = a.store.RestoreVersion(keyOf(op.ObjectDep), newVersion, prev)
+		}
+		return err
+	}
+	return nil
+}
+
+// objectVersion computes the object's post-write version from the
+// message dependencies (the embedded value is version−1 for writes).
+func (a *App) objectVersion(msg *wire.Message, op *wire.Operation) (uint64, bool) {
+	v, ok := msg.Dependencies[op.ObjectDep]
+	if !ok {
+		return 0, false
+	}
+	return v + 1, true
+}
+
+func keyOf(depKey string) vstore.Key {
+	k, _ := wire.ParseDepKey(depKey)
+	return vstore.Key(k)
+}
+
+// applyOp persists (or observes) a single operation if this app
+// subscribes to its model from the message's origin. Irrelevant
+// operations are skipped — but the message's dependency counters are
+// still maintained by the caller, since later messages may depend on
+// them.
+func (a *App) applyOp(origin string, op *wire.Operation) error {
+	modelName, spec := a.matchSubscription(origin, op.Types)
+	if spec == nil {
+		return nil
+	}
+	desc, ok := a.Descriptor(modelName)
+	if !ok {
+		return fmt.Errorf("synapse: subscribed model %s has no descriptor", modelName)
+	}
+
+	switch op.Operation {
+	case wire.OpDestroy:
+		if spec.observer {
+			rec := model.NewRecord(modelName, op.ID)
+			for attr := range spec.attrs {
+				if v, ok := op.Attributes[attr]; ok {
+					rec.Set(attr, v)
+				}
+			}
+			return a.observe(desc, rec, model.BeforeDestroy, model.AfterDestroy)
+		}
+		err := a.mapper.Delete(modelName, op.ID)
+		if errors.Is(err, storage.ErrNotFound) {
+			return nil // deletes are idempotent on subscribers
+		}
+		return err
+	default:
+		rec := model.NewRecord(modelName, op.ID)
+		for attr := range spec.attrs {
+			v, ok := op.Attributes[attr]
+			if !ok {
+				continue
+			}
+			// Virtual attribute setters adapt mismatched schemas
+			// (Example 3); plain attributes are assigned directly.
+			if err := model.WriteValue(desc, rec, attr, v); err != nil {
+				return err
+			}
+		}
+		if spec.observer {
+			before, after := model.BeforeCreate, model.AfterCreate
+			if op.Operation == wire.OpUpdate {
+				before, after = model.BeforeUpdate, model.AfterUpdate
+			}
+			return a.observe(desc, rec, before, after)
+		}
+		return a.mapper.Save(rec)
+	}
+}
+
+// observe runs callbacks for a non-persisted (observer) model.
+func (a *App) observe(desc *model.Descriptor, rec *model.Record, before, after model.Hook) error {
+	ctx := &model.CallbackCtx{Record: rec, Bootstrapping: a.Bootstrapping(), Env: a.Env()}
+	if err := desc.Callbacks.Run(before, ctx); err != nil {
+		return err
+	}
+	return desc.Callbacks.Run(after, ctx)
+}
+
+// matchSubscription resolves the most-derived subscribed model for the
+// operation's type chain (polymorphic consumption, §4.1).
+func (a *App) matchSubscription(origin string, types []string) (string, *subSpec) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, t := range types {
+		if ss, ok := a.subs[t][origin]; ok {
+			return t, ss
+		}
+	}
+	return "", nil
+}

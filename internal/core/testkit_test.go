@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"synapse/internal/model"
+)
+
+func crowdFactories() model.FactorySet {
+	set := make(model.FactorySet)
+	set.Add(&model.Factory{
+		Model: "User",
+		Build: func(seq int) map[string]any {
+			return map[string]any{
+				"name":  "sample-user",
+				"email": "sample@example.com",
+			}
+		},
+	})
+	return set
+}
+
+func samplePublisherFile() PublisherFile {
+	return PublisherFile{
+		App:  "remote-pub",
+		Mode: Causal,
+		Models: map[string][]string{
+			"User": {"name", "email"},
+		},
+		Factories: crowdFactories(),
+	}
+}
+
+// TestSubscriberDevelopmentWithoutPublisher is the §4.5 workflow: a
+// subscriber team imports the publisher file, passes the static checks,
+// and integration-tests against factory-emulated payloads — without the
+// publisher app existing at all.
+func TestSubscriberDevelopmentWithoutPublisher(t *testing.T) {
+	f := NewFabric()
+	if err := f.ImportPublisherFile(samplePublisherFile()); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	// Static checks work against the imported file.
+	if err := sub.Subscribe(userDesc(), SubSpec{From: "remote-pub", Attrs: []string{"likes"}}); !errors.Is(err, ErrUnpublished) {
+		t.Fatalf("unpublished attr subscribe = %v", err)
+	}
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "remote-pub", Attrs: []string{"name", "email"}})
+
+	// Emulated payloads flow through the real wire format and the real
+	// subscriber path, callbacks included.
+	var welcomed []string
+	d, _ := sub.Descriptor("User")
+	d.Callbacks.On(model.AfterCreate, func(ctx *model.CallbackCtx) error {
+		welcomed = append(welcomed, ctx.Record.String("email"))
+		return nil
+	})
+
+	emu := NewEmulator(sub, samplePublisherFile())
+	for i := 0; i < 3; i++ {
+		if _, err := emu.EmulateCreate("User", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if subMapper.Len("User") != 3 {
+		t.Fatalf("emulated creates persisted %d records", subMapper.Len("User"))
+	}
+	if len(welcomed) != 3 {
+		t.Fatalf("callbacks saw %d creates", len(welcomed))
+	}
+
+	patch := model.NewRecord("User", "User-1")
+	patch.Set("name", "renamed")
+	if err := emu.EmulateUpdate(patch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := subMapper.Find("User", "User-1")
+	if err != nil || got.String("name") != "renamed" {
+		t.Fatalf("after emulated update: %+v, %v", got, err)
+	}
+	if got.String("email") != "sample@example.com" {
+		t.Error("emulated update clobbered other attributes")
+	}
+
+	if err := emu.EmulateDestroy("User", "User-2"); err != nil {
+		t.Fatal(err)
+	}
+	if subMapper.Len("User") != 2 {
+		t.Error("emulated destroy not applied")
+	}
+}
+
+func TestEmulatorRejectsUnpublishedModel(t *testing.T) {
+	f := NewFabric()
+	if err := f.ImportPublisherFile(samplePublisherFile()); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "remote-pub", Attrs: []string{"name"}})
+	emu := NewEmulator(sub, samplePublisherFile())
+	if err := emu.EmulateUpdate(model.NewRecord("Post", "p1")); !errors.Is(err, ErrUnpublished) {
+		t.Errorf("emulate unpublished model = %v", err)
+	}
+	if _, err := emu.EmulateCreate("Post", 0); err == nil {
+		t.Error("emulate model without factory succeeded")
+	}
+}
+
+func TestImportPublisherFileConflictsWithLiveApp(t *testing.T) {
+	f := NewFabric()
+	newDocApp(t, f, "live-pub", Config{})
+	pf := samplePublisherFile()
+	pf.App = "live-pub"
+	if err := f.ImportPublisherFile(pf); err == nil {
+		t.Fatal("imported a file for a live app")
+	}
+}
+
+// TestExportImportRoundTrip: a live publisher's exported file drives a
+// subscriber in a different fabric.
+func TestExportImportRoundTrip(t *testing.T) {
+	prod := NewFabric()
+	pub, _ := newDocApp(t, prod, "pub", Config{Mode: Causal})
+	mustPublish(t, pub, userDesc(), "name", "email")
+	prod.ExportFactories("pub", crowdFactories())
+	pf := pub.ExportPublisherFile()
+	pf.App = "pub"
+
+	if pf.Mode != Causal || len(pf.Models["User"]) != 2 {
+		t.Fatalf("exported file = %+v", pf)
+	}
+
+	// A test fabric on the subscriber team's laptop.
+	test := NewFabric()
+	if err := test.ImportPublisherFile(pf); err != nil {
+		t.Fatal(err)
+	}
+	sub, subMapper := newDocApp(t, test, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+	emu := NewEmulator(sub, pf)
+	if _, err := emu.EmulateCreate("User", 0); err != nil {
+		t.Fatal(err)
+	}
+	if subMapper.Len("User") != 1 {
+		t.Fatal("round-trip emulation failed")
+	}
+}

@@ -1,0 +1,215 @@
+// Package metrics provides the small measurement toolkit used by the
+// Synapse benchmarks: latency histograms with percentile queries,
+// throughput meters, and event timelines for the execution-sample figures.
+//
+// Everything is safe for concurrent use unless noted otherwise.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples and answers mean / percentile queries.
+// It keeps the raw samples (the benchmark runs are bounded), which keeps
+// percentiles exact rather than bucket-approximated.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean reports the arithmetic mean of all samples, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Percentile reports the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples, or 0 if empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return h.samples[rank-1]
+}
+
+// Max reports the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var max time.Duration
+	for _, s := range h.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Sum reports the total of all samples.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Meter counts events over a wall-clock interval to compute throughput.
+type Meter struct {
+	mu    sync.Mutex
+	count int64
+	start time.Time
+}
+
+// NewMeter returns a meter whose clock starts now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add records n events.
+func (m *Meter) Add(n int64) {
+	m.mu.Lock()
+	m.count += n
+	m.mu.Unlock()
+}
+
+// Count reports the number of events recorded so far.
+func (m *Meter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// Rate reports events per second since the meter started.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count) / elapsed
+}
+
+// RateSince reports events per second over an explicit interval, which is
+// what the duration-bounded throughput benchmarks use.
+func (m *Meter) RateSince(start time.Time, end time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := end.Sub(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count) / elapsed
+}
+
+// Event is one entry on a Timeline.
+type Event struct {
+	At    time.Duration // offset from the timeline origin
+	Actor string        // e.g. "Diaspora", "Mailer"
+	Phase string        // e.g. "app", "synapse-pub", "synapse-sub"
+	Label string
+}
+
+// Timeline records ordered events relative to an origin instant. It backs
+// the Fig 9 execution-sample reproductions.
+type Timeline struct {
+	mu     sync.Mutex
+	origin time.Time
+	events []Event
+}
+
+// NewTimeline returns a timeline whose origin is now.
+func NewTimeline() *Timeline { return &Timeline{origin: time.Now()} }
+
+// Record appends an event stamped with the current offset from the origin.
+func (t *Timeline) Record(actor, phase, label string) {
+	at := time.Since(t.origin)
+	t.mu.Lock()
+	t.events = append(t.events, Event{At: at, Actor: actor, Phase: phase, Label: label})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of all events sorted by time.
+func (t *Timeline) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// String renders the timeline as one line per event, suitable for the
+// Fig 9-style textual timelines printed by the bench harness.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%8.2fms  %-18s %-12s %s\n",
+			float64(e.At.Microseconds())/1000.0, e.Actor, e.Phase, e.Label)
+	}
+	return b.String()
+}
+
+// Fmt renders a duration in milliseconds with two decimals, the unit the
+// paper's tables use.
+func Fmt(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000.0)
+}

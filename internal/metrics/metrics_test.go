@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := h.Percentile(0); got != 1*time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+	if got := h.Sum(); got != 5050*time.Millisecond {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5 * time.Millisecond)
+	_ = h.Percentile(50)
+	h.Observe(1 * time.Millisecond) // must re-sort
+	if got := h.Percentile(0); got != 1*time.Millisecond {
+		t.Errorf("min after late observe = %v", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Error("Reset did not clear samples")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Microsecond)
+				_ = h.Percentile(99)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(10)
+	m.Add(5)
+	if m.Count() != 15 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	start := time.Now().Add(-time.Second)
+	rate := m.RateSince(start, start.Add(time.Second))
+	if rate != 15 {
+		t.Errorf("RateSince = %f", rate)
+	}
+	if m.RateSince(start, start) != 0 {
+		t.Error("zero interval should report zero rate")
+	}
+	if m.Rate() <= 0 {
+		t.Error("Rate should be positive after events")
+	}
+}
+
+func TestTimelineOrderingAndFormat(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record("Diaspora", "app", "post created")
+	tl.Record("Mailer", "synapse-sub", "received post")
+	events := tl.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].At > events[1].At {
+		t.Error("events out of order")
+	}
+	s := tl.String()
+	if !strings.Contains(s, "Diaspora") || !strings.Contains(s, "synapse-sub") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestFmt(t *testing.T) {
+	if got := Fmt(1500 * time.Microsecond); got != "1.50ms" {
+		t.Errorf("Fmt = %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package model
+
+import "fmt"
+
+// Hook identifies an active-model callback point. Synapse re-purposes
+// these on subscribers for update notification and schema adaptation
+// (Table 2, Fig 2).
+type Hook int
+
+const (
+	BeforeCreate Hook = iota
+	AfterCreate
+	BeforeUpdate
+	AfterUpdate
+	BeforeDestroy
+	AfterDestroy
+	numHooks
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (h Hook) String() string {
+	switch h {
+	case BeforeCreate:
+		return "before_create"
+	case AfterCreate:
+		return "after_create"
+	case BeforeUpdate:
+		return "before_update"
+	case AfterUpdate:
+		return "after_update"
+	case BeforeDestroy:
+		return "before_destroy"
+	case AfterDestroy:
+		return "after_destroy"
+	}
+	return fmt.Sprintf("Hook(%d)", int(h))
+}
+
+// CallbackCtx carries the information a callback may consult: the record
+// being persisted and whether the owning Synapse app is currently
+// bootstrapping (the Bootstrap? predicate of Table 2). Env lets the
+// application thread arbitrary state through (e.g. an outbox for a
+// mailer observer).
+type CallbackCtx struct {
+	Record        *Record
+	Bootstrapping bool
+	Env           map[string]any
+}
+
+// Callback is an active-model callback. Returning an error from a
+// before-hook aborts the persistence operation.
+type Callback func(*CallbackCtx) error
+
+// Callbacks dispatches callbacks per hook in registration order. The zero
+// value is ready to use.
+type Callbacks struct {
+	hooks [numHooks][]Callback
+}
+
+// On registers a callback for the hook.
+func (c *Callbacks) On(h Hook, fn Callback) {
+	c.hooks[h] = append(c.hooks[h], fn)
+}
+
+// Run invokes all callbacks registered for the hook, stopping at the
+// first error.
+func (c *Callbacks) Run(h Hook, ctx *CallbackCtx) error {
+	for _, fn := range c.hooks[h] {
+		if err := fn(ctx); err != nil {
+			return fmt.Errorf("%s callback: %w", h, err)
+		}
+	}
+	return nil
+}
+
+// Count reports the number of callbacks registered for the hook.
+func (c *Callbacks) Count(h Hook) int { return len(c.hooks[h]) }

@@ -1,0 +1,42 @@
+package model
+
+import "fmt"
+
+// Factory produces deterministic sample records for a model — the
+// factory-file mechanism of §4.5. Publishers export factories; subscriber
+// integration tests replay them to emulate the payloads they would
+// receive in production.
+type Factory struct {
+	Model string
+	// Build returns the attributes for the seq-th sample instance.
+	Build func(seq int) map[string]any
+}
+
+// New materializes the seq-th sample record, with a deterministic ID.
+func (f *Factory) New(seq int) *Record {
+	r := NewRecord(f.Model, fmt.Sprintf("%s-%d", f.Model, seq))
+	r.Merge(f.Build(seq))
+	return r
+}
+
+// Batch materializes n sample records, seq 0..n-1.
+func (f *Factory) Batch(n int) []*Record {
+	out := make([]*Record, n)
+	for i := range out {
+		out[i] = f.New(i)
+	}
+	return out
+}
+
+// FactorySet is a publisher's exported collection of factories, keyed by
+// model name.
+type FactorySet map[string]*Factory
+
+// Add registers a factory.
+func (s FactorySet) Add(f *Factory) { s[f.Model] = f }
+
+// For returns the factory for a model, if exported.
+func (s FactorySet) For(modelName string) (*Factory, bool) {
+	f, ok := s[modelName]
+	return f, ok
+}

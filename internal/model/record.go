@@ -1,0 +1,272 @@
+// Package model defines the data-model layer Synapse operates on: model
+// descriptors (the Go stand-in for Ruby's dynamically-introspected model
+// classes), attribute records, active-model callbacks, virtual attributes,
+// and test-data factories.
+//
+// A Record is a single object instance — one row, document, or node — with
+// a generic attribute map. The ORM adapters translate records to and from
+// each storage engine's native representation; the Synapse core marshals
+// the published subset of a record's attributes onto the wire.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Record is one model instance. Attrs never contains the "id" key; the
+// identity lives in ID. Attribute values are restricted to the JSON-safe
+// set: nil, bool, int64, float64, string, []any, map[string]any (Coerce
+// normalizes other numeric widths).
+type Record struct {
+	Model string
+	ID    string
+	Attrs map[string]any
+}
+
+// NewRecord returns a record with a non-nil attribute map.
+func NewRecord(model, id string) *Record {
+	return &Record{Model: model, ID: id, Attrs: make(map[string]any)}
+}
+
+// Get returns the named attribute, or nil when absent.
+func (r *Record) Get(name string) any { return r.Attrs[name] }
+
+// Set assigns the named attribute after coercing it to the JSON-safe set.
+func (r *Record) Set(name string, v any) { r.Attrs[name] = Coerce(v) }
+
+// Has reports whether the attribute is present (possibly nil-valued).
+func (r *Record) Has(name string) bool {
+	_, ok := r.Attrs[name]
+	return ok
+}
+
+// String returns the attribute as a string, or "" when absent or not a
+// string.
+func (r *Record) String(name string) string {
+	s, _ := r.Attrs[name].(string)
+	return s
+}
+
+// Int returns the attribute as an int64, accepting float64 values that
+// round-tripped through JSON.
+func (r *Record) Int(name string) int64 {
+	switch v := r.Attrs[name].(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	case int:
+		return int64(v)
+	}
+	return 0
+}
+
+// Strings returns the attribute as a string slice, accepting []any
+// produced by JSON decoding. It returns nil when absent or mistyped.
+func (r *Record) Strings(name string) []string {
+	switch v := r.Attrs[name].(type) {
+	case []string:
+		return v
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, e := range v {
+			s, ok := e.(string)
+			if !ok {
+				return nil
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	out := &Record{Model: r.Model, ID: r.ID, Attrs: make(map[string]any, len(r.Attrs))}
+	for k, v := range r.Attrs {
+		out.Attrs[k] = cloneValue(v)
+	}
+	return out
+}
+
+// Project returns a copy containing only the named attributes (those
+// present on the record). Identity and model are preserved.
+func (r *Record) Project(names []string) *Record {
+	out := &Record{Model: r.Model, ID: r.ID, Attrs: make(map[string]any, len(names))}
+	for _, n := range names {
+		if v, ok := r.Attrs[n]; ok {
+			out.Attrs[n] = cloneValue(v)
+		}
+	}
+	return out
+}
+
+// Merge copies the given attributes into the record, coercing values.
+func (r *Record) Merge(attrs map[string]any) {
+	for k, v := range attrs {
+		r.Attrs[k] = Coerce(v)
+	}
+}
+
+// AttrNames returns the record's attribute names in sorted order.
+func (r *Record) AttrNames() []string {
+	names := make([]string, 0, len(r.Attrs))
+	for k := range r.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Equal reports whether two records have the same model, ID, and
+// attributes (deep comparison over the JSON-safe value set).
+func (r *Record) Equal(o *Record) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if r.Model != o.Model || r.ID != o.ID || len(r.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for k, v := range r.Attrs {
+		ov, ok := o.Attrs[k]
+		if !ok || !valueEqual(v, ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the canonical dependency name of the record, in the paper's
+// "model/id/<id>" form (the app prefix is added by the core).
+func (r *Record) Key() string { return fmt.Sprintf("%s/id/%s", r.Model, r.ID) }
+
+func cloneValue(v any) any {
+	switch t := v.(type) {
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = cloneValue(e)
+		}
+		return out
+	case []string:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = e
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = cloneValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func valueEqual(a, b any) bool {
+	switch av := a.(type) {
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !valueEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k, v := range av {
+			ov, ok := bv[k]
+			if !ok || !valueEqual(v, ov) {
+				return false
+			}
+		}
+		return true
+	default:
+		return numEqual(a, b)
+	}
+}
+
+// numEqual compares scalars, treating int64 and float64 as equal when they
+// represent the same number (JSON decoding turns integers into float64).
+func numEqual(a, b any) bool {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		return af == bf
+	}
+	return a == b
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case int64:
+		return float64(t), true
+	case float64:
+		return t, true
+	case int:
+		return float64(t), true
+	}
+	return 0, false
+}
+
+// Coerce normalizes a value into the JSON-safe set used by records:
+// integer widths become int64, float32 becomes float64, []string becomes
+// []any, and nested containers are coerced recursively. Unknown types are
+// passed through (the wire layer will reject them at marshal time).
+func Coerce(v any) any {
+	switch t := v.(type) {
+	case nil, bool, int64, float64, string:
+		return t
+	case int:
+		return int64(t)
+	case int8:
+		return int64(t)
+	case int16:
+		return int64(t)
+	case int32:
+		return int64(t)
+	case uint:
+		return int64(t)
+	case uint8:
+		return int64(t)
+	case uint16:
+		return int64(t)
+	case uint32:
+		return int64(t)
+	case uint64:
+		return int64(t)
+	case float32:
+		return float64(t)
+	case []string:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = e
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = Coerce(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = Coerce(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,181 @@
+package activerecord
+
+import (
+	"errors"
+	"testing"
+
+	"synapse/internal/model"
+	"synapse/internal/orm/ormtest"
+	"synapse/internal/storage"
+	"synapse/internal/storage/reldb"
+)
+
+func TestConformancePostgres(t *testing.T) {
+	ormtest.Run(t, New(reldb.New(reldb.Postgres)), true)
+}
+
+func TestConformanceMySQL(t *testing.T) {
+	ormtest.Run(t, New(reldb.New(reldb.MySQL)), true)
+}
+
+func TestConformanceOracle(t *testing.T) {
+	ormtest.Run(t, New(reldb.New(reldb.Oracle)), true)
+}
+
+func TestMySQLExtraReadQueries(t *testing.T) {
+	pg := New(reldb.New(reldb.Postgres))
+	my := New(reldb.New(reldb.MySQL))
+	d := ormtest.NewUserDescriptor()
+	if err := pg.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := my.Register(ormtest.NewUserDescriptor()); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Mapper{pg, my} {
+		rec := model.NewRecord("User", "u1")
+		rec.Set("name", "a")
+		if _, err := m.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+		patch := model.NewRecord("User", "u1")
+		patch.Set("likes", 3)
+		if _, err := m.Update(patch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, pgExtra := pg.Stats().Snapshot()
+	_, _, myExtra := my.Stats().Snapshot()
+	if pgExtra != 0 {
+		t.Errorf("postgres extra reads = %d, want 0 (RETURNING)", pgExtra)
+	}
+	if myExtra != 2 {
+		t.Errorf("mysql extra reads = %d, want 2 (no RETURNING)", myExtra)
+	}
+}
+
+func TestInheritanceColumns(t *testing.T) {
+	m := New(reldb.New(reldb.Postgres))
+	base := model.NewDescriptor("Content", model.Field{Name: "body", Type: model.String})
+	post := model.NewDescriptor("Post", model.Field{Name: "title", Type: model.String})
+	post.Parent = base
+	if err := m.Register(post); err != nil {
+		t.Fatal(err)
+	}
+	rec := model.NewRecord("Post", "p1")
+	rec.Set("title", "t")
+	rec.Set("body", "inherited column")
+	if _, err := m.Create(rec); err != nil {
+		t.Fatalf("inherited column write: %v", err)
+	}
+}
+
+func TestReRegisterAfterMigrationIsIdempotent(t *testing.T) {
+	db := reldb.New(reldb.Postgres)
+	m := New(db)
+	d := ormtest.NewUserDescriptor()
+	if err := m.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(d); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+}
+
+func TestTxCommitReturnsWrittenRecords(t *testing.T) {
+	m := New(reldb.New(reldb.Postgres))
+	if err := m.Register(ormtest.NewUserDescriptor()); err != nil {
+		t.Fatal(err)
+	}
+	seed := model.NewRecord("User", "u0")
+	seed.Set("name", "seed")
+	seed.Set("likes", 1)
+	if _, err := m.Create(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := m.Begin()
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "a")
+	if err := tx.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	patch := model.NewRecord("User", "u0")
+	patch.Set("likes", 9)
+	if err := tx.Update(patch); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("User", "u0"); err == nil {
+		// Deleting the row we just updated in the same tx is legal.
+	} else {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	written, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != 3 {
+		t.Fatalf("written = %d records", len(written))
+	}
+	if written[0].ID != "u1" || written[0].String("name") != "a" {
+		t.Errorf("written[0] = %+v", written[0])
+	}
+	// Update read-back carries non-patched attributes.
+	if written[1].String("name") != "seed" || written[1].Int("likes") != 9 {
+		t.Errorf("written[1] = %+v", written[1].Attrs)
+	}
+	if written[2].ID != "u0" || len(written[2].Attrs) != 0 {
+		t.Errorf("written[2] = %+v", written[2])
+	}
+	if _, err := m.Find("User", "u0"); !errors.Is(err, storage.ErrNotFound) {
+		t.Error("tx delete not applied")
+	}
+}
+
+func TestTxAbortDiscards(t *testing.T) {
+	m := New(reldb.New(reldb.Postgres))
+	if err := m.Register(ormtest.NewUserDescriptor()); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "a")
+	if err := tx.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if _, err := m.Find("User", "u1"); !errors.Is(err, storage.ErrNotFound) {
+		t.Error("aborted tx persisted data")
+	}
+}
+
+func TestTxAfterCallbacksRunOnCommit(t *testing.T) {
+	m := New(reldb.New(reldb.Postgres))
+	d := ormtest.NewUserDescriptor()
+	if err := m.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	var afters int
+	d.Callbacks.On(model.AfterCreate, func(*model.CallbackCtx) error {
+		afters++
+		return nil
+	})
+	tx := m.Begin()
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "a")
+	if err := tx.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	if afters != 0 {
+		t.Fatal("after_create ran before commit")
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if afters != 1 {
+		t.Fatalf("after_create ran %d times", afters)
+	}
+}

@@ -1,0 +1,136 @@
+package activerecord
+
+import (
+	"fmt"
+
+	"synapse/internal/model"
+	"synapse/internal/orm"
+	"synapse/internal/storage"
+)
+
+// Tx is a buffered multi-object transaction over the relational engine.
+// Before-callbacks run when operations are staged (matching ActiveRecord,
+// where they run inside the transaction); after-callbacks run once the
+// commit succeeds.
+type Tx struct {
+	m      *Mapper
+	tx     txHandle
+	ops    []txRecOp
+	closed bool
+}
+
+// txHandle narrows reldb.Tx to what the adapter uses.
+type txHandle interface {
+	Insert(table string, row storage.Row) error
+	Update(table, id string, cols map[string]any) error
+	Delete(table, id string) error
+	Prepare() error
+	Commit() ([]storage.Row, error)
+	Abort()
+}
+
+type txRecOp struct {
+	modelName string
+	id        string
+	hook      model.Hook // after-hook to run on commit
+	deleted   bool
+}
+
+// Begin starts a transaction (orm.Transactional).
+func (m *Mapper) Begin() orm.MapperTx {
+	return &Tx{m: m, tx: m.db.Begin()}
+}
+
+// Create stages an insert.
+func (tx *Tx) Create(rec *model.Record) error {
+	table, d, err := tx.m.table(rec.Model)
+	if err != nil {
+		return err
+	}
+	if err := d.Validate(rec); err != nil {
+		return err
+	}
+	if err := tx.m.RunCallbacks(model.BeforeCreate, rec); err != nil {
+		return err
+	}
+	tx.m.Stats().Writes.Add(1)
+	if err := tx.tx.Insert(table, toRow(rec)); err != nil {
+		return err
+	}
+	tx.ops = append(tx.ops, txRecOp{modelName: rec.Model, id: rec.ID, hook: model.AfterCreate})
+	return nil
+}
+
+// Update stages an attribute merge.
+func (tx *Tx) Update(rec *model.Record) error {
+	table, d, err := tx.m.table(rec.Model)
+	if err != nil {
+		return err
+	}
+	if err := d.Validate(rec); err != nil {
+		return err
+	}
+	if err := tx.m.RunCallbacks(model.BeforeUpdate, rec); err != nil {
+		return err
+	}
+	tx.m.Stats().Writes.Add(1)
+	if err := tx.tx.Update(table, rec.ID, rec.Clone().Attrs); err != nil {
+		return err
+	}
+	tx.ops = append(tx.ops, txRecOp{modelName: rec.Model, id: rec.ID, hook: model.AfterUpdate})
+	return nil
+}
+
+// Delete stages a deletion.
+func (tx *Tx) Delete(modelName, id string) error {
+	table, _, err := tx.m.table(modelName)
+	if err != nil {
+		return err
+	}
+	rec := model.NewRecord(modelName, id)
+	if err := tx.m.RunCallbacks(model.BeforeDestroy, rec); err != nil {
+		return err
+	}
+	tx.m.Stats().Writes.Add(1)
+	if err := tx.tx.Delete(table, id); err != nil {
+		return err
+	}
+	tx.ops = append(tx.ops, txRecOp{modelName: modelName, id: id, hook: model.AfterDestroy, deleted: true})
+	return nil
+}
+
+// Prepare locks and validates the staged writes.
+func (tx *Tx) Prepare() error { return tx.tx.Prepare() }
+
+// Commit applies the staged writes, returning the written objects (the
+// engine-level read-back) in operation order, and runs after-callbacks.
+func (tx *Tx) Commit() ([]*model.Record, error) {
+	rows, err := tx.tx.Commit()
+	if err != nil {
+		return nil, err
+	}
+	tx.closed = true
+	if len(rows) != len(tx.ops) {
+		return nil, fmt.Errorf("activerecord: commit returned %d rows for %d ops", len(rows), len(tx.ops))
+	}
+	out := make([]*model.Record, len(rows))
+	for i, op := range tx.ops {
+		if op.deleted {
+			out[i] = model.NewRecord(op.modelName, op.id)
+		} else {
+			out[i] = toRecord(op.modelName, rows[i])
+		}
+		if err := tx.m.RunCallbacks(op.hook, out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() {
+	if !tx.closed {
+		tx.tx.Abort()
+		tx.closed = true
+	}
+}

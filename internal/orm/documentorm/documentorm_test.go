@@ -1,0 +1,55 @@
+package documentorm
+
+import (
+	"testing"
+
+	"synapse/internal/model"
+	"synapse/internal/orm/ormtest"
+	"synapse/internal/storage/docdb"
+)
+
+func TestConformanceMongoDB(t *testing.T) {
+	ormtest.Run(t, New(docdb.New(docdb.MongoDB)), true)
+}
+
+func TestConformanceTokuMX(t *testing.T) {
+	ormtest.Run(t, New(docdb.New(docdb.TokuMX)), true)
+}
+
+func TestConformanceRethinkDB(t *testing.T) {
+	ormtest.Run(t, New(docdb.New(docdb.RethinkDB)), true)
+}
+
+func TestNoExtraReads(t *testing.T) {
+	m := New(docdb.New(docdb.MongoDB))
+	if err := m.Register(ormtest.NewUserDescriptor()); err != nil {
+		t.Fatal(err)
+	}
+	rec := model.NewRecord("User", "u1")
+	rec.Set("name", "a")
+	if _, err := m.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	_, _, extra := m.Stats().Snapshot()
+	if extra != 0 {
+		t.Errorf("document store extra reads = %d, want 0", extra)
+	}
+}
+
+func TestArrayAttributeNative(t *testing.T) {
+	// The MongoDB array-type attribute of Fig 7 round-trips natively.
+	m := New(docdb.New(docdb.MongoDB))
+	if err := m.Register(ormtest.NewUserDescriptor()); err != nil {
+		t.Fatal(err)
+	}
+	rec := model.NewRecord("User", "u1")
+	rec.Set("interests", []string{"cats", "dogs"})
+	if _, err := m.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Native membership query through the engine.
+	docs, err := m.DB().Find("users", map[string]any{"interests": "cats"})
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("array membership query = %v, %v", docs, err)
+	}
+}

@@ -1,0 +1,26 @@
+package orm
+
+import "strings"
+
+// Tableize derives the storage name for a model, following the Rails
+// convention the paper's apps use: lower-cased, pluralized class name
+// ("User" -> "users", "Activity" -> "activities").
+func Tableize(modelName string) string {
+	s := strings.ToLower(modelName)
+	switch {
+	case strings.HasSuffix(s, "y") && !hasVowelBeforeY(s):
+		return s[:len(s)-1] + "ies"
+	case strings.HasSuffix(s, "s") || strings.HasSuffix(s, "x") ||
+		strings.HasSuffix(s, "ch") || strings.HasSuffix(s, "sh"):
+		return s + "es"
+	default:
+		return s + "s"
+	}
+}
+
+func hasVowelBeforeY(s string) bool {
+	if len(s) < 2 {
+		return false
+	}
+	return strings.ContainsRune("aeiou", rune(s[len(s)-2]))
+}

@@ -1,0 +1,190 @@
+// Package orm defines the Object/Relational-Mapper abstraction Synapse
+// replicates through. The paper's key observation (§2) is that although
+// different ORMs expose different APIs, at a minimum they all provide a
+// way to create, update, and delete objects — and that this common
+// surface suffices as a cross-database translation layer. Mapper is that
+// common surface.
+//
+// Each adapter subpackage implements Mapper over one storage engine:
+//
+//	activerecord — reldb (PostgreSQL / MySQL / Oracle)
+//	documentorm  — docdb (MongoDB / TokuMX / RethinkDB)
+//	columnorm    — coldb (Cassandra)
+//	searchorm    — searchdb (Elasticsearch, subscriber-only)
+//	graphorm     — graphdb (Neo4j, subscriber-only)
+//
+// Adapters invoke the model's active-model callbacks around persistence
+// operations, as Ruby ORMs do; Synapse re-purposes those callbacks for
+// subscriber-side update notification (§3.1).
+package orm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"synapse/internal/model"
+)
+
+// ErrReadOnly is returned by subscriber-only adapters (Elasticsearch,
+// Neo4j in Table 3) for publisher-side operations they do not support.
+var ErrReadOnly = errors.New("orm: adapter does not support publisher operations")
+
+// ErrUnknownModel is returned for operations on unregistered models.
+var ErrUnknownModel = errors.New("orm: unknown model")
+
+// Host supplies the runtime context adapters pass into active-model
+// callbacks. The Synapse app implements it; a nil Host behaves as a
+// non-bootstrapping app with no environment.
+type Host interface {
+	// Bootstrapping reports whether the app is still catching up after a
+	// (re)subscription — the Bootstrap? predicate of Table 2.
+	Bootstrapping() bool
+	// Env is shared state threaded into callbacks (e.g. an outbox).
+	Env() map[string]any
+}
+
+// Mapper is the common high-level object API of §2: create, read,
+// update, delete — plus the snapshot iteration bootstrap requires.
+type Mapper interface {
+	// Name identifies the ORM (e.g. "activerecord").
+	Name() string
+	// Engine identifies the backing database vendor (e.g. "postgresql").
+	Engine() string
+	// Register binds a model descriptor to native storage, creating the
+	// table/collection/index as needed.
+	Register(d *model.Descriptor) error
+	// Descriptor returns the registered descriptor for a model.
+	Descriptor(modelName string) (*model.Descriptor, bool)
+	// SetHost installs the callback host (the Synapse app) providing the
+	// Bootstrap? predicate and environment to active-model callbacks.
+	SetHost(h Host)
+
+	// Find loads one object by primary key.
+	Find(modelName, id string) (*model.Record, error)
+	// Create persists a new object, running create callbacks, and
+	// returns the object as written (the read-back used for publishing —
+	// via RETURNING where the engine supports it, or an extra read query
+	// where it does not, §4.1).
+	Create(rec *model.Record) (*model.Record, error)
+	// Update merges the record's attributes into the stored object,
+	// running update callbacks, and returns the full object as written.
+	Update(rec *model.Record) (*model.Record, error)
+	// Delete removes an object, running destroy callbacks.
+	Delete(modelName, id string) error
+	// Save upserts an object (the subscriber persistence path:
+	// find-or-instantiate, assign, save). It runs create or update
+	// callbacks depending on prior existence.
+	Save(rec *model.Record) error
+
+	// Each streams objects with id >= from in id order until fn returns
+	// false (bootstrap snapshots).
+	Each(modelName, from string, fn func(*model.Record) bool) error
+	// Len reports the number of stored objects for the model.
+	Len(modelName string) int
+
+	// Stats exposes the adapter's query counters.
+	Stats() *Stats
+}
+
+// Transactional is implemented by mappers over engines with multi-object
+// transactions. Synapse hijacks the commit into a 2PC so that the local
+// commit, the version increments, and the broker publish happen
+// atomically (§4.2).
+type Transactional interface {
+	Begin() MapperTx
+}
+
+// MapperTx is a buffered multi-object transaction.
+type MapperTx interface {
+	Create(rec *model.Record) error
+	Update(rec *model.Record) error
+	Delete(modelName, id string) error
+	// Prepare locks and validates; after success Commit cannot fail.
+	Prepare() error
+	// Commit applies the staged writes and returns the written objects
+	// in operation order (deleted objects carry only model and id).
+	Commit() ([]*model.Record, error)
+	Abort()
+}
+
+// Stats counts engine queries issued by an adapter. ExtraReads counts
+// the additional read queries needed on engines that cannot return
+// written rows — the cost difference §4.1 describes between PostgreSQL
+// (RETURNING *) and MySQL/Cassandra.
+type Stats struct {
+	Reads      atomic.Int64
+	Writes     atomic.Int64
+	ExtraReads atomic.Int64
+}
+
+// Snapshot returns a plain copy of the counters.
+func (s *Stats) Snapshot() (reads, writes, extraReads int64) {
+	return s.Reads.Load(), s.Writes.Load(), s.ExtraReads.Load()
+}
+
+// Registry is the embeddable descriptor table shared by all adapters.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*model.Descriptor
+	host   Host
+	stats  Stats
+}
+
+// Add registers a descriptor.
+func (r *Registry) Add(d *model.Descriptor) {
+	r.mu.Lock()
+	if r.models == nil {
+		r.models = make(map[string]*model.Descriptor)
+	}
+	r.models[d.Name] = d
+	r.mu.Unlock()
+}
+
+// Descriptor returns the registered descriptor for a model.
+func (r *Registry) Descriptor(name string) (*model.Descriptor, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.models[name]
+	return d, ok
+}
+
+// Models returns the registered model names (unsorted).
+func (r *Registry) Models() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for n := range r.models {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SetHost installs the callback host (done by the Synapse app when it
+// adopts the mapper).
+func (r *Registry) SetHost(h Host) {
+	r.mu.Lock()
+	r.host = h
+	r.mu.Unlock()
+}
+
+// Stats exposes the adapter's query counters.
+func (r *Registry) Stats() *Stats { return &r.stats }
+
+// RunCallbacks dispatches an active-model hook for the record with the
+// host's context.
+func (r *Registry) RunCallbacks(h model.Hook, rec *model.Record) error {
+	d, ok := r.Descriptor(rec.Model)
+	if !ok {
+		return ErrUnknownModel
+	}
+	ctx := &model.CallbackCtx{Record: rec}
+	r.mu.RLock()
+	host := r.host
+	r.mu.RUnlock()
+	if host != nil {
+		ctx.Bootstrapping = host.Bootstrapping()
+		ctx.Env = host.Env()
+	}
+	return d.Callbacks.Run(h, ctx)
+}

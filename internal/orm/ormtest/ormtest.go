@@ -1,0 +1,267 @@
+// Package ormtest provides a conformance suite run against every ORM
+// adapter, checking the common Mapper contract Synapse relies on:
+// find/create/update/delete/save semantics, callback dispatch, snapshot
+// iteration, and subscriber-merge behaviour.
+package ormtest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"synapse/internal/model"
+	"synapse/internal/orm"
+	"synapse/internal/storage"
+)
+
+// NewUserDescriptor returns the model used throughout the suite.
+func NewUserDescriptor() *model.Descriptor {
+	return model.NewDescriptor("User",
+		model.Field{Name: "name", Type: model.String},
+		model.Field{Name: "likes", Type: model.Int},
+		model.Field{Name: "interests", Type: model.StringList},
+	)
+}
+
+// Run exercises the full Mapper contract. publisherCapable selects
+// whether Create/Update/Delete are expected to work (false for the
+// subscriber-only search and graph adapters).
+func Run(t *testing.T, m orm.Mapper, publisherCapable bool) {
+	t.Helper()
+	d := NewUserDescriptor()
+	if err := m.Register(d); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if got, ok := m.Descriptor("User"); !ok || got != d {
+		t.Fatal("Descriptor not registered")
+	}
+
+	t.Run("UnknownModel", func(t *testing.T) {
+		if _, err := m.Find("Ghost", "1"); !errors.Is(err, orm.ErrUnknownModel) {
+			t.Errorf("Find unknown model = %v", err)
+		}
+		rec := model.NewRecord("Ghost", "1")
+		if err := m.Save(rec); !errors.Is(err, orm.ErrUnknownModel) {
+			t.Errorf("Save unknown model = %v", err)
+		}
+	})
+
+	t.Run("SaveFindMerge", func(t *testing.T) {
+		rec := model.NewRecord("User", "s1")
+		rec.Set("name", "alice")
+		rec.Set("likes", 1)
+		if err := m.Save(rec); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		got, err := m.Find("User", "s1")
+		if err != nil {
+			t.Fatalf("Find: %v", err)
+		}
+		if got.String("name") != "alice" || got.Int("likes") != 1 {
+			t.Errorf("Find = %+v", got.Attrs)
+		}
+
+		// Saving a partial record merges, preserving other attributes —
+		// the behaviour decorations depend on.
+		partial := model.NewRecord("User", "s1")
+		partial.Set("likes", 2)
+		if err := m.Save(partial); err != nil {
+			t.Fatalf("Save partial: %v", err)
+		}
+		got, _ = m.Find("User", "s1")
+		if got.String("name") != "alice" {
+			t.Error("partial Save clobbered other attributes")
+		}
+		if got.Int("likes") != 2 {
+			t.Errorf("partial Save did not apply: %+v", got.Attrs)
+		}
+	})
+
+	t.Run("SaveCallbacks", func(t *testing.T) {
+		var calls []model.Hook
+		for _, h := range []model.Hook{model.BeforeCreate, model.AfterCreate, model.BeforeUpdate, model.AfterUpdate} {
+			hook := h
+			d.Callbacks.On(hook, func(*model.CallbackCtx) error {
+				calls = append(calls, hook)
+				return nil
+			})
+		}
+		rec := model.NewRecord("User", "cb1")
+		rec.Set("name", "x")
+		if err := m.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != 2 || calls[0] != model.BeforeCreate || calls[1] != model.AfterCreate {
+			t.Errorf("first save hooks = %v", calls)
+		}
+		calls = nil
+		if err := m.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != 2 || calls[0] != model.BeforeUpdate || calls[1] != model.AfterUpdate {
+			t.Errorf("second save hooks = %v", calls)
+		}
+	})
+
+	t.Run("FindMissing", func(t *testing.T) {
+		if _, err := m.Find("User", "missing"); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("Find missing = %v", err)
+		}
+	})
+
+	t.Run("DeleteCallbacksAndRemoval", func(t *testing.T) {
+		rec := model.NewRecord("User", "del1")
+		rec.Set("name", "to-delete")
+		if err := m.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+		var destroyed *model.Record
+		d.Callbacks.On(AfterDestroyHook(), func(ctx *model.CallbackCtx) error {
+			destroyed = ctx.Record
+			return nil
+		})
+		if err := m.Delete("User", "del1"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if destroyed == nil || destroyed.ID != "del1" {
+			t.Error("after_destroy callback not invoked with the record")
+		}
+		if _, err := m.Find("User", "del1"); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("Find after Delete = %v", err)
+		}
+	})
+
+	t.Run("EachOrderedFrom", func(t *testing.T) {
+		for i := 0; i < 5; i++ {
+			rec := model.NewRecord("User", fmt.Sprintf("each%02d", i))
+			rec.Set("name", "n")
+			if err := m.Save(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var ids []string
+		if err := m.Each("User", "each02", func(r *model.Record) bool {
+			ids = append(ids, r.ID)
+			return len(ids) < 2
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 2 || ids[0] != "each02" || ids[1] != "each03" {
+			t.Errorf("Each ids = %v", ids)
+		}
+		if m.Len("User") < 5 {
+			t.Errorf("Len = %d", m.Len("User"))
+		}
+	})
+
+	t.Run("StringListRoundTrip", func(t *testing.T) {
+		rec := model.NewRecord("User", "arr1")
+		rec.Set("interests", []string{"cats", "dogs"})
+		if err := m.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Find("User", "arr1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := got.Strings("interests")
+		if len(in) != 2 || in[0] != "cats" {
+			t.Errorf("interests = %v", in)
+		}
+	})
+
+	if publisherCapable {
+		runPublisherHalf(t, m)
+	} else {
+		t.Run("SubscriberOnly", func(t *testing.T) {
+			rec := model.NewRecord("User", "ro1")
+			if _, err := m.Create(rec); !errors.Is(err, orm.ErrReadOnly) {
+				t.Errorf("Create on read-only adapter = %v", err)
+			}
+			if _, err := m.Update(rec); !errors.Is(err, orm.ErrReadOnly) {
+				t.Errorf("Update on read-only adapter = %v", err)
+			}
+		})
+	}
+}
+
+// AfterDestroyHook is exported so the suite reads clearly above.
+func AfterDestroyHook() model.Hook { return model.AfterDestroy }
+
+func runPublisherHalf(t *testing.T, m orm.Mapper) {
+	t.Helper()
+	t.Run("CreateReturnsWritten", func(t *testing.T) {
+		rec := model.NewRecord("User", "c1")
+		rec.Set("name", "bob")
+		written, err := m.Create(rec)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if written.ID != "c1" || written.String("name") != "bob" {
+			t.Errorf("written = %+v", written)
+		}
+		if _, err := m.Create(rec); !errors.Is(err, storage.ErrExists) {
+			t.Errorf("duplicate Create = %v", err)
+		}
+	})
+
+	t.Run("UpdateReturnsFullObject", func(t *testing.T) {
+		rec := model.NewRecord("User", "u1")
+		rec.Set("name", "carol")
+		rec.Set("likes", 1)
+		if _, err := m.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+		patch := model.NewRecord("User", "u1")
+		patch.Set("likes", 7)
+		written, err := m.Update(patch)
+		if err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		// The read-back must include attributes not in the patch.
+		if written.String("name") != "carol" || written.Int("likes") != 7 {
+			t.Errorf("update read-back = %+v", written.Attrs)
+		}
+	})
+
+	t.Run("UpdateMissing", func(t *testing.T) {
+		patch := model.NewRecord("User", "nope")
+		patch.Set("likes", 1)
+		if _, err := m.Update(patch); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("Update missing = %v", err)
+		}
+	})
+
+	t.Run("DeleteMissing", func(t *testing.T) {
+		if err := m.Delete("User", "never"); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("Delete missing = %v", err)
+		}
+	})
+
+	t.Run("ValidationRejects", func(t *testing.T) {
+		rec := model.NewRecord("User", "bad1")
+		rec.Set("likes", "not-an-int")
+		if _, err := m.Create(rec); err == nil {
+			t.Error("Create accepted invalid attribute type")
+		}
+	})
+
+	t.Run("BeforeCreateAborts", func(t *testing.T) {
+		d, _ := m.Descriptor("User")
+		boom := errors.New("rejected")
+		d.Callbacks.On(model.BeforeCreate, func(ctx *model.CallbackCtx) error {
+			if ctx.Record.String("name") == "forbidden" {
+				return boom
+			}
+			return nil
+		})
+		rec := model.NewRecord("User", "abort1")
+		rec.Set("name", "forbidden")
+		if _, err := m.Create(rec); !errors.Is(err, boom) {
+			t.Errorf("Create with failing before hook = %v", err)
+		}
+		if _, err := m.Find("User", "abort1"); !errors.Is(err, storage.ErrNotFound) {
+			t.Error("aborted create persisted the record")
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package docdb implements the document storage engine: schemaless
+// collections of nested documents with query-by-example matching,
+// including array attributes (the MongoDB feature Example 3 / Fig 7 of
+// the paper builds on).
+//
+// It stands in for MongoDB, TokuMX, and RethinkDB. The flavour only
+// carries a name and whether write queries report the written document
+// (all three real engines can, which is why the paper lists zero
+// DB-specific lines for them in Table 3).
+package docdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"synapse/internal/storage"
+)
+
+// Flavor selects a document-store personality.
+type Flavor struct {
+	Name      string
+	Returning bool
+}
+
+// Vendor personalities from Table 1.
+var (
+	MongoDB   = Flavor{Name: "mongodb", Returning: true}
+	TokuMX    = Flavor{Name: "tokumx", Returning: true}
+	RethinkDB = Flavor{Name: "rethinkdb", Returning: true}
+)
+
+// DB is one document database instance holding named collections.
+type DB struct {
+	flavor Flavor
+	gate   *storage.Gate
+
+	mu          sync.RWMutex
+	collections map[string]map[string]storage.Row
+	closed      bool
+}
+
+// New creates a database with an unconstrained performance profile.
+func New(f Flavor) *DB { return NewWithProfile(f, storage.Profile{}) }
+
+// NewWithProfile creates a database with an explicit performance profile.
+func NewWithProfile(f Flavor, p storage.Profile) *DB {
+	return &DB{
+		flavor:      f,
+		gate:        storage.NewGate(p),
+		collections: make(map[string]map[string]storage.Row),
+	}
+}
+
+// Flavor returns the vendor personality.
+func (db *DB) Flavor() Flavor { return db.flavor }
+
+// Gate exposes the performance gate.
+func (db *DB) Gate() *storage.Gate { return db.gate }
+
+func (db *DB) collection(name string) map[string]storage.Row {
+	c, ok := db.collections[name]
+	if !ok {
+		c = make(map[string]storage.Row)
+		db.collections[name] = c
+	}
+	return c
+}
+
+// Get returns the document with the given id.
+func (db *DB) Get(collection, id string) (storage.Row, error) {
+	var row storage.Row
+	err := storage.ErrNotFound
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		if doc, ok := db.collections[collection][id]; ok {
+			row = doc.Clone()
+			err = nil
+		}
+	})
+	return row, err
+}
+
+// Insert adds a document; duplicate ids are rejected. The written
+// document is returned (document stores report written rows, Table 3).
+func (db *DB) Insert(collection string, doc storage.Row) (storage.Row, error) {
+	var out storage.Row
+	var err error
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			err = storage.ErrClosed
+			return
+		}
+		c := db.collection(collection)
+		if _, ok := c[doc.ID]; ok {
+			err = fmt.Errorf("%w: %s/%s", storage.ErrExists, collection, doc.ID)
+			return
+		}
+		stored := doc.Clone()
+		c[doc.ID] = stored
+		out = stored.Clone()
+	})
+	return out, err
+}
+
+// Update merges fields into an existing document and returns the result.
+func (db *DB) Update(collection, id string, fields map[string]any) (storage.Row, error) {
+	var out storage.Row
+	var err error
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			err = storage.ErrClosed
+			return
+		}
+		c := db.collection(collection)
+		doc, ok := c[id]
+		if !ok {
+			err = storage.ErrNotFound
+			return
+		}
+		updated := doc.Clone()
+		for k, v := range fields {
+			updated.Cols[k] = v
+		}
+		c[id] = updated
+		out = updated.Clone()
+	})
+	return out, err
+}
+
+// Upsert inserts or replaces the document.
+func (db *DB) Upsert(collection string, doc storage.Row) error {
+	var err error
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			err = storage.ErrClosed
+			return
+		}
+		db.collection(collection)[doc.ID] = doc.Clone()
+	})
+	return err
+}
+
+// Delete removes a document.
+func (db *DB) Delete(collection, id string) error {
+	err := storage.ErrNotFound
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			err = storage.ErrClosed
+			return
+		}
+		c := db.collection(collection)
+		if _, ok := c[id]; ok {
+			delete(c, id)
+			err = nil
+		}
+	})
+	return err
+}
+
+// Find returns documents matching the example, in id order. The example
+// matches nested fields with dotted paths ("profile.city") and treats a
+// scalar example value against an array field as membership (the
+// MongoDB array-query semantic).
+func (db *DB) Find(collection string, example map[string]any) ([]storage.Row, error) {
+	var out []storage.Row
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		c := db.collections[collection]
+		ids := make([]string, 0, len(c))
+		for id := range c {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			doc := c[id]
+			if matchExample(doc.Cols, example) {
+				out = append(out, doc.Clone())
+			}
+		}
+	})
+	return out, nil
+}
+
+// Count returns the number of matching documents (an aggregation).
+func (db *DB) Count(collection string, example map[string]any) (int, error) {
+	rows, err := db.Find(collection, example)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// ScanFrom streams documents with id >= start in id order until fn
+// returns false.
+func (db *DB) ScanFrom(collection, start string, fn func(storage.Row) bool) error {
+	db.gate.Read(func() {
+		db.mu.RLock()
+		c := db.collections[collection]
+		ids := make([]string, 0, len(c))
+		for id := range c {
+			if id >= start {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		docs := make([]storage.Row, len(ids))
+		for i, id := range ids {
+			docs[i] = c[id].Clone()
+		}
+		db.mu.RUnlock()
+		for _, doc := range docs {
+			if !fn(doc) {
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Len reports the number of documents in a collection.
+func (db *DB) Len(collection string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.collections[collection])
+}
+
+// Collections lists collection names, sorted.
+func (db *DB) Collections() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close marks the database closed; subsequent writes fail.
+func (db *DB) Close() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+}
+
+func matchExample(doc map[string]any, example map[string]any) bool {
+	for path, want := range example {
+		got, ok := lookupPath(doc, path)
+		if !ok {
+			return false
+		}
+		if !valueMatches(got, want) {
+			return false
+		}
+	}
+	return true
+}
+
+func lookupPath(doc map[string]any, path string) (any, bool) {
+	parts := strings.Split(path, ".")
+	var cur any = doc
+	for _, p := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func valueMatches(got, want any) bool {
+	if arr, ok := got.([]any); ok {
+		if _, wantArr := want.([]any); !wantArr {
+			// Scalar example vs array field: membership.
+			for _, e := range arr {
+				if storage.DeepEqual(e, want) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return storage.DeepEqual(got, want)
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// LockTable provides per-key blocking mutual exclusion with on-demand
+// entries. Engines use it for row-level locks held across two-phase
+// commit; deadlock is avoided by acquiring keys in sorted order
+// (AcquireAll sorts for you).
+type LockTable struct {
+	mu    sync.Mutex
+	locks map[string]*keyLock
+}
+
+type keyLock struct {
+	ch   chan struct{} // capacity 1; holding the token = holding the lock
+	refs int
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{locks: make(map[string]*keyLock)}
+}
+
+// Acquire blocks until the key's lock is held by the caller.
+func (lt *LockTable) Acquire(key string) {
+	lt.mu.Lock()
+	kl := lt.locks[key]
+	if kl == nil {
+		kl = &keyLock{ch: make(chan struct{}, 1)}
+		lt.locks[key] = kl
+	}
+	kl.refs++
+	lt.mu.Unlock()
+	kl.ch <- struct{}{}
+}
+
+// Release frees the key's lock. Releasing an unheld key panics, as that
+// is always a programming error.
+func (lt *LockTable) Release(key string) {
+	lt.mu.Lock()
+	kl := lt.locks[key]
+	if kl == nil {
+		lt.mu.Unlock()
+		panic("storage: release of unheld lock " + key)
+	}
+	kl.refs--
+	if kl.refs == 0 {
+		delete(lt.locks, key)
+	}
+	lt.mu.Unlock()
+	select {
+	case <-kl.ch:
+	default:
+		panic("storage: release of unheld lock " + key)
+	}
+}
+
+// AcquireAll acquires all keys in sorted order (deduplicated), returning
+// the ordered list to pass to ReleaseAll.
+func (lt *LockTable) AcquireAll(keys []string) []string {
+	uniq := make([]string, 0, len(keys))
+	seen := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			uniq = append(uniq, k)
+		}
+	}
+	sort.Strings(uniq)
+	for _, k := range uniq {
+		lt.Acquire(k)
+	}
+	return uniq
+}
+
+// ReleaseAll releases keys previously returned by AcquireAll.
+func (lt *LockTable) ReleaseAll(keys []string) {
+	for i := len(keys) - 1; i >= 0; i-- {
+		lt.Release(keys[i])
+	}
+}
+
+// Held reports the number of currently tracked keys (test helper).
+func (lt *LockTable) Held() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.locks)
+}

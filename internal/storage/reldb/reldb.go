@@ -1,0 +1,470 @@
+// Package reldb implements the relational storage engine: typed tables
+// with a primary key, ordered row storage, secondary indexes, predicate
+// scans, and two-phase-commit transactions.
+//
+// It stands in for PostgreSQL, MySQL, and Oracle in the paper. The
+// flavour distinction the paper cares about — whether a write query can
+// return the written rows ("RETURNING *", supported by PostgreSQL and
+// Oracle but not MySQL) — is modelled by the Flavor's Returning
+// capability; the ORM adapter takes the extra-read code path when it is
+// absent, exactly as Synapse does (§4.1).
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"synapse/internal/storage"
+	"synapse/internal/storage/btree"
+)
+
+// Flavor selects a SQL vendor personality.
+type Flavor struct {
+	Name      string
+	Returning bool // supports INSERT/UPDATE ... RETURNING *
+}
+
+// Vendor personalities from Table 1.
+var (
+	Postgres = Flavor{Name: "postgresql", Returning: true}
+	MySQL    = Flavor{Name: "mysql", Returning: false}
+	Oracle   = Flavor{Name: "oracle", Returning: true}
+)
+
+// Column declares one typed column of a table schema.
+type Column struct {
+	Name    string
+	Indexed bool
+}
+
+// table holds rows ordered by primary key plus secondary indexes.
+type table struct {
+	name    string
+	columns map[string]Column
+	rows    *btree.Tree // id -> storage.Row
+	// indexes: column -> encoded value -> set of row ids
+	indexes map[string]map[string]map[string]struct{}
+}
+
+func newTable(name string, cols []Column) *table {
+	t := &table{
+		name:    name,
+		columns: make(map[string]Column, len(cols)),
+		rows:    btree.New(),
+		indexes: make(map[string]map[string]map[string]struct{}),
+	}
+	for _, c := range cols {
+		t.columns[c.Name] = c
+		if c.Indexed {
+			t.indexes[c.Name] = make(map[string]map[string]struct{})
+		}
+	}
+	return t
+}
+
+func encodeIndexKey(v any) string { return fmt.Sprintf("%v", v) }
+
+func (t *table) indexAdd(row storage.Row) {
+	for col, idx := range t.indexes {
+		v, ok := row.Cols[col]
+		if !ok {
+			continue
+		}
+		key := encodeIndexKey(v)
+		set := idx[key]
+		if set == nil {
+			set = make(map[string]struct{})
+			idx[key] = set
+		}
+		set[row.ID] = struct{}{}
+	}
+}
+
+func (t *table) indexRemove(row storage.Row) {
+	for col, idx := range t.indexes {
+		v, ok := row.Cols[col]
+		if !ok {
+			continue
+		}
+		key := encodeIndexKey(v)
+		if set := idx[key]; set != nil {
+			delete(set, row.ID)
+			if len(set) == 0 {
+				delete(idx, key)
+			}
+		}
+	}
+}
+
+// DB is one relational database instance.
+type DB struct {
+	flavor   Flavor
+	gate     *storage.Gate
+	rowLocks *storage.LockTable // held by prepared transactions
+
+	mu     sync.RWMutex
+	tables map[string]*table
+	closed bool
+}
+
+// New creates a database with the given flavor and an unconstrained
+// performance profile.
+func New(f Flavor) *DB { return NewWithProfile(f, storage.Profile{}) }
+
+// NewWithProfile creates a database with an explicit performance profile.
+func NewWithProfile(f Flavor, p storage.Profile) *DB {
+	return &DB{
+		flavor:   f,
+		gate:     storage.NewGate(p),
+		rowLocks: storage.NewLockTable(),
+		tables:   make(map[string]*table),
+	}
+}
+
+// Flavor returns the vendor personality.
+func (db *DB) Flavor() Flavor { return db.flavor }
+
+// Gate exposes the performance gate (benchmarks inspect it).
+func (db *DB) Gate() *storage.Gate { return db.gate }
+
+// CreateTable declares a table. Creating an existing table is an error.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return storage.ErrClosed
+	}
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("%w: table %s", storage.ErrExists, name)
+	}
+	db.tables[name] = newTable(name, cols)
+	return nil
+}
+
+// AddColumn extends a table's schema (live schema migration support).
+func (db *DB) AddColumn(tableName string, col Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", storage.ErrNoTable, tableName)
+	}
+	t.columns[col.Name] = col
+	if col.Indexed {
+		if _, ok := t.indexes[col.Name]; !ok {
+			idx := make(map[string]map[string]struct{})
+			t.indexes[col.Name] = idx
+			t.rows.Ascend(func(_ string, v any) bool {
+				t.indexAdd(v.(storage.Row))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// DropColumn removes a column from the schema and from all rows.
+func (db *DB) DropColumn(tableName, colName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", storage.ErrNoTable, tableName)
+	}
+	delete(t.columns, colName)
+	delete(t.indexes, colName)
+	t.rows.Ascend(func(_ string, v any) bool {
+		row := v.(storage.Row)
+		delete(row.Cols, colName)
+		return true
+	})
+	return nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (db *DB) table(name string) (*table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", storage.ErrNoTable, name)
+	}
+	return t, nil
+}
+
+func (t *table) checkColumns(row storage.Row) error {
+	for col := range row.Cols {
+		if _, ok := t.columns[col]; !ok {
+			return fmt.Errorf("reldb: table %s has no column %q", t.name, col)
+		}
+	}
+	return nil
+}
+
+// Get returns the row with the given primary key.
+func (db *DB) Get(tableName, id string) (storage.Row, error) {
+	var row storage.Row
+	var err error
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		var t *table
+		t, err = db.table(tableName)
+		if err != nil {
+			return
+		}
+		v, ok := t.rows.Get(id)
+		if !ok {
+			err = storage.ErrNotFound
+			return
+		}
+		row = v.(storage.Row).Clone()
+	})
+	return row, err
+}
+
+// Insert adds a new row. Duplicate primary keys are rejected. When the
+// flavor supports RETURNING, the written row is returned; otherwise the
+// returned row is zero and callers must issue a separate Get (the
+// adapters do this, reproducing the paper's MySQL intercept protocol).
+func (db *DB) Insert(tableName string, row storage.Row) (storage.Row, error) {
+	var out storage.Row
+	var err error
+	db.rowLocks.Acquire(lockKey(tableName, row.ID))
+	defer db.rowLocks.Release(lockKey(tableName, row.ID))
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		out, err = db.insertLocked(tableName, row)
+	})
+	return out, err
+}
+
+func (db *DB) insertLocked(tableName string, row storage.Row) (storage.Row, error) {
+	if db.closed {
+		return storage.Row{}, storage.ErrClosed
+	}
+	t, err := db.table(tableName)
+	if err != nil {
+		return storage.Row{}, err
+	}
+	if err := t.checkColumns(row); err != nil {
+		return storage.Row{}, err
+	}
+	if _, ok := t.rows.Get(row.ID); ok {
+		return storage.Row{}, fmt.Errorf("%w: %s/%s", storage.ErrExists, tableName, row.ID)
+	}
+	stored := row.Clone()
+	t.rows.Set(row.ID, stored)
+	t.indexAdd(stored)
+	if db.flavor.Returning {
+		return stored.Clone(), nil
+	}
+	return storage.Row{}, nil
+}
+
+// Update merges the given columns into an existing row, returning the
+// full written row when the flavor supports RETURNING.
+func (db *DB) Update(tableName, id string, cols map[string]any) (storage.Row, error) {
+	var out storage.Row
+	var err error
+	db.rowLocks.Acquire(lockKey(tableName, id))
+	defer db.rowLocks.Release(lockKey(tableName, id))
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		out, err = db.updateLocked(tableName, id, cols)
+	})
+	return out, err
+}
+
+func (db *DB) updateLocked(tableName, id string, cols map[string]any) (storage.Row, error) {
+	if db.closed {
+		return storage.Row{}, storage.ErrClosed
+	}
+	t, err := db.table(tableName)
+	if err != nil {
+		return storage.Row{}, err
+	}
+	v, ok := t.rows.Get(id)
+	if !ok {
+		return storage.Row{}, storage.ErrNotFound
+	}
+	if err := t.checkColumns(storage.Row{ID: id, Cols: cols}); err != nil {
+		return storage.Row{}, err
+	}
+	row := v.(storage.Row)
+	t.indexRemove(row)
+	updated := row.Clone()
+	for k, val := range cols {
+		updated.Cols[k] = val
+	}
+	t.rows.Set(id, updated)
+	t.indexAdd(updated)
+	if db.flavor.Returning {
+		return updated.Clone(), nil
+	}
+	return storage.Row{}, nil
+}
+
+// Upsert inserts or overwrites the row (subscriber persistence path).
+func (db *DB) Upsert(tableName string, row storage.Row) error {
+	var err error
+	db.rowLocks.Acquire(lockKey(tableName, row.ID))
+	defer db.rowLocks.Release(lockKey(tableName, row.ID))
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		err = db.upsertLocked(tableName, row)
+	})
+	return err
+}
+
+func (db *DB) upsertLocked(tableName string, row storage.Row) error {
+	if db.closed {
+		return storage.ErrClosed
+	}
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := t.checkColumns(row); err != nil {
+		return err
+	}
+	if v, ok := t.rows.Get(row.ID); ok {
+		t.indexRemove(v.(storage.Row))
+	}
+	stored := row.Clone()
+	t.rows.Set(row.ID, stored)
+	t.indexAdd(stored)
+	return nil
+}
+
+// Delete removes the row with the given primary key. Deleting a missing
+// row returns ErrNotFound.
+func (db *DB) Delete(tableName, id string) error {
+	var err error
+	db.rowLocks.Acquire(lockKey(tableName, id))
+	defer db.rowLocks.Release(lockKey(tableName, id))
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		err = db.deleteLocked(tableName, id)
+	})
+	return err
+}
+
+func (db *DB) deleteLocked(tableName, id string) error {
+	if db.closed {
+		return storage.ErrClosed
+	}
+	t, err := db.table(tableName)
+	if err != nil {
+		return err
+	}
+	v, ok := t.rows.Delete(id)
+	if !ok {
+		return storage.ErrNotFound
+	}
+	t.indexRemove(v.(storage.Row))
+	return nil
+}
+
+// Select returns rows matching all predicates, in primary-key order. It
+// uses a secondary index when the first predicate is an equality on an
+// indexed column.
+func (db *DB) Select(tableName string, preds ...storage.Predicate) ([]storage.Row, error) {
+	var out []storage.Row
+	var err error
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		var t *table
+		t, err = db.table(tableName)
+		if err != nil {
+			return
+		}
+		if len(preds) > 0 && preds[0].Op == storage.Eq {
+			if idx, ok := t.indexes[preds[0].Field]; ok {
+				ids := make([]string, 0)
+				for id := range idx[encodeIndexKey(preds[0].Value)] {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, id := range ids {
+					v, _ := t.rows.Get(id)
+					row := v.(storage.Row)
+					if storage.MatchAll(row, preds[1:]) {
+						out = append(out, row.Clone())
+					}
+				}
+				return
+			}
+		}
+		t.rows.Ascend(func(_ string, v any) bool {
+			row := v.(storage.Row)
+			if storage.MatchAll(row, preds) {
+				out = append(out, row.Clone())
+			}
+			return true
+		})
+	})
+	return out, err
+}
+
+// Count returns the number of rows matching the predicates (an
+// aggregation — by design not a true dependency in Synapse, §4.2).
+func (db *DB) Count(tableName string, preds ...storage.Predicate) (int, error) {
+	rows, err := db.Select(tableName, preds...)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// ScanFrom streams rows with id >= start in primary-key order until fn
+// returns false. Bootstrap uses it to snapshot tables in chunks.
+func (db *DB) ScanFrom(tableName, start string, fn func(storage.Row) bool) error {
+	var err error
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		var t *table
+		t, err = db.table(tableName)
+		if err != nil {
+			return
+		}
+		t.rows.AscendFrom(start, func(_ string, v any) bool {
+			return fn(v.(storage.Row).Clone())
+		})
+	})
+	return err
+}
+
+// Len reports the number of rows in a table.
+func (db *DB) Len(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return t.rows.Len(), nil
+}
+
+// Close marks the database closed; subsequent writes fail.
+func (db *DB) Close() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+}

@@ -1,0 +1,462 @@
+// Package searchdb implements the search storage engine, the
+// Elasticsearch stand-in: documents are analyzed into tokens at index
+// time and queried through an inverted index with term, match, and
+// boolean queries, plus term-bucket aggregations for the analytics
+// workloads (Table 1: "Aggregations and analytics").
+//
+// Synapse uses it subscriber-only, as the paper does.
+package searchdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+
+	"synapse/internal/storage"
+)
+
+// Analyzer turns field text into index tokens.
+type Analyzer func(string) []string
+
+// SimpleAnalyzer lowercases and splits on non-alphanumeric runs — the
+// "simple" analyzer the paper's Fig 4 subscriber requests.
+func SimpleAnalyzer(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	return fields
+}
+
+// KeywordAnalyzer indexes the whole value as a single token.
+func KeywordAnalyzer(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return []string{s}
+}
+
+// index is one named document index with per-field analyzers.
+type index struct {
+	analyzers map[string]Analyzer
+	docs      map[string]storage.Row
+	// inverted: field -> token -> doc id set
+	inverted map[string]map[string]map[string]struct{}
+}
+
+func newIndex() *index {
+	return &index{
+		analyzers: make(map[string]Analyzer),
+		docs:      make(map[string]storage.Row),
+		inverted:  make(map[string]map[string]map[string]struct{}),
+	}
+}
+
+// DB is one search database instance holding named indexes.
+type DB struct {
+	gate *storage.Gate
+
+	mu      sync.RWMutex
+	indexes map[string]*index
+	closed  bool
+}
+
+// New creates a database with an unconstrained performance profile.
+func New() *DB { return NewWithProfile(storage.Profile{}) }
+
+// NewWithProfile creates a database with an explicit performance profile.
+func NewWithProfile(p storage.Profile) *DB {
+	return &DB{gate: storage.NewGate(p), indexes: make(map[string]*index)}
+}
+
+// Gate exposes the performance gate.
+func (db *DB) Gate() *storage.Gate { return db.gate }
+
+// SetAnalyzer declares the analyzer for a field of an index (the
+// property mapping of Fig 4's Sub1b). Fields without a declared analyzer
+// are indexed with KeywordAnalyzer.
+func (db *DB) SetAnalyzer(indexName, field string, a Analyzer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.index(indexName).analyzers[field] = a
+}
+
+func (db *DB) index(name string) *index {
+	ix, ok := db.indexes[name]
+	if !ok {
+		ix = newIndex()
+		db.indexes[name] = ix
+	}
+	return ix
+}
+
+func (ix *index) analyze(field string, v any) []string {
+	a := ix.analyzers[field]
+	if a == nil {
+		a = KeywordAnalyzer
+	}
+	switch t := v.(type) {
+	case string:
+		return a(t)
+	case []any:
+		var out []string
+		for _, e := range t {
+			if s, ok := e.(string); ok {
+				out = append(out, a(s)...)
+			}
+		}
+		return out
+	case nil:
+		return nil
+	default:
+		return a(strings.TrimSpace(strings.ToLower(flatten(t))))
+	}
+}
+
+func flatten(v any) string {
+	switch t := v.(type) {
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return intToString(t)
+	case float64:
+		return floatToString(t)
+	}
+	return ""
+}
+
+func intToString(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func floatToString(v float64) string {
+	if v == float64(int64(v)) {
+		return intToString(int64(v))
+	}
+	// Searchable floats beyond integers are not needed by the workloads;
+	// a coarse representation suffices.
+	return intToString(int64(v*1000)) + "e-3"
+}
+
+func (ix *index) indexDoc(doc storage.Row) {
+	for field, v := range doc.Cols {
+		for _, tok := range ix.analyze(field, v) {
+			m := ix.inverted[field]
+			if m == nil {
+				m = make(map[string]map[string]struct{})
+				ix.inverted[field] = m
+			}
+			set := m[tok]
+			if set == nil {
+				set = make(map[string]struct{})
+				m[tok] = set
+			}
+			set[doc.ID] = struct{}{}
+		}
+	}
+}
+
+func (ix *index) unindexDoc(doc storage.Row) {
+	for field, v := range doc.Cols {
+		for _, tok := range ix.analyze(field, v) {
+			if set := ix.inverted[field][tok]; set != nil {
+				delete(set, doc.ID)
+				if len(set) == 0 {
+					delete(ix.inverted[field], tok)
+				}
+			}
+		}
+	}
+}
+
+// Index inserts or replaces a document.
+func (db *DB) Index(indexName string, doc storage.Row) error {
+	var err error
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			err = storage.ErrClosed
+			return
+		}
+		ix := db.index(indexName)
+		if old, ok := ix.docs[doc.ID]; ok {
+			ix.unindexDoc(old)
+		}
+		stored := doc.Clone()
+		ix.docs[doc.ID] = stored
+		ix.indexDoc(stored)
+	})
+	return err
+}
+
+// Get returns a document by id.
+func (db *DB) Get(indexName, id string) (storage.Row, error) {
+	var row storage.Row
+	err := storage.ErrNotFound
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		if ix, ok := db.indexes[indexName]; ok {
+			if doc, ok := ix.docs[id]; ok {
+				row = doc.Clone()
+				err = nil
+			}
+		}
+	})
+	return row, err
+}
+
+// Delete removes a document by id.
+func (db *DB) Delete(indexName, id string) error {
+	err := storage.ErrNotFound
+	db.gate.Write(func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			err = storage.ErrClosed
+			return
+		}
+		ix, ok := db.indexes[indexName]
+		if !ok {
+			return
+		}
+		doc, ok := ix.docs[id]
+		if !ok {
+			return
+		}
+		ix.unindexDoc(doc)
+		delete(ix.docs, id)
+		err = nil
+	})
+	return err
+}
+
+// Query is a search query: a tree of term/match/bool nodes.
+type Query struct {
+	// Term matches documents whose field produced exactly this token.
+	Term *TermQuery
+	// Match analyzes the text and requires all resulting tokens (an AND
+	// match query).
+	Match *MatchQuery
+	// All of these must match.
+	Must []Query
+	// At least one of these must match.
+	Should []Query
+}
+
+// TermQuery matches a single token in a field.
+type TermQuery struct {
+	Field string
+	Token string
+}
+
+// MatchQuery analyzes Text with the field's analyzer and requires all
+// tokens.
+type MatchQuery struct {
+	Field string
+	Text  string
+}
+
+// Search returns the ids of matching documents, sorted.
+func (db *DB) Search(indexName string, q Query) ([]string, error) {
+	var out []string
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		ix, ok := db.indexes[indexName]
+		if !ok {
+			return
+		}
+		set := ix.eval(q)
+		out = make([]string, 0, len(set))
+		for id := range set {
+			out = append(out, id)
+		}
+		sort.Strings(out)
+	})
+	return out, nil
+}
+
+func (ix *index) eval(q Query) map[string]struct{} {
+	switch {
+	case q.Term != nil:
+		return copySet(ix.inverted[q.Term.Field][q.Term.Token])
+	case q.Match != nil:
+		var acc map[string]struct{}
+		toks := ix.analyze(q.Match.Field, q.Match.Text)
+		if len(toks) == 0 {
+			return nil
+		}
+		for _, tok := range toks {
+			s := ix.inverted[q.Match.Field][tok]
+			if acc == nil {
+				acc = copySet(s)
+			} else {
+				acc = intersect(acc, s)
+			}
+			if len(acc) == 0 {
+				return nil
+			}
+		}
+		return acc
+	case len(q.Must) > 0 || len(q.Should) > 0:
+		var acc map[string]struct{}
+		first := true
+		for _, sub := range q.Must {
+			s := ix.eval(sub)
+			if first {
+				acc, first = s, false
+			} else {
+				acc = intersect(acc, s)
+			}
+			if len(acc) == 0 {
+				return nil
+			}
+		}
+		if len(q.Should) > 0 {
+			union := make(map[string]struct{})
+			for _, sub := range q.Should {
+				for id := range ix.eval(sub) {
+					union[id] = struct{}{}
+				}
+			}
+			if first {
+				return union
+			}
+			return intersect(acc, union)
+		}
+		return acc
+	default:
+		// Match-all.
+		all := make(map[string]struct{}, len(ix.docs))
+		for id := range ix.docs {
+			all[id] = struct{}{}
+		}
+		return all
+	}
+}
+
+func copySet(s map[string]struct{}) map[string]struct{} {
+	out := make(map[string]struct{}, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func intersect(a, b map[string]struct{}) map[string]struct{} {
+	out := make(map[string]struct{})
+	for k := range a {
+		if _, ok := b[k]; ok {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Bucket is one term-aggregation bucket.
+type Bucket struct {
+	Token string
+	Count int
+}
+
+// Aggregate computes term buckets over a field for documents matching q,
+// sorted by descending count then token.
+func (db *DB) Aggregate(indexName, field string, q Query) ([]Bucket, error) {
+	var out []Bucket
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		ix, ok := db.indexes[indexName]
+		if !ok {
+			return
+		}
+		match := ix.eval(q)
+		counts := make(map[string]int)
+		for id := range match {
+			doc := ix.docs[id]
+			for _, tok := range ix.analyze(field, doc.Cols[field]) {
+				counts[tok]++
+			}
+		}
+		for tok, n := range counts {
+			out = append(out, Bucket{Token: tok, Count: n})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Count != out[j].Count {
+				return out[i].Count > out[j].Count
+			}
+			return out[i].Token < out[j].Token
+		})
+	})
+	return out, nil
+}
+
+// ScanFrom streams documents with id >= start in id order until fn
+// returns false.
+func (db *DB) ScanFrom(indexName, start string, fn func(storage.Row) bool) error {
+	var docs []storage.Row
+	db.gate.Read(func() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		ix, ok := db.indexes[indexName]
+		if !ok {
+			return
+		}
+		ids := make([]string, 0, len(ix.docs))
+		for id := range ix.docs {
+			if id >= start {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			docs = append(docs, ix.docs[id].Clone())
+		}
+	})
+	for _, doc := range docs {
+		if !fn(doc) {
+			break
+		}
+	}
+	return nil
+}
+
+// Len reports the number of documents in an index.
+func (db *DB) Len(indexName string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if ix, ok := db.indexes[indexName]; ok {
+		return len(ix.docs)
+	}
+	return 0
+}
+
+// Close marks the database closed; subsequent writes fail.
+func (db *DB) Close() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+}

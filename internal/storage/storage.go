@@ -1,0 +1,233 @@
+// Package storage holds the engine-neutral definitions shared by the five
+// database engines Synapse replicates across: rows, predicates, errors,
+// and the capacity/latency gate that models each engine's performance
+// envelope for the scalability experiments.
+//
+// Each concrete engine lives in its own subpackage:
+//
+//	reldb    — relational (PostgreSQL / MySQL / Oracle stand-in)
+//	docdb    — document (MongoDB / TokuMX / RethinkDB stand-in)
+//	coldb    — column-family (Cassandra stand-in)
+//	searchdb — search (Elasticsearch stand-in)
+//	graphdb  — graph (Neo4j stand-in)
+package storage
+
+import "errors"
+
+// Errors shared by all engines.
+var (
+	ErrNotFound   = errors.New("storage: not found")
+	ErrExists     = errors.New("storage: already exists")
+	ErrNoTable    = errors.New("storage: no such table")
+	ErrTxClosed   = errors.New("storage: transaction closed")
+	ErrTxConflict = errors.New("storage: transaction conflict")
+	ErrClosed     = errors.New("storage: engine closed")
+)
+
+// Row is the engine-neutral record representation: an identity plus a
+// flat column map. Engines that support richer values (nested documents,
+// arrays) store them inside Cols.
+type Row struct {
+	ID   string
+	Cols map[string]any
+}
+
+// Clone returns a deep-enough copy for the value set engines store
+// (scalars, []any, map[string]any).
+func (r Row) Clone() Row {
+	out := Row{ID: r.ID, Cols: make(map[string]any, len(r.Cols))}
+	for k, v := range r.Cols {
+		out.Cols[k] = cloneVal(v)
+	}
+	return out
+}
+
+func cloneVal(v any) any {
+	switch t := v.(type) {
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = cloneVal(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = cloneVal(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// Op is a predicate comparison operator.
+type Op int
+
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Contains // list membership or substring, engine-defined
+)
+
+// Predicate filters rows in scans: Field Op Value.
+type Predicate struct {
+	Field string
+	Op    Op
+	Value any
+}
+
+// Match reports whether the row satisfies the predicate.
+func (p Predicate) Match(r Row) bool {
+	v, ok := r.Cols[p.Field]
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case Eq:
+		return scalarEqual(v, p.Value)
+	case Ne:
+		return !scalarEqual(v, p.Value)
+	case Lt, Le, Gt, Ge:
+		c, ok := compare(v, p.Value)
+		if !ok {
+			return false
+		}
+		switch p.Op {
+		case Lt:
+			return c < 0
+		case Le:
+			return c <= 0
+		case Gt:
+			return c > 0
+		default:
+			return c >= 0
+		}
+	case Contains:
+		switch hay := v.(type) {
+		case []any:
+			for _, e := range hay {
+				if scalarEqual(e, p.Value) {
+					return true
+				}
+			}
+			return false
+		case string:
+			needle, ok := p.Value.(string)
+			return ok && containsString(hay, needle)
+		}
+		return false
+	}
+	return false
+}
+
+// MatchAll reports whether the row satisfies every predicate.
+func MatchAll(r Row, preds []Predicate) bool {
+	for _, p := range preds {
+		if !p.Match(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(hay, needle string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		if hay[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func scalarEqual(a, b any) bool {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		return af == bf
+	}
+	switch av := a.(type) {
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !scalarEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k, v := range av {
+			ov, ok := bv[k]
+			if !ok || !scalarEqual(v, ov) {
+				return false
+			}
+		}
+		return true
+	}
+	switch b.(type) {
+	case []any, map[string]any:
+		return false
+	}
+	return a == b
+}
+
+// DeepEqual compares two engine values over the JSON-safe value set,
+// treating int64 and float64 representing the same number as equal.
+func DeepEqual(a, b any) bool { return scalarEqual(a, b) }
+
+func compare(a, b any) (int, bool) {
+	if af, ok := toFloat(a); ok {
+		bf, ok := toFloat(b)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	as, ok := a.(string)
+	if !ok {
+		return 0, false
+	}
+	bs, ok := b.(string)
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case as < bs:
+		return -1, true
+	case as > bs:
+		return 1, true
+	}
+	return 0, true
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case int64:
+		return float64(t), true
+	case float64:
+		return t, true
+	case int:
+		return float64(t), true
+	}
+	return 0, false
+}

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPredicateScalars(t *testing.T) {
+	row := Row{ID: "1", Cols: map[string]any{
+		"name": "alice",
+		"age":  int64(30),
+		"tags": []any{"go", "db"},
+	}}
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{"name", Eq, "alice"}, true},
+		{Predicate{"name", Eq, "bob"}, false},
+		{Predicate{"name", Ne, "bob"}, true},
+		{Predicate{"age", Eq, 30}, true},          // int vs int64
+		{Predicate{"age", Eq, float64(30)}, true}, // float vs int64
+		{Predicate{"age", Lt, 31}, true},
+		{Predicate{"age", Le, 30}, true},
+		{Predicate{"age", Gt, 30}, false},
+		{Predicate{"age", Ge, 30}, true},
+		{Predicate{"name", Lt, "bob"}, true},
+		{Predicate{"tags", Contains, "go"}, true},
+		{Predicate{"tags", Contains, "rust"}, false},
+		{Predicate{"name", Contains, "lic"}, true},
+		{Predicate{"missing", Eq, "x"}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Match(row); got != c.want {
+			t.Errorf("Match(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	row := Row{ID: "1", Cols: map[string]any{"a": int64(1), "b": "x"}}
+	if !MatchAll(row, nil) {
+		t.Error("MatchAll with no predicates should be true")
+	}
+	preds := []Predicate{{"a", Eq, 1}, {"b", Eq, "x"}}
+	if !MatchAll(row, preds) {
+		t.Error("MatchAll missed matching row")
+	}
+	preds[1].Value = "y"
+	if MatchAll(row, preds) {
+		t.Error("MatchAll matched non-matching row")
+	}
+}
+
+func TestDeepEqualNonComparable(t *testing.T) {
+	// Must not panic on slices/maps and must compare deeply.
+	a := []any{"x", int64(1), map[string]any{"k": "v"}}
+	b := []any{"x", float64(1), map[string]any{"k": "v"}}
+	if !DeepEqual(a, b) {
+		t.Error("DeepEqual missed deep-equal slices")
+	}
+	if DeepEqual(a, []any{"x"}) {
+		t.Error("DeepEqual matched different-length slices")
+	}
+	if DeepEqual(map[string]any{"k": "v"}, "k") {
+		t.Error("DeepEqual matched map against string")
+	}
+	if DeepEqual("k", map[string]any{"k": "v"}) {
+		t.Error("DeepEqual matched string against map")
+	}
+}
+
+func TestRowCloneIsDeep(t *testing.T) {
+	r := Row{ID: "1", Cols: map[string]any{"tags": []any{"a"}, "m": map[string]any{"k": "v"}}}
+	c := r.Clone()
+	c.Cols["tags"].([]any)[0] = "z"
+	c.Cols["m"].(map[string]any)["k"] = "z"
+	if r.Cols["tags"].([]any)[0] != "a" || r.Cols["m"].(map[string]any)["k"] != "v" {
+		t.Error("Clone shares nested structures")
+	}
+}
+
+func TestLockTableMutualExclusion(t *testing.T) {
+	lt := NewLockTable()
+	var counter, max int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				lt.Acquire("k")
+				mu.Lock()
+				counter++
+				if counter > max {
+					max = counter
+				}
+				mu.Unlock()
+				mu.Lock()
+				counter--
+				mu.Unlock()
+				lt.Release("k")
+			}
+		}()
+	}
+	wg.Wait()
+	if max > 1 {
+		t.Fatalf("lock admitted %d holders", max)
+	}
+	if lt.Held() != 0 {
+		t.Fatalf("lock table leaked %d entries", lt.Held())
+	}
+}
+
+func TestLockTableAcquireAllSortedNoDeadlock(t *testing.T) {
+	lt := NewLockTable()
+	var wg sync.WaitGroup
+	// Opposite-order key sets would deadlock without sorted acquisition.
+	for i := 0; i < 16; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				held := lt.AcquireAll([]string{"a", "b", "c"})
+				lt.ReleaseAll(held)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				held := lt.AcquireAll([]string{"c", "b", "a"})
+				lt.ReleaseAll(held)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("AcquireAll deadlocked")
+	}
+}
+
+func TestLockTableDeduplicates(t *testing.T) {
+	lt := NewLockTable()
+	held := lt.AcquireAll([]string{"x", "x", "y"})
+	if len(held) != 2 {
+		t.Fatalf("AcquireAll kept duplicates: %v", held)
+	}
+	lt.ReleaseAll(held)
+	if lt.Held() != 0 {
+		t.Fatal("entries leaked")
+	}
+}
+
+func TestLockTableReleaseUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of unheld lock did not panic")
+		}
+	}()
+	NewLockTable().Release("nope")
+}
+
+func TestGateZeroProfileIsUnconstrained(t *testing.T) {
+	g := NewGate(Profile{})
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		g.Write(func() {})
+		g.Read(func() {})
+	}
+	if time.Since(start) > time.Second {
+		t.Error("zero-profile gate imposed visible cost")
+	}
+}
+
+func TestGateWriteLatency(t *testing.T) {
+	g := NewGate(Profile{WriteLatency: 5 * time.Millisecond})
+	start := time.Now()
+	g.Write(func() {})
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("write returned after %v, want >= 5ms", d)
+	}
+}
+
+func TestGateConcurrencyLimit(t *testing.T) {
+	g := NewGate(Profile{Concurrency: 2})
+	var cur, max int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Write(func() {
+				mu.Lock()
+				cur++
+				if cur > max {
+					max = cur
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	if max > 2 {
+		t.Fatalf("gate admitted %d concurrent ops, limit 2", max)
+	}
+}
+
+func TestGateWriteRateCap(t *testing.T) {
+	// 200 writes/s cap: 50 writes beyond the burst should take visible time.
+	g := NewGate(Profile{MaxWriteRate: 200})
+	start := time.Now()
+	for i := 0; i < 60; i++ {
+		g.Write(func() {})
+	}
+	elapsed := time.Since(start)
+	// Burst is rate/10+1 = 21 tokens; the remaining ~39 writes need ~195ms.
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("60 writes at 200/s cap finished in %v; cap not enforced", elapsed)
+	}
+}
+
+// Property: predicate Eq/Ne are complementary for scalar values.
+func TestQuickEqNeComplementary(t *testing.T) {
+	check := func(field string, a, b int64) bool {
+		row := Row{ID: "1", Cols: map[string]any{field: a}}
+		eq := Predicate{field, Eq, b}.Match(row)
+		ne := Predicate{field, Ne, b}.Match(row)
+		return eq != ne
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Package timeutil provides latency-injection helpers for the simulated
+// substrates. time.Sleep granularity on a loaded host can exceed a
+// millisecond, which would swamp the sub-millisecond latencies the
+// overhead experiments inject; SleepPrecise busy-waits short durations
+// instead. Precise waiting burns a core, so it is only enabled on the
+// sequential measurement paths (publisher-overhead experiments), never
+// on many-worker throughput runs.
+package timeutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinThreshold is the duration below which Sleep's quantization error
+// dominates and busy-waiting is used instead.
+const spinThreshold = 2 * time.Millisecond
+
+// SleepPrecise waits d with sub-granularity accuracy, spinning for
+// short durations.
+func SleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= spinThreshold {
+		time.Sleep(d)
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+		runtime.Gosched()
+	}
+}
+
+// Wait sleeps d, precisely when precise is set.
+func Wait(d time.Duration, precise bool) {
+	if d <= 0 {
+		return
+	}
+	if precise {
+		SleepPrecise(d)
+		return
+	}
+	time.Sleep(d)
+}

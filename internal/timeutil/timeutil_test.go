@@ -1,0 +1,43 @@
+package timeutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepPreciseShortIsAccurate(t *testing.T) {
+	const d = 300 * time.Microsecond
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		SleepPrecise(d)
+	}
+	mean := time.Since(start) / n
+	// Spin-waiting must stay within ~2x of the target even on hosts
+	// where time.Sleep granularity exceeds a millisecond.
+	if mean > 2*d {
+		t.Errorf("precise sleep mean = %v for target %v", mean, d)
+	}
+	if mean < d {
+		t.Errorf("precise sleep returned early: %v", mean)
+	}
+}
+
+func TestSleepPreciseZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	SleepPrecise(0)
+	SleepPrecise(-time.Second)
+	Wait(0, true)
+	Wait(-1, false)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("non-positive waits consumed time")
+	}
+}
+
+func TestWaitCoarseUsesSleep(t *testing.T) {
+	start := time.Now()
+	Wait(3*time.Millisecond, false)
+	if time.Since(start) < 3*time.Millisecond {
+		t.Error("coarse wait returned early")
+	}
+}

@@ -1,0 +1,165 @@
+package vstore
+
+import (
+	"sync"
+	"time"
+
+	"synapse/internal/timeutil"
+)
+
+// entry is the per-key counter pair. On publisher stores both fields are
+// used; subscriber stores use ops (dependency counters) and version
+// (weak-mode object versions) independently.
+type entry struct {
+	ops     uint64
+	version uint64
+}
+
+// shard is one version-store instance. script executes a function
+// atomically over the shard's key space — the stand-in for a Redis LUA
+// script — charging one round trip of latency. Key locks (used for
+// publisher write dependencies) are cooperative and independent of the
+// script mutex.
+type shard struct {
+	mu   sync.Mutex
+	data map[Key]*entry
+
+	lockMu sync.Mutex
+	locks  map[Key]chan struct{}
+
+	waitMu  sync.Mutex
+	waiters map[Key][]chan struct{}
+}
+
+func newShard() *shard {
+	return &shard{
+		data:    make(map[Key]*entry),
+		locks:   make(map[Key]chan struct{}),
+		waiters: make(map[Key][]chan struct{}),
+	}
+}
+
+// script runs fn atomically over the shard data. Injected latency is
+// charged by callers through timeutil.Wait so that precise waiting is
+// honoured uniformly.
+func (sh *shard) script(cost time.Duration, fn func(map[Key]*entry)) {
+	if cost > 0 {
+		timeutil.Wait(cost, false)
+	}
+	sh.mu.Lock()
+	fn(sh.data)
+	sh.mu.Unlock()
+}
+
+func (sh *shard) flush() {
+	sh.mu.Lock()
+	sh.data = make(map[Key]*entry)
+	sh.mu.Unlock()
+	sh.wakeAll()
+}
+
+// lock acquires the cooperative key lock (blocking).
+func (sh *shard) lock(k Key) {
+	sh.lockMu.Lock()
+	ch, ok := sh.locks[k]
+	if !ok {
+		ch = make(chan struct{}, 1)
+		sh.locks[k] = ch
+	}
+	sh.lockMu.Unlock()
+	ch <- struct{}{}
+}
+
+// unlock releases the cooperative key lock.
+func (sh *shard) unlock(k Key) {
+	sh.lockMu.Lock()
+	ch := sh.locks[k]
+	sh.lockMu.Unlock()
+	if ch == nil {
+		panic("vstore: unlock of unheld key")
+	}
+	select {
+	case <-ch:
+	default:
+		panic("vstore: unlock of unheld key")
+	}
+}
+
+// register adds a waiter channel for the key. The caller must check its
+// condition AFTER registering (and deregister if already satisfied) so
+// that no wakeup can be lost between the check and the registration.
+func (sh *shard) register(k Key) chan struct{} {
+	ch := make(chan struct{}, 1)
+	sh.waitMu.Lock()
+	sh.waiters[k] = append(sh.waiters[k], ch)
+	sh.waitMu.Unlock()
+	return ch
+}
+
+// deregister removes a waiter channel (no-op if already woken).
+func (sh *shard) deregister(k Key, ch chan struct{}) {
+	sh.waitMu.Lock()
+	ws := sh.waiters[k]
+	for i, w := range ws {
+		if w == ch {
+			sh.waiters[k] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(sh.waiters[k]) == 0 {
+		delete(sh.waiters, k)
+	}
+	sh.waitMu.Unlock()
+}
+
+// await blocks on a registered waiter channel until signalled or timeout
+// (timeout < 0 waits forever). Returns false on timeout; the caller must
+// deregister in that case.
+func await(ch chan struct{}, timeout time.Duration) bool {
+	if timeout < 0 {
+		<-ch
+		return true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// wakeKeys signals every waiter registered on the keys.
+func (sh *shard) wakeKeys(keys []Key) {
+	sh.waitMu.Lock()
+	var toWake []chan struct{}
+	for _, k := range keys {
+		toWake = append(toWake, sh.waiters[k]...)
+		delete(sh.waiters, k)
+	}
+	sh.waitMu.Unlock()
+	for _, ch := range toWake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wakeAll signals every waiter (store death, flush).
+func (sh *shard) wakeAll() {
+	sh.waitMu.Lock()
+	var toWake []chan struct{}
+	for k, ws := range sh.waiters {
+		toWake = append(toWake, ws...)
+		delete(sh.waiters, k)
+	}
+	sh.waitMu.Unlock()
+	for _, ch := range toWake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}

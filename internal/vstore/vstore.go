@@ -1,0 +1,457 @@
+// Package vstore implements Synapse's version store (Redis in the
+// paper's deployment): the sharded counter service behind the update
+// delivery mechanism of §4.2.
+//
+// For every dependency key the publisher side keeps two counters — ops,
+// the number of operations that have referenced the object, and version,
+// the object's version — while the subscriber side keeps the latest ops
+// counter. All multi-key operations execute atomically within a shard
+// (the stand-in for Redis LUA scripts); keys are spread across shards
+// with a Dynamo-style consistent-hash ring, and cross-shard lock
+// acquisition is ordered to avoid deadlock.
+//
+// Dependency names are hashed into a fixed-cardinality key space so
+// every version store consumes O(1) memory (§4.2, "Scaling the Version
+// Store"); a cardinality of 1 degenerates to global ordering, which the
+// ablation benchmark exploits.
+//
+// An injectable per-script round-trip latency models the network cost of
+// a remote Redis, and Kill/Revive model version-store death for the
+// generation-number recovery path (§4.4).
+package vstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"synapse/internal/timeutil"
+)
+
+// ErrDead is returned while the store is killed (crash injection).
+var ErrDead = errors.New("vstore: store is dead")
+
+// ErrTimeout is returned when WaitAtLeast exceeds its deadline.
+var ErrTimeout = errors.New("vstore: dependency wait timed out")
+
+// Key is a hashed dependency key.
+type Key uint64
+
+// Counters is the publisher-side per-dependency state.
+type Counters struct {
+	Ops     uint64
+	Version uint64
+}
+
+// Config sizes a store.
+type Config struct {
+	// Shards is the number of shard instances (>=1).
+	Shards int
+	// Cardinality bounds the dependency hash space; 0 means unhashed
+	// (the raw 64-bit space). 1 serializes everything (global ordering).
+	Cardinality uint64
+	// RTT is injected once per shard script call, modelling the network
+	// round trip to a remote store. Zero for unit tests.
+	RTT time.Duration
+	// Precise busy-waits injected latencies instead of sleeping, for
+	// sub-millisecond accuracy on sequential measurement paths. Never
+	// enable it for many-worker runs: spinning burns a core per waiter.
+	Precise bool
+	// PerKey is injected per key touched by a script call, modelling
+	// Redis command processing and payload cost; it produces the
+	// linear tail of the Fig 13(a) overhead curve at high dependency
+	// counts. Zero for unit tests.
+	PerKey time.Duration
+}
+
+// scriptCost computes the injected latency for a script touching n keys.
+func (c Config) scriptCost(n int) time.Duration {
+	return c.RTT + time.Duration(n)*c.PerKey
+}
+
+// Store is one version store (publisher-side or subscriber-side; the
+// same structure serves both roles).
+type Store struct {
+	cfg    Config
+	ring   *ring
+	shards []*shard
+
+	mu   sync.RWMutex
+	dead bool
+}
+
+// New builds a store from the config.
+func New(cfg Config) *Store {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	s := &Store{cfg: cfg, ring: newRing(cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard())
+	}
+	return s
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// KeyFor hashes a dependency name into the store's key space.
+func (s *Store) KeyFor(name string) Key {
+	h := hashString(name)
+	if s.cfg.Cardinality > 0 {
+		h %= s.cfg.Cardinality
+	}
+	return Key(h)
+}
+
+func (s *Store) shardFor(k Key) *shard {
+	return s.shards[s.ring.locate(hashUint(uint64(k)))]
+}
+
+func (s *Store) checkAlive() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.dead {
+		return ErrDead
+	}
+	return nil
+}
+
+// Kill makes all operations fail with ErrDead until Revive (models a
+// version-store crash; recovery is by generation bump, §4.4).
+func (s *Store) Kill() {
+	s.mu.Lock()
+	s.dead = true
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.wakeAll()
+	}
+}
+
+// Revive brings a killed store back empty (its memory is gone).
+func (s *Store) Revive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	s.dead = false
+}
+
+// Flush clears all counters (generation change on a subscriber).
+func (s *Store) Flush() {
+	for _, sh := range s.shards {
+		sh.flush()
+	}
+}
+
+// LockWrites acquires the write-dependency locks in sorted key order,
+// returning the ordered keys for UnlockWrites. Duplicate keys are
+// acquired once.
+func (s *Store) LockWrites(keys []Key) ([]Key, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	uniq := dedupSorted(keys)
+	// One batched lock script round trip (the 2PC steps of §4.2 each
+	// cost a version-store round trip).
+	timeutil.Wait(s.cfg.scriptCost(len(uniq)), s.cfg.Precise)
+	for _, k := range uniq {
+		s.shardFor(k).lock(k)
+	}
+	return uniq, nil
+}
+
+// UnlockWrites releases locks taken by LockWrites. The unlock round
+// trip is charged after the locks are released so it never extends the
+// critical section.
+func (s *Store) UnlockWrites(keys []Key) {
+	for i := len(keys) - 1; i >= 0; i-- {
+		s.shardFor(keys[i]).unlock(keys[i])
+	}
+	timeutil.Wait(s.cfg.scriptCost(len(keys)), s.cfg.Precise)
+}
+
+// Bump runs the publisher counter update of §4.2 for one operation:
+// for every dependency, ops is incremented; for write dependencies,
+// version is set to ops. The returned map holds the version to embed in
+// the message: version for read dependencies, version−1 for writes.
+// Write-dependency locks must be held by the caller.
+//
+// A key listed as both read and write dependency is treated as a write.
+// Each shard touched costs one script round trip.
+func (s *Store) Bump(readDeps, writeDeps []Key) (map[Key]uint64, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	writes := make(map[Key]struct{}, len(writeDeps))
+	for _, k := range writeDeps {
+		writes[k] = struct{}{}
+	}
+	// Group keys per shard so each shard executes one atomic script.
+	type op struct {
+		key   Key
+		write bool
+	}
+	byShard := make(map[*shard][]op)
+	seen := make(map[Key]struct{})
+	addKey := func(k Key, write bool) {
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		sh := s.shardFor(k)
+		byShard[sh] = append(byShard[sh], op{key: k, write: write})
+	}
+	for _, k := range writeDeps {
+		addKey(k, true)
+	}
+	for _, k := range readDeps {
+		if _, isWrite := writes[k]; !isWrite {
+			addKey(k, false)
+		}
+	}
+
+	// Shards execute their scripts concurrently in a real deployment
+	// (pipelined round trips), so the injected latency is the slowest
+	// shard's cost, charged once, rather than the sum.
+	var cost time.Duration
+	for _, ops := range byShard {
+		if c := s.cfg.scriptCost(len(ops)); c > cost {
+			cost = c
+		}
+	}
+	timeutil.Wait(cost, s.cfg.Precise)
+	out := make(map[Key]uint64, len(seen))
+	for sh, ops := range byShard {
+		sh.script(0, func(m map[Key]*entry) {
+			for _, o := range ops {
+				e := m[o.key]
+				if e == nil {
+					e = &entry{}
+					m[o.key] = e
+				}
+				e.ops++
+				if o.write {
+					e.version = e.ops
+					out[o.key] = e.version - 1
+				} else {
+					out[o.key] = e.version
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// Counters returns the publisher counters for a key (zero when absent).
+func (s *Store) Counters(k Key) Counters {
+	var out Counters
+	s.shardFor(k).script(0, func(m map[Key]*entry) {
+		if e := m[k]; e != nil {
+			out = Counters{Ops: e.ops, Version: e.version}
+		}
+	})
+	return out
+}
+
+// Ops returns the subscriber-side ops counter for a key.
+func (s *Store) Ops(k Key) uint64 {
+	var out uint64
+	s.shardFor(k).script(0, func(m map[Key]*entry) {
+		if e := m[k]; e != nil {
+			out = e.ops
+		}
+	})
+	return out
+}
+
+// IncrOps increments the subscriber ops counter for every key (after a
+// message is processed) and wakes waiters. Keys sharing a shard are
+// applied in one script.
+func (s *Store) IncrOps(keys []Key) error {
+	if err := s.checkAlive(); err != nil {
+		return err
+	}
+	byShard := make(map[*shard][]Key)
+	for _, k := range dedupSorted(keys) {
+		sh := s.shardFor(k)
+		byShard[sh] = append(byShard[sh], k)
+	}
+	// One pipelined round trip: charge the slowest shard's cost once.
+	var cost time.Duration
+	for _, ks := range byShard {
+		if c := s.cfg.scriptCost(len(ks)); c > cost {
+			cost = c
+		}
+	}
+	timeutil.Wait(cost, s.cfg.Precise)
+	for sh, ks := range byShard {
+		sh.script(0, func(m map[Key]*entry) {
+			for _, k := range ks {
+				e := m[k]
+				if e == nil {
+					e = &entry{}
+					m[k] = e
+				}
+				e.ops++
+			}
+		})
+		sh.wakeKeys(ks)
+	}
+	return nil
+}
+
+// SetOps raises the ops counter for a key to at least val (bulk version
+// load during bootstrap; max-merge so late loads cannot regress).
+func (s *Store) SetOps(k Key, val uint64) error {
+	if err := s.checkAlive(); err != nil {
+		return err
+	}
+	sh := s.shardFor(k)
+	timeutil.Wait(s.cfg.scriptCost(1), s.cfg.Precise)
+	sh.script(0, func(m map[Key]*entry) {
+		e := m[k]
+		if e == nil {
+			e = &entry{}
+			m[k] = e
+		}
+		if val > e.ops {
+			e.ops = val
+		}
+	})
+	sh.wakeKeys([]Key{k})
+	return nil
+}
+
+// WaitAtLeast blocks until the ops counter for the key reaches min, the
+// timeout elapses (ErrTimeout), or the store dies (ErrDead). A zero
+// timeout checks once without blocking; a negative timeout waits
+// forever. This is the subscriber's dependency wait (§4.2), with the
+// configurable give-up recommended in §6.5.
+func (s *Store) WaitAtLeast(k Key, min uint64, timeout time.Duration) error {
+	if min == 0 {
+		return s.checkAlive()
+	}
+	sh := s.shardFor(k)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		if err := s.checkAlive(); err != nil {
+			return err
+		}
+		// Register before checking so a concurrent IncrOps between the
+		// check and the wait cannot be lost.
+		ch := sh.register(k)
+		var cur uint64
+		sh.script(0, func(m map[Key]*entry) {
+			if e := m[k]; e != nil {
+				cur = e.ops
+			}
+		})
+		if cur >= min {
+			sh.deregister(k, ch)
+			return nil
+		}
+		if timeout == 0 {
+			sh.deregister(k, ch)
+			return ErrTimeout
+		}
+		var waitFor time.Duration = -1
+		if timeout > 0 {
+			waitFor = time.Until(deadline)
+			if waitFor <= 0 {
+				sh.deregister(k, ch)
+				return ErrTimeout
+			}
+		}
+		if !await(ch, waitFor) {
+			sh.deregister(k, ch)
+			return ErrTimeout
+		}
+	}
+}
+
+// ApplyIfNewer implements weak-mode last-writer-wins: it atomically
+// checks whether version is newer than the stored version for the
+// object key and records it if so. Returns applied=false when the
+// message is stale and must be discarded (§4.2, weak delivery), plus
+// the previously stored version so a failed apply can be rolled back
+// with RestoreVersion.
+func (s *Store) ApplyIfNewer(k Key, version uint64) (applied bool, prev uint64, err error) {
+	if err := s.checkAlive(); err != nil {
+		return false, 0, err
+	}
+	timeutil.Wait(s.cfg.scriptCost(1), s.cfg.Precise)
+	s.shardFor(k).script(0, func(m map[Key]*entry) {
+		e := m[k]
+		if e == nil {
+			e = &entry{}
+			m[k] = e
+		}
+		prev = e.version
+		if version > e.version {
+			e.version = version
+			applied = true
+		}
+	})
+	return applied, prev, nil
+}
+
+// RestoreVersion rolls a claimed object version back to prev, but only
+// if the stored version still equals expect — a compare-and-set used
+// when the apply guarded by ApplyIfNewer failed and the message will be
+// redelivered. If another (newer) claim landed in between, the rollback
+// is skipped: the newer version legitimately owns the object.
+func (s *Store) RestoreVersion(k Key, expect, prev uint64) error {
+	if err := s.checkAlive(); err != nil {
+		return err
+	}
+	s.shardFor(k).script(0, func(m map[Key]*entry) {
+		if e := m[k]; e != nil && e.version == expect {
+			e.version = prev
+		}
+	})
+	return nil
+}
+
+// Snapshot copies all counters (publisher bulk-send during bootstrap).
+func (s *Store) Snapshot() (map[Key]Counters, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	out := make(map[Key]Counters)
+	for _, sh := range s.shards {
+		sh.script(s.cfg.scriptCost(1), func(m map[Key]*entry) {
+			for k, e := range m {
+				out[k] = Counters{Ops: e.ops, Version: e.version}
+			}
+		})
+	}
+	return out, nil
+}
+
+// Entries reports the number of tracked keys across shards.
+func (s *Store) Entries() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.script(0, func(m map[Key]*entry) { n += len(m) })
+	}
+	return n
+}
+
+func dedupSorted(keys []Key) []Key {
+	uniq := make([]Key, 0, len(keys))
+	seen := make(map[Key]struct{}, len(keys))
+	for _, k := range keys {
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			uniq = append(uniq, k)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	return uniq
+}

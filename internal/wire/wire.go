@@ -1,0 +1,145 @@
+// Package wire defines Synapse's write-message format (Fig 6(b)): the
+// JSON document a publisher emits for each committed operation group and
+// a subscriber consumes. A message carries the app name, the marshalled
+// operations (with each object's full inheritance chain, so subscribers
+// can consume polymorphic models), the dependency map from hashed
+// dependency keys to required versions, and the publisher generation
+// number used for recovery (§4.4).
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"synapse/internal/model"
+)
+
+// OpKind is the operation verb.
+type OpKind string
+
+// Operation verbs.
+const (
+	OpCreate  OpKind = "create"
+	OpUpdate  OpKind = "update"
+	OpDestroy OpKind = "destroy"
+)
+
+// Operation is one marshalled object write.
+type Operation struct {
+	Operation OpKind `json:"operation"`
+	// Types is the object's inheritance chain, most-derived first.
+	Types []string `json:"types"`
+	ID    string   `json:"id"`
+	// Attributes holds the published attribute values (empty for
+	// destroys).
+	Attributes map[string]any `json:"attributes,omitempty"`
+	// ObjectDep is the hashed dependency key of the object itself —
+	// what a weak-mode subscriber consults for last-writer-wins.
+	ObjectDep string `json:"object_dep"`
+}
+
+// Model returns the most-derived type name.
+func (o *Operation) Model() string {
+	if len(o.Types) == 0 {
+		return ""
+	}
+	return o.Types[0]
+}
+
+// Record converts the operation payload into a model record.
+func (o *Operation) Record() *model.Record {
+	rec := model.NewRecord(o.Model(), o.ID)
+	rec.Merge(o.Attributes)
+	return rec
+}
+
+// Message is one published write message.
+type Message struct {
+	App        string      `json:"app"`
+	Operations []Operation `json:"operations"`
+	// Dependencies maps hashed dependency keys (decimal strings) to the
+	// version the subscriber must have seen before processing.
+	Dependencies map[string]uint64 `json:"dependencies"`
+	// External dependencies behave like read dependencies but are not
+	// incremented on either side (decorator cross-app causality, §4.2).
+	External    map[string]uint64 `json:"external_dependencies,omitempty"`
+	PublishedAt time.Time         `json:"published_at"`
+	Generation  uint64            `json:"generation"`
+	// GlobalDep names the synthetic global-object dependency key when
+	// the publisher runs in global mode; subscribers with weaker modes
+	// ignore it (§4.2).
+	GlobalDep string `json:"global_dep,omitempty"`
+	// Seq is a publisher-local sequence number. Bootstrap uses it to
+	// avoid double-counting messages already reflected in a version
+	// snapshot.
+	Seq uint64 `json:"seq"`
+}
+
+// DepKey renders a hashed dependency key for the maps above.
+func DepKey(k uint64) string { return strconv.FormatUint(k, 10) }
+
+// ParseDepKey parses a dependency map key back to the hashed key.
+func ParseDepKey(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad dependency key %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// Marshal encodes the message as JSON.
+func Marshal(m *Message) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	return b, nil
+}
+
+// Unmarshal decodes a message, normalizing attribute values into the
+// model value set (JSON numbers arrive as float64 and stay that way;
+// record accessors accept both widths).
+func Unmarshal(b []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	for i := range m.Operations {
+		if m.Operations[i].Attributes != nil {
+			coerced := model.Coerce(m.Operations[i].Attributes)
+			m.Operations[i].Attributes = coerced.(map[string]any)
+		}
+	}
+	return &m, nil
+}
+
+// Validate checks structural invariants before a message is published.
+func Validate(m *Message) error {
+	if m.App == "" {
+		return fmt.Errorf("wire: message without app")
+	}
+	if len(m.Operations) == 0 {
+		return fmt.Errorf("wire: message without operations")
+	}
+	for i, op := range m.Operations {
+		if len(op.Types) == 0 {
+			return fmt.Errorf("wire: operation %d without type", i)
+		}
+		if op.ID == "" {
+			return fmt.Errorf("wire: operation %d without id", i)
+		}
+		switch op.Operation {
+		case OpCreate, OpUpdate, OpDestroy:
+		default:
+			return fmt.Errorf("wire: operation %d has unknown verb %q", i, op.Operation)
+		}
+	}
+	for k := range m.Dependencies {
+		if _, err := ParseDepKey(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

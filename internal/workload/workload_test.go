@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSocialGenFirstOpIsPost(t *testing.T) {
+	g := NewSocialGen(1, 10)
+	op := g.Next()
+	if op.Kind != OpPost {
+		t.Fatal("first operation must be a post")
+	}
+	if op.ID == "" || op.UserID == "" {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+func TestSocialGenMix(t *testing.T) {
+	g := NewSocialGen(42, 100)
+	posts, comments := 0, 0
+	for i := 0; i < 20000; i++ {
+		switch g.Next().Kind {
+		case OpPost:
+			posts++
+		case OpComment:
+			comments++
+		}
+	}
+	frac := float64(comments) / float64(posts+comments)
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("comment fraction = %.3f, want ~0.75", frac)
+	}
+}
+
+func TestSocialGenCommentsTargetExistingPosts(t *testing.T) {
+	g := NewSocialGen(7, 5)
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == OpPost {
+			seen[op.PostID] = true
+			continue
+		}
+		if !seen[op.PostID] {
+			t.Fatalf("comment targets unknown post %s", op.PostID)
+		}
+	}
+}
+
+func TestSocialGenUniqueIDs(t *testing.T) {
+	g := NewSocialGen(3, 10)
+	ids := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if ids[op.ID] {
+			t.Fatalf("duplicate object id %s", op.ID)
+		}
+		ids[op.ID] = true
+	}
+}
+
+func TestSocialGenConcurrentSafe(t *testing.T) {
+	g := NewSocialGen(5, 50)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Next()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	mix := CrowdtapMix()
+	s := NewSampler(11, mix)
+	counts := map[string]int{}
+	totalMsgs := map[string]int{}
+	calls := map[string]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		c, msgs := s.Next()
+		counts[c.Name]++
+		totalMsgs[c.Name] += msgs
+		calls[c.Name]++
+	}
+	// Call shares track the configured percentages.
+	for _, c := range mix {
+		got := float64(counts[c.Name]) / n
+		want := c.CallPct // CrowdtapMix sums to 1.0
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s share = %.3f, want ~%.3f", c.Name, got, want)
+		}
+	}
+	// Fractional message means are realized in the long run.
+	for _, c := range mix {
+		if calls[c.Name] == 0 {
+			continue
+		}
+		gotMean := float64(totalMsgs[c.Name]) / float64(calls[c.Name])
+		if gotMean < c.MsgsPerCall-0.1 || gotMean > c.MsgsPerCall+0.1 {
+			t.Errorf("%s msgs/call = %.2f, want ~%.2f", c.Name, gotMean, c.MsgsPerCall)
+		}
+	}
+}
+
+func TestSampleDepsMean(t *testing.T) {
+	mix := CrowdtapMix()
+	s := NewSampler(13, mix)
+	var profile ControllerProfile
+	for _, c := range mix {
+		if c.Name == "actions/index" {
+			profile = c
+		}
+	}
+	total := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		total += s.SampleDeps(profile)
+	}
+	mean := float64(total) / n
+	if mean < profile.DepsPerMsg-0.3 || mean > profile.DepsPerMsg+0.3 {
+		t.Errorf("deps mean = %.2f, want ~%.1f", mean, profile.DepsPerMsg)
+	}
+}
+
+func TestMixesWellFormed(t *testing.T) {
+	sum := 0.0
+	for _, c := range CrowdtapMix() {
+		sum += c.CallPct
+		if c.AppTime <= 0 {
+			t.Errorf("%s has no app time", c.Name)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("Crowdtap mix sums to %.3f", sum)
+	}
+	apps := OpenSourceMix()
+	if len(apps) != 3 {
+		t.Fatalf("open-source mix has %d apps", len(apps))
+	}
+	for app, ctrls := range apps {
+		if len(ctrls) != 3 {
+			t.Errorf("%s has %d controllers, want 3", app, len(ctrls))
+		}
+		for _, c := range ctrls {
+			if c.AppTime < time.Millisecond {
+				t.Errorf("%s/%s app time %v", app, c.Name, c.AppTime)
+			}
+		}
+	}
+}

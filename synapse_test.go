@@ -1,0 +1,181 @@
+package synapse_test
+
+// Tests for the public facade: everything a downstream user touches is
+// exercised through the synapse package itself.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"synapse"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	fabric := synapse.NewFabric()
+
+	pub, err := synapse.NewApp(fabric, "pub1",
+		synapse.NewDocumentMapper(synapse.MongoDB),
+		synapse.Config{Mode: synapse.Causal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := synapse.NewModel("User",
+		synapse.F("name", synapse.String),
+		synapse.F("email", synapse.String),
+	)
+	if err := pub.Publish(user, synapse.PubSpec{Attrs: []string{"name"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	subMapper := synapse.NewSQLMapper(synapse.Postgres)
+	sub, err := synapse.NewApp(fabric, "sub1", subMapper, synapse.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subUser := synapse.NewModel("User", synapse.F("name", synapse.String))
+	if err := sub.Subscribe(subUser, synapse.SubSpec{From: "pub1", Attrs: []string{"name"}}); err != nil {
+		t.Fatal(err)
+	}
+	sub.StartWorkers(2)
+	defer sub.StopWorkers()
+
+	ctl := pub.NewController(pub.NewSession("User", "1"))
+	rec := synapse.NewRecord("User", "1")
+	rec.Set("name", "alice")
+	rec.Set("email", "a@example.com")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, err := subMapper.Find("User", "1"); err == nil {
+			if got.String("name") != "alice" {
+				t.Fatalf("replicated record = %+v", got.Attrs)
+			}
+			if got.Has("email") {
+				t.Fatal("unpublished attribute leaked")
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("replication never arrived")
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	fabric := synapse.NewFabric()
+	pub, err := synapse.NewApp(fabric, "pub",
+		synapse.NewDocumentMapper(synapse.MongoDB), synapse.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := synapse.NewModel("User", synapse.F("name", synapse.String))
+	if err := pub.Publish(user, synapse.PubSpec{Attrs: []string{"name"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := synapse.NewApp(fabric, "sub",
+		synapse.NewDocumentMapper(synapse.MongoDB), synapse.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subUser := synapse.NewModel("User",
+		synapse.F("name", synapse.String),
+		synapse.F("ghost", synapse.String),
+	)
+	if err := sub.Subscribe(subUser, synapse.SubSpec{From: "pub", Attrs: []string{"ghost"}}); !errors.Is(err, synapse.ErrUnpublished) {
+		t.Errorf("subscribe unpublished = %v", err)
+	}
+	if err := sub.Subscribe(subUser, synapse.SubSpec{From: "pub", Attrs: []string{"name"}, Mode: synapse.Global}); !errors.Is(err, synapse.ErrModeTooStrong) {
+		t.Errorf("too-strong mode = %v", err)
+	}
+}
+
+func TestPublicAPIMapperConstructors(t *testing.T) {
+	cases := []struct {
+		mapper synapse.Mapper
+		engine string
+	}{
+		{synapse.NewSQLMapper(synapse.Postgres), "postgresql"},
+		{synapse.NewSQLMapper(synapse.MySQL), "mysql"},
+		{synapse.NewSQLMapper(synapse.Oracle), "oracle"},
+		{synapse.NewDocumentMapper(synapse.MongoDB), "mongodb"},
+		{synapse.NewDocumentMapper(synapse.TokuMX), "tokumx"},
+		{synapse.NewDocumentMapper(synapse.RethinkDB), "rethinkdb"},
+		{synapse.NewColumnMapper(), "cassandra"},
+		{synapse.NewSearchMapper(), "elasticsearch"},
+		{synapse.NewGraphMapper(), "neo4j"},
+	}
+	for _, c := range cases {
+		if c.mapper.Engine() != c.engine {
+			t.Errorf("constructor for %s reports %s", c.engine, c.mapper.Engine())
+		}
+		d := synapse.NewModel("Thing", synapse.F("v", synapse.Int))
+		if err := c.mapper.Register(d); err != nil {
+			t.Errorf("%s Register: %v", c.engine, err)
+		}
+		rec := synapse.NewRecord("Thing", "t1")
+		rec.Set("v", 1)
+		if err := c.mapper.Save(rec); err != nil {
+			t.Errorf("%s Save: %v", c.engine, err)
+		}
+		if got, err := c.mapper.Find("Thing", "t1"); err != nil || got.Int("v") != 1 {
+			t.Errorf("%s Find = %+v, %v", c.engine, got, err)
+		}
+	}
+}
+
+func TestPublicAPITransaction(t *testing.T) {
+	fabric := synapse.NewFabric()
+	pub, err := synapse.NewApp(fabric, "pub",
+		synapse.NewSQLMapper(synapse.Postgres), synapse.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := synapse.NewModel("User", synapse.F("name", synapse.String))
+	if err := pub.Publish(user, synapse.PubSpec{Attrs: []string{"name"}}); err != nil {
+		t.Fatal(err)
+	}
+	ctl := pub.NewController(nil)
+	err = ctl.Transaction(func(tx *synapse.Txn) error {
+		for i := 0; i < 3; i++ {
+			rec := synapse.NewRecord("User", fmt.Sprintf("u%d", i))
+			rec.Set("name", "x")
+			if err := tx.Create(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Mapper().Len("User") != 3 {
+		t.Fatalf("transaction wrote %d users", pub.Mapper().Len("User"))
+	}
+}
+
+func TestPublicAPIVirtualAttr(t *testing.T) {
+	d := synapse.NewModel("User", synapse.F("first", synapse.String))
+	d.DefineVirtual(&synapse.VirtualAttr{
+		Name: "shout",
+		Get:  func(r *synapse.Record) any { return r.String("first") + "!" },
+	})
+	rec := synapse.NewRecord("User", "1")
+	rec.Set("first", "ada")
+	if v := d.VirtualAttrFor("shout"); v == nil || v.Get(rec) != "ada!" {
+		t.Error("virtual attr lookup through the facade failed")
+	}
+}
+
+func TestPublicAPIDeliveryModeStrings(t *testing.T) {
+	if synapse.Weak.String() != "weak" || synapse.Causal.String() != "causal" || synapse.Global.String() != "global" {
+		t.Error("mode strings wrong")
+	}
+	if !(synapse.Weak < synapse.Causal && synapse.Causal < synapse.Global) {
+		t.Error("mode ordering wrong")
+	}
+}
