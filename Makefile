@@ -1,0 +1,14 @@
+# Developer entry points. `make check` is the gate CI runs: build, vet,
+# and the full test suite under the race detector.
+
+.PHONY: check test bench
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+# Regenerates the Fig 13 round-trip sweep and BENCH_fig13.json.
+bench:
+	go run ./cmd/synapse-bench -exp fig13rt

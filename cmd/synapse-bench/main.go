@@ -6,8 +6,11 @@
 // Usage:
 //
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
-//	                   fig13a|fig13b|fig13c|lostmsg|ablation-hash|all
+//	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|ablation-hash|all
 //	              [-quick]
+//
+// fig13rt additionally writes BENCH_fig13.json (round trips per message,
+// batched vs unbatched) so future changes have a perf trajectory.
 //
 // -quick shrinks every sweep for a fast end-to-end pass.
 package main
@@ -41,6 +44,7 @@ func main() {
 		{"fig13a", runFig13a},
 		{"fig13b", runFig13b},
 		{"fig13c", runFig13c},
+		{"fig13rt", runFig13RT},
 		{"lostmsg", runLostMsg},
 		{"ablation-hash", runAblationHash},
 	}
@@ -140,6 +144,26 @@ func runFig13c(quick bool) {
 		cfg.Duration = 500 * time.Millisecond
 	}
 	fmt.Print(bench.FormatFig13c(bench.RunFig13c(cfg)))
+}
+
+func runFig13RT(quick bool) {
+	cfg := bench.DefaultFig13RT()
+	if quick {
+		cfg.Deps = []int{1, 10, 50}
+		cfg.Messages = 10
+	}
+	points := bench.RunFig13RT(cfg)
+	fmt.Print(bench.FormatFig13RT(points))
+	doc, err := bench.MarshalFig13RT(points)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_fig13.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_fig13.json")
 }
 
 func runLostMsg(quick bool) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"synapse/internal/core"
+	"synapse/internal/model"
 	"synapse/internal/storage"
 )
 
@@ -244,10 +245,66 @@ func TestLostMsgTimeoutRecovers(t *testing.T) {
 	}
 }
 
+func TestWeakNoStaleWriteLast(t *testing.T) {
+	// Hammer one object with updates under a parallel weak pool: the
+	// final mapper value must be the newest version. Without the apply
+	// stripes (claim and DB write atomic per object), a worker preempted
+	// between winning a version claim and persisting the row writes
+	// stale data last — a divergence no later message repairs.
+	for round := 0; round < 10; round++ {
+		f := core.NewFabric()
+		pub := mustApp(f, "pub", NewMapper(MongoDB, storage.Profile{}), core.Config{Mode: core.Causal})
+		sub := mustApp(f, "sub", NewMapper(MongoDB, storage.Profile{}), core.Config{})
+		item := model.NewDescriptor("Item", model.Field{Name: "v", Type: model.Int})
+		must(pub.Publish(item, core.PubSpec{Attrs: []string{"v"}}))
+		subItem := model.NewDescriptor("Item", model.Field{Name: "v", Type: model.Int})
+		must(sub.Subscribe(subItem, core.SubSpec{From: "pub", Attrs: []string{"v"}, Mode: core.Weak}))
+		sub.StartWorkers(8)
+
+		ctl := pub.NewController(nil)
+		rec := model.NewRecord("Item", "obj")
+		rec.Set("v", 0)
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+		const updates = 200
+		for i := 1; i <= updates; i++ {
+			patch := model.NewRecord("Item", "obj")
+			patch.Set("v", i)
+			if _, err := ctl.Update(patch); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		deadline := time.Now().Add(5 * time.Second)
+		converged := false
+		for time.Now().Before(deadline) {
+			got, err := sub.Mapper().Find("Item", "obj")
+			if err == nil && got.Int("v") == updates {
+				converged = true
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		sub.StopWorkers()
+		if !converged {
+			got, _ := sub.Mapper().Find("Item", "obj")
+			t.Fatalf("round %d: stale write last: sub=%v want=%d (queue=%d unacked=%d)",
+				round, got, updates, sub.Queue().Len(), sub.Queue().Unacked())
+		}
+	}
+}
+
 func TestLostMsgDecommissionRecovers(t *testing.T) {
+	// LossEvery must leave more than QueueMaxLen messages after the last
+	// loss (here: losses at delivery 41/82/123 of 160, 37 trailing): a
+	// message lost at the very tail of the stream has nothing queued
+	// behind it, so the overflow decommission this test exercises could
+	// never trigger and the loss would be unrecoverable by design (§6.5
+	// — pure causal mode heals only through decommission+rebootstrap).
 	cfg := LostMsgConfig{
 		Messages:    150,
-		LossEvery:   40,
+		LossEvery:   41,
 		DepTimeout:  core.WaitForever,
 		QueueMaxLen: 30,
 		Workers:     4,

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"synapse/internal/core"
+	"synapse/internal/model"
+	"synapse/internal/storage"
+)
+
+// ---------------------------------------------------------------------
+// Fig 13 round-trip extension: version-store round trips per message,
+// batched round-trip plans vs the legacy per-key call chains.
+// ---------------------------------------------------------------------
+
+// Fig13RTConfig parameterizes the batched-vs-unbatched sweep.
+type Fig13RTConfig struct {
+	// Deps is the dependency counts to sweep (read deps + the object's
+	// own write dep per message, like Fig 13(a)).
+	Deps []int
+	// Messages measured per point.
+	Messages int
+	Shards   int
+	// VStoreRTT/VStorePerKey inject the Fig 13(a) round-trip latency so
+	// the publish-latency column reflects the saved round trips.
+	VStoreRTT    time.Duration
+	VStorePerKey time.Duration
+}
+
+// DefaultFig13RT sweeps the multi-dependency range where batching pays.
+func DefaultFig13RT() Fig13RTConfig {
+	return Fig13RTConfig{
+		Deps:         []int{1, 2, 5, 10, 20, 50, 100},
+		Messages:     30,
+		Shards:       8,
+		VStoreRTT:    300 * time.Microsecond,
+		VStorePerKey: 20 * time.Microsecond,
+	}
+}
+
+// Fig13RTSide is one pipeline variant's measurement at a dep count.
+type Fig13RTSide struct {
+	// PubRT/SubRT/TotalRT are version-store round-trip windows per
+	// published message, split by the store they hit (each app owns its
+	// own store, §4.2).
+	PubRT   float64 `json:"pub_rt_per_msg"`
+	SubRT   float64 `json:"sub_rt_per_msg"`
+	TotalRT float64 `json:"total_rt_per_msg"`
+	// PublishMs is the mean controller write latency in milliseconds.
+	PublishMs float64 `json:"publish_ms"`
+}
+
+// Fig13RTPoint is one measured dependency count.
+type Fig13RTPoint struct {
+	Deps      int         `json:"deps"`
+	Batched   Fig13RTSide `json:"batched"`
+	Unbatched Fig13RTSide `json:"unbatched"`
+	// Reduction is unbatched/batched total round trips per message.
+	Reduction float64 `json:"reduction"`
+}
+
+// RunFig13RT measures, for each dependency count, the version-store
+// round trips per published message end to end (publisher bump/lock
+// traffic plus subscriber wait/claim/increment traffic), with the
+// batched round-trip plans and with Config.VStoreUnbatched forcing the
+// legacy per-key chains.
+func RunFig13RT(cfg Fig13RTConfig) []Fig13RTPoint {
+	var out []Fig13RTPoint
+	for _, deps := range cfg.Deps {
+		batched := runRTOnce(cfg, deps, false)
+		unbatched := runRTOnce(cfg, deps, true)
+		p := Fig13RTPoint{Deps: deps, Batched: batched, Unbatched: unbatched}
+		if batched.TotalRT > 0 {
+			p.Reduction = unbatched.TotalRT / batched.TotalRT
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func runRTOnce(cfg Fig13RTConfig, deps int, unbatched bool) Fig13RTSide {
+	f := core.NewFabric()
+	mk := func(name string) *core.App {
+		return mustApp(f, name, NewMapper(MongoDB, storage.Profile{}), core.Config{
+			Mode:            core.Causal,
+			VStoreShards:    cfg.Shards,
+			VStoreRTT:       cfg.VStoreRTT,
+			VStorePerKey:    cfg.VStorePerKey,
+			VStoreUnbatched: unbatched,
+		})
+	}
+	pub := mk("pub")
+	sub := mk("sub")
+
+	itemDesc := func() *model.Descriptor {
+		return model.NewDescriptor("Item",
+			model.Field{Name: "payload", Type: model.String},
+		)
+	}
+	must(pub.Publish(itemDesc(), core.PubSpec{Attrs: []string{"payload"}}))
+	must(sub.Subscribe(itemDesc(), core.SubSpec{From: "pub", Attrs: []string{"payload"}}))
+
+	sub.StartWorkers(1)
+	defer sub.StopWorkers()
+
+	// Pre-create the shared dependency objects, so the measured messages'
+	// read dependencies carry nonzero version minimums — a zero minimum
+	// is satisfied without any round trip and would hide the wait cost.
+	for d := 0; d < deps-1; d++ {
+		rec := model.NewRecord("Item", fmt.Sprintf("dep-%d", d))
+		rec.Set("payload", "d")
+		if _, err := pub.NewController(nil).Create(rec); err != nil {
+			panic(err)
+		}
+	}
+	waitProcessed(sub, int64(deps-1), 10*time.Second)
+
+	pubRT0 := pub.Store().RoundTrips()
+	subRT0 := sub.Store().RoundTrips()
+	var total time.Duration
+	for i := 0; i < cfg.Messages; i++ {
+		ctl := pub.NewController(nil)
+		for d := 0; d < deps-1; d++ {
+			ctl.AddReadDeps("Item", fmt.Sprintf("dep-%d", d))
+		}
+		rec := model.NewRecord("Item", fmt.Sprintf("it-%d", i))
+		rec.Set("payload", "x")
+		start := time.Now()
+		if _, err := ctl.Create(rec); err != nil {
+			panic(err)
+		}
+		total += time.Since(start)
+	}
+	waitProcessed(sub, int64(deps-1+cfg.Messages), 10*time.Second)
+
+	n := float64(cfg.Messages)
+	side := Fig13RTSide{
+		PubRT:     float64(pub.Store().RoundTrips()-pubRT0) / n,
+		SubRT:     float64(sub.Store().RoundTrips()-subRT0) / n,
+		PublishMs: float64(total.Microseconds()) / 1000 / n,
+	}
+	side.TotalRT = side.PubRT + side.SubRT
+	return side
+}
+
+func waitProcessed(a *core.App, want int64, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for a.Processed.Count() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// FormatFig13RT renders the sweep as a table.
+func FormatFig13RT(points []Fig13RTPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 13 extension: version-store round trips per message, batched vs unbatched")
+	fmt.Fprintf(&b, "%6s %28s %28s %10s\n", "", "batched (pub+sub=total)", "unbatched (pub+sub=total)", "")
+	fmt.Fprintf(&b, "%6s %8s %8s %9s  %8s %8s %9s %10s\n",
+		"deps", "pub", "sub", "total", "pub", "sub", "total", "reduction")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%6d %8.1f %8.1f %9.1f  %8.1f %8.1f %9.1f %9.1fx\n",
+			p.Deps,
+			p.Batched.PubRT, p.Batched.SubRT, p.Batched.TotalRT,
+			p.Unbatched.PubRT, p.Unbatched.SubRT, p.Unbatched.TotalRT,
+			p.Reduction)
+	}
+	return b.String()
+}
+
+// MarshalFig13RT encodes the sweep as the BENCH_fig13.json document, so
+// later PRs can diff the round-trip trajectory.
+func MarshalFig13RT(points []Fig13RTPoint) ([]byte, error) {
+	doc := struct {
+		Figure      string         `json:"figure"`
+		Description string         `json:"description"`
+		Points      []Fig13RTPoint `json:"points"`
+	}{
+		Figure:      "fig13-round-trips",
+		Description: "version-store round trips per published message, batched round-trip plans vs legacy per-key calls",
+		Points:      points,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -199,6 +199,7 @@ type Queue struct {
 	unacked   map[uint64]*item
 	nextTag   uint64
 	cancelSeq uint64 // bumped by CancelWaiters to wake blocked Gets
+	waiters   int    // consumers currently blocked in GetBatch
 	dead      bool   // decommissioned
 	closed    bool
 }
@@ -223,7 +224,10 @@ func (q *Queue) push(payload []byte, exchange string) {
 		return
 	}
 	q.pending = append(q.pending, &item{payload: payload, exchange: exchange})
-	if q.maxLen > 0 && len(q.pending) > q.maxLen {
+	// Unacked deliveries count against the bound: a prefetching consumer
+	// that cannot finish its batch is as far behind as one that never
+	// dequeued, and must not mask the overflow.
+	if q.maxLen > 0 && len(q.pending)+len(q.unacked) > q.maxLen {
 		// Decommission: the subscriber has been away too long; kill the
 		// queue rather than grow without bound (§4.4).
 		q.pending = nil
@@ -240,24 +244,64 @@ func (q *Queue) push(payload []byte, exchange string) {
 // (ErrCanceled — used for graceful worker shutdown; the queue itself
 // stays usable).
 func (q *Queue) Get() (Delivery, error) {
+	ds, err := q.GetBatch(1)
+	if err != nil {
+		return Delivery{}, err
+	}
+	return ds[0], nil
+}
+
+// GetBatch blocks like Get until at least one message is available, then
+// drains up to max pending messages under one lock acquisition. This is
+// the subscriber-side prefetch: a worker pays the queue synchronization
+// cost once per batch instead of once per message. The batch is capped
+// at a fair share of the pending messages relative to the consumers
+// currently blocked waiting, so one worker cannot starve an idle pool
+// by grabbing the whole queue. Every returned delivery must be Acked or
+// Nacked individually.
+func (q *Queue) GetBatch(max int) ([]Delivery, error) {
+	if max < 1 {
+		max = 1
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	seq := q.cancelSeq
 	for {
 		if q.dead {
-			return Delivery{}, ErrDecommissioned
+			return nil, ErrDecommissioned
 		}
 		if q.closed {
-			return Delivery{}, ErrClosed
+			return nil, ErrClosed
 		}
 		if len(q.pending) > 0 {
-			return q.takeLocked(), nil
+			// Fair share: leave enough behind for every consumer still
+			// blocked in the wait below (ceil division keeps n >= 1).
+			n := (len(q.pending) + q.waiters) / (q.waiters + 1)
+			if n > max {
+				n = max
+			}
+			out := make([]Delivery, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, q.takeLocked())
+			}
+			return out, nil
 		}
 		if q.cancelSeq != seq {
-			return Delivery{}, ErrCanceled
+			return nil, ErrCanceled
 		}
+		q.waiters++
 		q.cond.Wait()
+		q.waiters--
 	}
+}
+
+// Starving reports whether consumers are blocked on an empty queue. A
+// prefetching worker checks this between messages and hands the rest of
+// its batch back when idle workers could be processing it.
+func (q *Queue) Starving() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters > 0 && len(q.pending) == 0
 }
 
 // CancelWaiters wakes every consumer currently blocked in Get with

@@ -326,3 +326,188 @@ func TestQueuesListing(t *testing.T) {
 		t.Errorf("Queues = %v", qs)
 	}
 }
+
+func TestGetBatchDrainsUpToMax(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("sub", 0)
+	if err := b.Bind("sub", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.Publish("pub", []byte(fmt.Sprintf("m%d", i)))
+	}
+	batch, err := q.GetBatch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch = %d deliveries, want 3", len(batch))
+	}
+	for i, d := range batch {
+		if string(d.Payload) != fmt.Sprintf("m%d", i) {
+			t.Errorf("batch[%d] = %q", i, d.Payload)
+		}
+		if err := q.Ack(d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest, err := q.GetBatch(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 {
+		t.Fatalf("rest = %d deliveries, want 2", len(rest))
+	}
+	if string(rest[0].Payload) != "m3" || string(rest[1].Payload) != "m4" {
+		t.Errorf("rest = %q, %q", rest[0].Payload, rest[1].Payload)
+	}
+}
+
+func TestGetBatchBlocksLikeGet(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("sub", 0)
+	if err := b.Bind("sub", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []Delivery, 1)
+	go func() {
+		batch, err := q.GetBatch(4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got <- batch
+	}()
+	select {
+	case <-got:
+		t.Fatal("GetBatch returned on empty queue")
+	case <-time.After(10 * time.Millisecond):
+	}
+	b.Publish("pub", []byte("m"))
+	select {
+	case batch := <-got:
+		if len(batch) != 1 {
+			t.Fatalf("batch = %d deliveries, want 1", len(batch))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("GetBatch did not wake")
+	}
+}
+
+// TestGetBatchFairShare: a consumer must not drain the whole queue while
+// other consumers are blocked waiting — each blocked waiter is left a
+// share of the pending messages.
+func TestGetBatchFairShare(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("sub", 0)
+	if err := b.Bind("sub", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 3
+	sizes := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch, err := q.GetBatch(16)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sizes <- len(batch)
+			for _, d := range batch {
+				_ = q.Ack(d.Tag)
+			}
+		}()
+	}
+	// Let all three consumers block, then release 9 messages at once.
+	time.Sleep(20 * time.Millisecond)
+	q.mu.Lock()
+	for i := 0; i < 9; i++ {
+		q.pending = append(q.pending, &item{payload: []byte("m"), exchange: "pub"})
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	wg.Wait()
+	close(sizes)
+	total := 0
+	for n := range sizes {
+		if n == 0 || n > 8 {
+			t.Errorf("batch size %d outside fair range", n)
+		}
+		total += n
+	}
+	if rem := q.Len(); total+rem != 9 {
+		t.Errorf("consumed %d + pending %d, want 9 total", total, rem)
+	}
+}
+
+func TestGetBatchCancelAndDecommission(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("sub", 0)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := q.GetBatch(8)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.CancelWaiters()
+	if err := <-errs; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestStarving(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("sub", 0)
+	if err := b.Bind("sub", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	if q.Starving() {
+		t.Fatal("no waiters yet, queue reports starving")
+	}
+	got := make(chan struct{})
+	go func() {
+		if _, err := q.Get(); err != nil {
+			t.Error(err)
+		}
+		close(got)
+	}()
+	waitUntil := time.Now().Add(time.Second)
+	for !q.Starving() && time.Now().Before(waitUntil) {
+		time.Sleep(time.Millisecond)
+	}
+	if !q.Starving() {
+		t.Fatal("blocked waiter on empty queue, Starving() = false")
+	}
+	b.Publish("pub", []byte("m"))
+	<-got
+	if q.Starving() {
+		t.Fatal("no blocked waiters left, queue still reports starving")
+	}
+}
+
+// TestDecommissionCountsUnacked: messages held unacked by a prefetching
+// consumer still count against the queue bound — a stuck consumer must
+// not mask the overflow that triggers decommission (§4.4).
+func TestDecommissionCountsUnacked(t *testing.T) {
+	b := New()
+	q := b.DeclareQueue("s", 3)
+	_ = b.Bind("s", "p")
+	for i := 0; i < 3; i++ {
+		b.Publish("p", []byte("x"))
+	}
+	// A consumer drains everything into unacked; pending is now empty.
+	batch, err := q.GetBatch(3)
+	if err != nil || len(batch) != 3 {
+		t.Fatalf("GetBatch = %d msgs, %v", len(batch), err)
+	}
+	if q.Dead() {
+		t.Fatal("queue died below the bound")
+	}
+	b.Publish("p", []byte("x"))
+	if !q.Dead() {
+		t.Fatal("overflow hidden by unacked prefetch batch")
+	}
+}

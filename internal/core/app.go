@@ -88,10 +88,17 @@ type App struct {
 	stopCh    chan struct{}
 	workersWG sync.WaitGroup
 
+	// applyLocks are striped per-object locks making a version claim and
+	// its DB write atomic (see applyStripe in subscribe.go).
+	applyLocks [64]sync.Mutex
+
 	// Metrics consumed by the benchmarks.
 	PublishLatency *metrics.Histogram
 	Processed      *metrics.Meter
 	Timeline       *metrics.Timeline
+	// Stages times the subscriber pipeline per message (see the Stage*
+	// constants); surfaced in Stats.
+	Stages *metrics.StageSet
 
 	// hooks for fault injection in tests (nil in production).
 	beforePublish func(*App)
@@ -120,6 +127,7 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 		env:            make(map[string]any),
 		PublishLatency: metrics.NewHistogram(),
 		Processed:      metrics.NewMeter(),
+		Stages:         metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageAck),
 	}
 	if err := f.registerApp(a); err != nil {
 		return nil, err
@@ -134,6 +142,50 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 }
 
 func genCounterName(app string) string { return "generation/" + app }
+
+// Stage names for App.Stages, the per-message subscriber pipeline
+// timers: payload decode, generation barrier (§4.4), dependency wait
+// (§4.2), version claim + DB apply + counter increment, and broker ack.
+const (
+	StageDecode  = "decode"
+	StageBarrier = "barrier"
+	StageDepWait = "dep-wait"
+	StageApply   = "apply"
+	StageAck     = "ack"
+)
+
+// Stats is a point-in-time summary of an app's hot-path activity:
+// message counts, version-store round-trip windows, and the subscriber
+// stage timers.
+type Stats struct {
+	// Published is the number of messages this app has published.
+	Published uint64
+	// Processed is the number of subscribed messages fully applied.
+	Processed int64
+	// VStoreRoundTrips counts version-store round-trip windows (pipelined
+	// multi-shard scripts count once) across both roles of this app's
+	// store.
+	VStoreRoundTrips uint64
+	// RoundTripsPerMessage is VStoreRoundTrips over the total messages
+	// published and processed (0 when no messages have flowed).
+	RoundTripsPerMessage float64
+	// Stages summarizes the subscriber pipeline timers by stage name.
+	Stages map[string]metrics.StageStat
+}
+
+// Stats snapshots the app's hot-path counters and stage timers.
+func (a *App) Stats() Stats {
+	st := Stats{
+		Published:        a.seq.Load(),
+		Processed:        a.Processed.Count(),
+		VStoreRoundTrips: a.store.RoundTrips(),
+		Stages:           a.Stages.Snapshot(),
+	}
+	if n := float64(st.Published) + float64(st.Processed); n > 0 {
+		st.RoundTripsPerMessage = float64(st.VStoreRoundTrips) / n
+	}
+	return st
+}
 
 // Name returns the app name (also its broker exchange name).
 func (a *App) Name() string { return a.name }

@@ -98,7 +98,7 @@ func (a *App) Bootstrap(from string, models ...string) error {
 		if !got {
 			break
 		}
-		if perr := a.consume(d.Payload, nil); perr != nil {
+		if perr := a.consume(d.Payload, nil, nil); perr != nil {
 			_ = q.Nack(d.Tag, true)
 			continue
 		}

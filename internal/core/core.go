@@ -90,6 +90,18 @@ type Config struct {
 	DepTimeout time.Duration
 	// Workers is the default worker-pool size for StartWorkers(0).
 	Workers int
+	// Prefetch is how many queued messages one subscriber worker dequeues
+	// per queue lock acquisition (default 4). 1 disables batching. Small
+	// values matter for causal pools: a prefetched batch concentrates the
+	// runnable frontier in one worker, and the spill-on-block/starvation
+	// handoffs only bound — not eliminate — the head-of-line cost.
+	Prefetch int
+	// VStoreUnbatched routes publish/subscribe through the legacy per-key
+	// version-store calls (LockWrites/Bump, per-dep WaitAtLeast,
+	// per-claim ApplyIfNewer) instead of the batched round-trip plans.
+	// Kept for the batched-vs-unbatched ablation benchmark; semantics are
+	// identical either way.
+	VStoreUnbatched bool
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.Prefetch <= 0 {
+		c.Prefetch = 4
 	}
 	if c.DepTimeout == 0 {
 		c.DepTimeout = WaitForever

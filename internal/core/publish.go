@@ -102,20 +102,6 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 	useTx := !allEphemeral && transactional
 
 	var written []*model.Record
-	var deps map[vstore.Key]uint64
-
-	// Version-store locks are held over ALL dependency keys (reads and
-	// writes) from the counter bump through the broker publish. This is
-	// stronger than the paper, which locks only write dependencies and
-	// releases before sending: that leaves a window where a message can
-	// be enqueued ahead of the message carrying its dependency, which a
-	// subscriber can only escape with spare workers or timeouts. Holding
-	// the locks across the publish makes queue order consistent with
-	// dependency order, so even a single-worker causal subscriber never
-	// deadlocks.
-	allKeys := make([]vstore.Key, 0, len(writeKeys)+len(readKeys))
-	allKeys = append(allKeys, writeKeys...)
-	allKeys = append(allKeys, readKeys...)
 
 	var tx orm.MapperTx
 	if useTx {
@@ -151,21 +137,12 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		dbTime += time.Since(dbStart)
 	}
 
-	held, err := a.store.LockWrites(allKeys)
+	plan, err := a.planDeps(readKeys, writeKeys)
 	if err != nil {
 		return nil, err
 	}
-	publishDone := false
-	defer func() {
-		if !publishDone {
-			a.store.UnlockWrites(held)
-		}
-	}()
-
-	deps, err = a.store.Bump(readKeys, writeKeys)
-	if err != nil {
-		return nil, err
-	}
+	defer plan.release()
+	deps := plan.versions
 
 	dbStart := time.Now()
 	if useTx {
@@ -239,8 +216,7 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		a.beforePublish(a)
 	}
 	a.fabric.Broker.Publish(a.name, payload)
-	publishDone = true
-	a.store.UnlockWrites(held)
+	plan.release()
 
 	// --- Controller scope bookkeeping for causal chaining.
 	if mode >= Causal {
@@ -254,6 +230,70 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		a.Timeline.Record(a.name, "synapse-pub", fmt.Sprintf("seq=%d ops=%d", msg.Seq, len(msg.Operations)))
 	}
 	return written, nil
+}
+
+// depPlan is one message group's version-store round-trip plan: the
+// locked dependency keys and the versions bumped for them, produced in
+// a single batched round trip per shard (or via the legacy per-call
+// chain when Config.VStoreUnbatched is set, for the ablation bench).
+//
+// Version-store locks are held over ALL dependency keys (reads and
+// writes) from the counter bump through the broker publish. This is
+// stronger than the paper, which locks only write dependencies and
+// releases before sending: that leaves a window where a message can be
+// enqueued ahead of the message carrying its dependency, which a
+// subscriber can only escape with spare workers or timeouts. Holding
+// the locks across the publish makes queue order consistent with
+// dependency order, so even a single-worker causal subscriber never
+// deadlocks.
+type depPlan struct {
+	app      *App
+	batch    *vstore.Batch // batched path
+	held     []vstore.Key  // legacy path
+	versions map[vstore.Key]uint64
+	released bool
+}
+
+// planDeps locks the union of the dependency keys and bumps their
+// counters, returning the versions to embed in the message (version for
+// reads, version−1 for writes — §4.2 step 3). The locks stay held until
+// release.
+func (a *App) planDeps(readKeys, writeKeys []vstore.Key) (*depPlan, error) {
+	if a.cfg.VStoreUnbatched {
+		allKeys := make([]vstore.Key, 0, len(writeKeys)+len(readKeys))
+		allKeys = append(allKeys, writeKeys...)
+		allKeys = append(allKeys, readKeys...)
+		held, err := a.store.LockWrites(allKeys)
+		if err != nil {
+			return nil, err
+		}
+		deps, err := a.store.Bump(readKeys, writeKeys)
+		if err != nil {
+			a.store.UnlockWrites(held)
+			return nil, err
+		}
+		return &depPlan{app: a, held: held, versions: deps}, nil
+	}
+	b, err := a.store.BumpBatch(readKeys, writeKeys)
+	if err != nil {
+		return nil, err
+	}
+	return &depPlan{app: a, batch: b, versions: b.Versions}, nil
+}
+
+// release unlocks the plan's dependency keys, waking subscribers
+// blocked on them. Idempotent; performWrites calls it right after the
+// broker publish and again (as a no-op) from its deferred cleanup.
+func (p *depPlan) release() {
+	if p.released {
+		return
+	}
+	p.released = true
+	if p.batch != nil {
+		p.batch.Release()
+		return
+	}
+	p.app.store.UnlockWrites(p.held)
 }
 
 // applyOne performs a single non-transactional operation through the

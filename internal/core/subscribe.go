@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -130,7 +131,7 @@ func (a *App) workerLoop(stop <-chan struct{}) {
 		if q == nil {
 			return
 		}
-		d, err := q.Get()
+		batch, err := q.GetBatch(a.cfg.Prefetch)
 		switch {
 		case err == nil:
 		case errors.Is(err, broker.ErrCanceled):
@@ -144,25 +145,87 @@ func (a *App) workerLoop(stop <-chan struct{}) {
 		default: // closed
 			return
 		}
-		if perr := a.consume(d.Payload, stop); perr != nil {
-			// Redeliver; the message may succeed once its dependencies
-			// arrive or the fault clears.
-			_ = q.Nack(d.Tag, true)
-			time.Sleep(time.Millisecond)
-			continue
-		}
-		_ = q.Ack(d.Tag)
+		a.processBatch(q, batch, stop)
 	}
 }
 
-// consume decodes and processes one message payload.
-func (a *App) consume(payload []byte, cancel <-chan struct{}) error {
+// processBatch works through one prefetched batch of deliveries, acking
+// each message as it completes. Three rules keep batching from hurting a
+// causal pool:
+//
+//   - Spill on block: when a message's dependency wait is about to
+//     block, the worker first nacks the REST of its batch back to the
+//     queue (reverse order, restoring FIFO order) so idle workers can
+//     process it — otherwise a prefetched batch whose head waits on
+//     another worker's batch serializes the whole pool.
+//   - Spill on starvation: between messages, if other workers sit idle
+//     on an empty queue, the rest of the batch is handed back the same
+//     way — a batch of slow applies (expensive callbacks) must not
+//     serialize in one worker while the pool starves.
+//   - Fail to the front: when a message fails (or the worker is
+//     stopping), the failed delivery and every remaining one are nacked
+//     so the queue front reads [failed, rest...]; a worker never sits on
+//     later messages while an earlier one needs redelivery (which could
+//     deadlock a single-worker causal subscriber on its own prefetch).
+func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan struct{}) {
+	for i := 0; i < len(batch); i++ {
+		d := batch[i]
+		rest := batch[i+1:]
+		spilled := false
+		spill := func() {
+			if spilled {
+				return
+			}
+			spilled = true
+			for j := len(rest) - 1; j >= 0; j-- {
+				_ = q.Nack(rest[j].Tag, true)
+			}
+		}
+		if len(rest) > 0 && q.Starving() {
+			spill()
+		}
+		stopped := false
+		select {
+		case <-stop:
+			stopped = true
+		default:
+		}
+		var perr error
+		if !stopped {
+			perr = a.consume(d.Payload, stop, spill)
+		}
+		if stopped || perr != nil {
+			spill()
+			_ = q.Nack(d.Tag, true)
+			if perr != nil {
+				// Redeliver; the message may succeed once its dependencies
+				// arrive or the fault clears.
+				time.Sleep(time.Millisecond)
+			}
+			return
+		}
+		ackStart := time.Now()
+		_ = q.Ack(d.Tag)
+		a.Stages.Observe(StageAck, time.Since(ackStart))
+		if spilled {
+			return
+		}
+	}
+}
+
+// consume decodes and processes one message payload. onBlock (may be
+// nil) is called at most once, just before the dependency wait first
+// blocks — the worker's chance to hand the rest of its prefetched batch
+// back to the queue.
+func (a *App) consume(payload []byte, cancel <-chan struct{}, onBlock func()) error {
+	decodeStart := time.Now()
 	msg, err := wire.Unmarshal(payload)
+	a.Stages.Observe(StageDecode, time.Since(decodeStart))
 	if err != nil {
 		// Poison message: drop it loudly rather than loop forever.
 		return nil
 	}
-	err = a.processMessage(msg, cancel)
+	err = a.processMessage(msg, cancel, onBlock)
 	if errors.Is(err, errStaleGeneration) {
 		return nil
 	}
@@ -173,12 +236,15 @@ func (a *App) consume(payload []byte, cancel <-chan struct{}) error {
 // configured for its origin. Exported for the synchronous processing
 // used by bootstrap and tests.
 func (a *App) ProcessMessage(msg *wire.Message) error {
-	return a.processMessage(msg, nil)
+	return a.processMessage(msg, nil, nil)
 }
 
-func (a *App) processMessage(msg *wire.Message, cancel <-chan struct{}) error {
+func (a *App) processMessage(msg *wire.Message, cancel <-chan struct{}, onBlock func()) error {
 	origin := msg.App
-	if err := a.enterGeneration(origin, msg.Generation); err != nil {
+	barrierStart := time.Now()
+	err := a.enterGeneration(origin, msg.Generation)
+	a.Stages.Observe(StageBarrier, time.Since(barrierStart))
+	if err != nil {
 		return err
 	}
 	defer a.exitGeneration(origin, msg.Generation)
@@ -192,7 +258,7 @@ func (a *App) processMessage(msg *wire.Message, cancel <-chan struct{}) error {
 	case Weak:
 		return a.processWeak(msg)
 	default:
-		return a.processCausal(msg, mode, cancel)
+		return a.processCausal(msg, mode, cancel, onBlock)
 	}
 }
 
@@ -258,8 +324,87 @@ func (a *App) originMode(origin string) DeliveryMode {
 // apply the operations, then increment the ops counters. Global mode
 // additionally respects the global-object dependency, which causal mode
 // ignores (it only appears when the publisher runs in global mode).
-func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan struct{}) error {
+//
+// The hot path runs batched: one WaitAtLeastMulti waiter for the whole
+// dependency map, one ApplyBatch claim window for all operations, one
+// IncrOps window — three round-trip plans per message instead of one
+// round trip per dependency key.
+func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan struct{}, onBlock func()) error {
+	if a.cfg.VStoreUnbatched {
+		return a.processCausalUnbatched(msg, mode, cancel)
+	}
 	timeout := a.cfg.DepTimeout
+	deps, err := msg.Deps()
+	if err != nil {
+		return err
+	}
+	var globalKey vstore.Key
+	skipGlobal := mode < Global && msg.GlobalDep != ""
+	if skipGlobal {
+		globalKey = keyOf(msg.GlobalDep)
+	}
+
+	// One request map for the whole message; external dependency minimums
+	// (decorator cross-app causality — waited, never incremented) are
+	// max-merged with dependency versions on key collisions, which is
+	// equivalent to the legacy one-wait-per-entry behaviour.
+	reqs := make(map[vstore.Key]uint64, len(deps)+len(msg.External))
+	incr := make([]vstore.Key, 0, len(deps))
+	for k, minVersion := range deps {
+		key := vstore.Key(k)
+		if skipGlobal && key == globalKey {
+			continue
+		}
+		reqs[key] = minVersion
+		incr = append(incr, key)
+	}
+	for depKey, minOps := range msg.External {
+		k, err := wire.ParseDepKey(depKey)
+		if err != nil {
+			return err
+		}
+		if minOps > reqs[vstore.Key(k)] {
+			reqs[vstore.Key(k)] = minOps
+		}
+	}
+
+	waitStart := time.Now()
+	werr := a.waitDepsMulti(reqs, timeout, cancel, onBlock)
+	a.Stages.Observe(StageDepWait, time.Since(waitStart))
+	if werr != nil && !errors.Is(werr, vstore.ErrTimeout) {
+		return werr
+	}
+	// On ErrTimeout: §6.5 — give up waiting for late or lost messages and
+	// process anyway, trading consistency for availability; the per-object
+	// guard in the apply discards stale versions, weak-style.
+
+	applyStart := time.Now()
+	if err := a.applyOpsBatched(msg); err != nil {
+		return err
+	}
+	// The bootstrap Seq boundary outlives Bootstrapping(): a message
+	// published before the version snapshot has its bumps bulk-loaded
+	// already, and re-incrementing (e.g. backlog prefetched during the
+	// bootstrap but processed after it) would push this store's counters
+	// past the publisher's, making every later guarded apply look stale.
+	if msg.Seq > a.bootSeqFor(msg.App) {
+		if err := a.store.IncrOps(incr); err != nil {
+			return err
+		}
+	}
+	a.Stages.Observe(StageApply, time.Since(applyStart))
+	a.Processed.Add(1)
+	a.recordApplied(msg)
+	return nil
+}
+
+// processCausalUnbatched is the legacy per-key subscriber path: one
+// version-store round trip per dependency wait, per object claim, and
+// per counter increment. Kept behind Config.VStoreUnbatched for the
+// batched-vs-unbatched ablation benchmark; the semantics are identical.
+func (a *App) processCausalUnbatched(msg *wire.Message, mode DeliveryMode, cancel <-chan struct{}) error {
+	timeout := a.cfg.DepTimeout
+	waitStart := time.Now()
 	for depKey, minVersion := range msg.Dependencies {
 		if mode < Global && depKey == msg.GlobalDep {
 			continue
@@ -288,6 +433,7 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 			return werr
 		}
 	}
+	a.Stages.Observe(StageDepWait, time.Since(waitStart))
 
 	// Apply with a per-object version guard. When the waits succeeded,
 	// the guard always passes (ordering already ensured it); its value
@@ -295,6 +441,7 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 	// message may be out of order, so stale versions are discarded,
 	// weak-style) and redelivered messages after a worker failure
 	// (idempotence).
+	applyStart := time.Now()
 	for i := range msg.Operations {
 		op := &msg.Operations[i]
 		if err := a.applyGuarded(msg, op); err != nil {
@@ -310,11 +457,157 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 		k, _ := wire.ParseDepKey(depKey)
 		keys = append(keys, vstore.Key(k))
 	}
-	if err := a.store.IncrOps(keys); err != nil {
-		return err
+	// Same bootstrap Seq boundary as the batched path: bumps already
+	// covered by a bootstrap version snapshot must not re-increment.
+	if msg.Seq > a.bootSeqFor(msg.App) {
+		if err := a.store.IncrOps(keys); err != nil {
+			return err
+		}
 	}
+	a.Stages.Observe(StageApply, time.Since(applyStart))
 	a.Processed.Add(1)
 	a.recordApplied(msg)
+	return nil
+}
+
+// waitDepsMulti is the batched counterpart of waitDep: one registered
+// waiter and one pipelined check per round for the whole dependency
+// map, still sliced so a worker blocked on a dependency that will never
+// arrive (lost message, §6.5) can observe shutdown and queue
+// decommission instead of hanging forever. onBlock (may be nil) fires
+// once, before the first round that actually blocks.
+func (a *App) waitDepsMulti(reqs map[vstore.Key]uint64, timeout time.Duration, cancel <-chan struct{}, onBlock func()) error {
+	if onBlock != nil && timeout != 0 {
+		// Probe without blocking; only pay the spill when we would wait.
+		err := a.store.WaitAtLeastMulti(reqs, 0)
+		if err == nil || !errors.Is(err, vstore.ErrTimeout) {
+			return err
+		}
+		onBlock()
+	}
+	const slice = 100 * time.Millisecond
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		step := slice
+		if timeout == 0 {
+			step = 0
+		} else if timeout > 0 {
+			if rem := time.Until(deadline); rem < step {
+				step = rem
+			}
+		}
+		err := a.store.WaitAtLeastMulti(reqs, step)
+		if err == nil || !errors.Is(err, vstore.ErrTimeout) {
+			return err
+		}
+		if timeout >= 0 && (timeout == 0 || !time.Now().Before(deadline)) {
+			return vstore.ErrTimeout
+		}
+		select {
+		case <-cancel:
+			return errWaitInterrupted
+		default:
+		}
+		if q := a.Queue(); q != nil && q.Dead() {
+			// The queue died while we waited; abandon the message so
+			// the worker can run the recovery path.
+			return errWaitInterrupted
+		}
+	}
+}
+
+// applyStripe returns the per-object apply lock for a dependency key.
+// A version claim and its DB write must be atomic per object: without
+// the lock, a worker preempted between winning the claim and persisting
+// the row can write stale data after a newer version already landed —
+// and since the guard has recorded the newer version, no redelivery ever
+// repairs it (permanent divergence under weak/degraded processing).
+func (a *App) applyStripe(depKey string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(depKey); i++ {
+		h ^= uint32(depKey[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(a.applyLocks)))
+}
+
+// lockApplyStripes acquires the apply stripes for the given dependency
+// keys in index order (deduplicated), returning the unlock function.
+// Index ordering makes concurrent multi-op messages deadlock-free, the
+// same protocol the version store uses for its shards.
+func (a *App) lockApplyStripes(depKeys []string) func() {
+	var seen [64]bool
+	idx := make([]int, 0, len(depKeys))
+	for _, k := range depKeys {
+		i := a.applyStripe(k)
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		a.applyLocks[i].Lock()
+	}
+	return func() {
+		for j := len(idx) - 1; j >= 0; j-- {
+			a.applyLocks[idx[j]].Unlock()
+		}
+	}
+}
+
+// applyOpsBatched claims every guarded operation's object version in one
+// ApplyBatch round trip, then applies the operations in order. A claim
+// that loses (stale version) skips its operation, exactly like the
+// sequential applyGuarded path. If a DB apply fails mid-message, every
+// fresh claim from the failed operation onward is rolled back so the
+// redelivered message re-applies exactly the unapplied operations —
+// operations already persisted keep their claims and are skipped as
+// stale on redelivery (no double-apply). The apply stripes for every
+// guarded object are held from the claim window through the last DB
+// write (see applyStripe).
+func (a *App) applyOpsBatched(msg *wire.Message) error {
+	claims := make([]vstore.Claim, 0, len(msg.Operations))
+	idx := make([]int, 0, len(msg.Operations))
+	depKeys := make([]string, 0, len(msg.Operations))
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		v, guarded := a.objectVersion(msg, op)
+		if !guarded {
+			continue
+		}
+		claims = append(claims, vstore.Claim{Key: keyOf(op.ObjectDep), Version: v})
+		idx = append(idx, i)
+		depKeys = append(depKeys, op.ObjectDep)
+	}
+	unlock := a.lockApplyStripes(depKeys)
+	defer unlock()
+	results, err := a.store.ApplyBatch(claims)
+	if err != nil {
+		return err
+	}
+	claimed := make(map[int]vstore.ClaimResult, len(claims))
+	for ci := range claims {
+		claimed[idx[ci]] = results[ci]
+	}
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		if r, guarded := claimed[i]; guarded && !r.Applied {
+			continue // stale update: skip to the latest version
+		}
+		if err := a.applyOp(msg.App, op); err != nil {
+			for j := i; j < len(msg.Operations); j++ {
+				if rj, ok := claimed[j]; ok && rj.Applied {
+					v, _ := a.objectVersion(msg, &msg.Operations[j])
+					_ = a.store.RestoreVersion(keyOf(msg.Operations[j].ObjectDep), v, rj.Prev)
+				}
+			}
+			return err
+		}
+	}
 	return nil
 }
 
@@ -334,12 +627,18 @@ func (a *App) recordApplied(msg *wire.Message) {
 // processWeak implements weak delivery: per-object last-writer-wins,
 // discarding messages older than what the store has seen (§4.2).
 func (a *App) processWeak(msg *wire.Message) error {
-	for i := range msg.Operations {
-		op := &msg.Operations[i]
-		if err := a.applyGuarded(msg, op); err != nil {
-			return err
+	applyStart := time.Now()
+	if a.cfg.VStoreUnbatched {
+		for i := range msg.Operations {
+			op := &msg.Operations[i]
+			if err := a.applyGuarded(msg, op); err != nil {
+				return err
+			}
 		}
+	} else if err := a.applyOpsBatched(msg); err != nil {
+		return err
 	}
+	a.Stages.Observe(StageApply, time.Since(applyStart))
 	a.Processed.Add(1)
 	a.recordApplied(msg)
 	return nil
@@ -353,6 +652,10 @@ func (a *App) applyGuarded(msg *wire.Message, op *wire.Operation) error {
 	newVersion, guarded := a.objectVersion(msg, op)
 	var prev uint64
 	if guarded {
+		// Same claim/write atomicity as the batched path (see applyStripe).
+		mu := &a.applyLocks[a.applyStripe(op.ObjectDep)]
+		mu.Lock()
+		defer mu.Unlock()
 		applied, p, err := a.store.ApplyIfNewer(keyOf(op.ObjectDep), newVersion)
 		if err != nil {
 			return err

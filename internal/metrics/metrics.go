@@ -160,6 +160,98 @@ func (m *Meter) RateSince(start time.Time, end time.Time) float64 {
 	return float64(m.count) / elapsed
 }
 
+// StageStat is one stage's summary in a StageSet snapshot.
+type StageStat struct {
+	Count int
+	Mean  time.Duration
+	P95   time.Duration
+	Total time.Duration
+}
+
+// StageSet times the named stages of a processing pipeline (e.g. the
+// subscriber's decode / barrier / dep-wait / apply / ack stages), one
+// histogram per stage, preserving declaration order for display.
+type StageSet struct {
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*Histogram
+}
+
+// NewStageSet declares the stages in display order. Observing an
+// undeclared stage registers it on the fly.
+func NewStageSet(names ...string) *StageSet {
+	s := &StageSet{stages: make(map[string]*Histogram, len(names))}
+	for _, n := range names {
+		s.order = append(s.order, n)
+		s.stages[n] = NewHistogram()
+	}
+	return s
+}
+
+func (s *StageSet) stage(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.stages[name]
+	if !ok {
+		h = NewHistogram()
+		s.order = append(s.order, name)
+		s.stages[name] = h
+	}
+	return h
+}
+
+// Observe records one sample for the stage.
+func (s *StageSet) Observe(name string, d time.Duration) {
+	s.stage(name).Observe(d)
+}
+
+// Stages returns the stage names in declaration order.
+func (s *StageSet) Stages() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Stat summarizes one stage (zero value when the stage is unknown or
+// has no samples).
+func (s *StageSet) Stat(name string) StageStat {
+	s.mu.Lock()
+	h, ok := s.stages[name]
+	s.mu.Unlock()
+	if !ok {
+		return StageStat{}
+	}
+	return StageStat{Count: h.Count(), Mean: h.Mean(), P95: h.Percentile(95), Total: h.Sum()}
+}
+
+// Snapshot summarizes every stage, keyed by stage name.
+func (s *StageSet) Snapshot() map[string]StageStat {
+	out := make(map[string]StageStat)
+	for _, name := range s.Stages() {
+		out[name] = s.Stat(name)
+	}
+	return out
+}
+
+// Reset discards all samples in every stage.
+func (s *StageSet) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.stages {
+		h.Reset()
+	}
+}
+
+// String renders one line per stage: name, count, mean, p95.
+func (s *StageSet) String() string {
+	var b strings.Builder
+	for _, name := range s.Stages() {
+		st := s.Stat(name)
+		fmt.Fprintf(&b, "%-10s n=%-7d mean=%-10s p95=%s\n", name, st.Count, Fmt(st.Mean), Fmt(st.P95))
+	}
+	return b.String()
+}
+
 // Event is one entry on a Timeline.
 type Event struct {
 	At    time.Duration // offset from the timeline origin

@@ -125,3 +125,55 @@ func TestFmt(t *testing.T) {
 		t.Errorf("Fmt = %q", got)
 	}
 }
+
+func TestStageSet(t *testing.T) {
+	s := NewStageSet("decode", "apply")
+	s.Observe("decode", 2*time.Millisecond)
+	s.Observe("decode", 4*time.Millisecond)
+	s.Observe("apply", 10*time.Millisecond)
+	s.Observe("ack", time.Millisecond) // registered on the fly
+
+	if got := s.Stages(); len(got) != 3 || got[0] != "decode" || got[1] != "apply" || got[2] != "ack" {
+		t.Fatalf("Stages = %v", got)
+	}
+	st := s.Stat("decode")
+	if st.Count != 2 || st.Mean != 3*time.Millisecond || st.Total != 6*time.Millisecond {
+		t.Errorf("decode stat = %+v", st)
+	}
+	if st := s.Stat("unknown"); st.Count != 0 {
+		t.Errorf("unknown stage stat = %+v", st)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 || snap["apply"].Count != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if out := s.String(); !strings.Contains(out, "decode") || !strings.Contains(out, "3.00ms") {
+		t.Errorf("String = %q", out)
+	}
+	s.Reset()
+	if st := s.Stat("decode"); st.Count != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
+func TestStageSetConcurrent(t *testing.T) {
+	s := NewStageSet("a")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Observe("a", time.Microsecond)
+				s.Observe("b", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Stat("a").Count; got != 800 {
+		t.Errorf("a count = %d", got)
+	}
+	if got := s.Stat("b").Count; got != 800 {
+		t.Errorf("b count = %d", got)
+	}
+}

@@ -90,10 +90,18 @@ func (sh *shard) unlock(k Key) {
 // that no wakeup can be lost between the check and the registration.
 func (sh *shard) register(k Key) chan struct{} {
 	ch := make(chan struct{}, 1)
+	sh.registerCh(k, ch)
+	return ch
+}
+
+// registerCh registers a caller-owned waiter channel for the key. A
+// multi-key waiter registers one channel on every key it waits for
+// (across shards); wakeups are non-blocking sends, so duplicate
+// registrations of the same channel are harmless.
+func (sh *shard) registerCh(k Key, ch chan struct{}) {
 	sh.waitMu.Lock()
 	sh.waiters[k] = append(sh.waiters[k], ch)
 	sh.waitMu.Unlock()
-	return ch
 }
 
 // deregister removes a waiter channel (no-op if already woken).

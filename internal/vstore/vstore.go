@@ -15,15 +15,27 @@
 // Store"); a cardinality of 1 degenerates to global ordering, which the
 // ablation benchmark exploits.
 //
+// The hot-path entry points are the batched round-trip plans —
+// BumpBatch on the publisher side, WaitAtLeastMulti and ApplyBatch on
+// the subscriber side — which amortize a whole message's dependency
+// traffic into one scripted round trip per shard, the way the paper
+// batches version-store commands into LUA scripts and pipelines them.
+// The per-key operations (LockWrites/Bump, WaitAtLeast, ApplyIfNewer,
+// IncrOps) remain as the reference implementation the batch paths are
+// property-tested against, and as the unbatched ablation the Fig 13
+// round-trip benchmark compares with.
+//
 // An injectable per-script round-trip latency models the network cost of
 // a remote Redis, and Kill/Revive model version-store death for the
-// generation-number recovery path (§4.4).
+// generation-number recovery path (§4.4). Round-trip windows are counted
+// (RoundTrips) so benchmarks can report round trips per message.
 package vstore
 
 import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"synapse/internal/timeutil"
@@ -77,6 +89,13 @@ type Store struct {
 	ring   *ring
 	shards []*shard
 
+	// rt counts client-visible round-trip windows. Scripts pipelined to
+	// several shards in one window (the Redis pipelining the paper uses)
+	// count once; sequential script calls count once each. The counter
+	// advances even when the injected latency is zero, so unit-scale runs
+	// can still assert round-trip plans.
+	rt atomic.Uint64
+
 	mu   sync.RWMutex
 	dead bool
 }
@@ -95,6 +114,17 @@ func New(cfg Config) *Store {
 
 // Config returns the store's configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// RoundTrips reports the number of round-trip windows performed since
+// construction. Benchmarks diff it across a run to compute round trips
+// per message.
+func (s *Store) RoundTrips() uint64 { return s.rt.Load() }
+
+// charge accounts one round-trip window and injects its latency.
+func (s *Store) charge(cost time.Duration) {
+	s.rt.Add(1)
+	timeutil.Wait(cost, s.cfg.Precise)
+}
 
 // KeyFor hashes a dependency name into the store's key space.
 func (s *Store) KeyFor(name string) Key {
@@ -146,9 +176,32 @@ func (s *Store) Flush() {
 	}
 }
 
-// LockWrites acquires the write-dependency locks in sorted key order,
-// returning the ordered keys for UnlockWrites. Duplicate keys are
-// acquired once.
+// lockOrdered is the single place that defines the deadlock-free locking
+// protocol: cooperative key locks are always acquired in deduplicated
+// ascending key order, so two holders can never wait on each other in a
+// cycle regardless of the order callers list their keys in. Every path
+// that takes write locks (LockWrites, BumpBatch) goes through it. It
+// returns the held keys in acquisition order for unlockOrdered.
+func (s *Store) lockOrdered(keys []Key) []Key {
+	held := dedupSorted(keys)
+	for _, k := range held {
+		s.shardFor(k).lock(k)
+	}
+	return held
+}
+
+// unlockOrdered releases locks taken by lockOrdered, in reverse
+// acquisition order. It must be passed the exact slice lockOrdered
+// returned.
+func (s *Store) unlockOrdered(held []Key) {
+	for i := len(held) - 1; i >= 0; i-- {
+		s.shardFor(held[i]).unlock(held[i])
+	}
+}
+
+// LockWrites acquires the write-dependency locks in sorted key order
+// (see lockOrdered), returning the ordered keys for UnlockWrites.
+// Duplicate keys are acquired once.
 func (s *Store) LockWrites(keys []Key) ([]Key, error) {
 	if err := s.checkAlive(); err != nil {
 		return nil, err
@@ -156,21 +209,20 @@ func (s *Store) LockWrites(keys []Key) ([]Key, error) {
 	uniq := dedupSorted(keys)
 	// One batched lock script round trip (the 2PC steps of §4.2 each
 	// cost a version-store round trip).
-	timeutil.Wait(s.cfg.scriptCost(len(uniq)), s.cfg.Precise)
+	s.charge(s.cfg.scriptCost(len(uniq)))
 	for _, k := range uniq {
 		s.shardFor(k).lock(k)
 	}
 	return uniq, nil
 }
 
-// UnlockWrites releases locks taken by LockWrites. The unlock round
-// trip is charged after the locks are released so it never extends the
-// critical section.
+// UnlockWrites releases locks taken by LockWrites (it must be passed
+// the slice LockWrites returned, which is already in the canonical
+// sorted order). The unlock round trip is charged after the locks are
+// released so it never extends the critical section.
 func (s *Store) UnlockWrites(keys []Key) {
-	for i := len(keys) - 1; i >= 0; i-- {
-		s.shardFor(keys[i]).unlock(keys[i])
-	}
-	timeutil.Wait(s.cfg.scriptCost(len(keys)), s.cfg.Precise)
+	s.unlockOrdered(keys)
+	s.charge(s.cfg.scriptCost(len(keys)))
 }
 
 // Bump runs the publisher counter update of §4.2 for one operation:
@@ -185,16 +237,28 @@ func (s *Store) Bump(readDeps, writeDeps []Key) (map[Key]uint64, error) {
 	if err := s.checkAlive(); err != nil {
 		return nil, err
 	}
+	byShard, n := s.groupBumpOps(readDeps, writeDeps)
+	// Shards execute their scripts concurrently in a real deployment
+	// (pipelined round trips), so the injected latency is the slowest
+	// shard's cost, charged once, rather than the sum.
+	s.charge(s.maxShardCost(byShard))
+	return s.runBumpScripts(byShard, n), nil
+}
+
+// bumpOp is one key touched by a bump script, with its read/write role.
+type bumpOp struct {
+	key   Key
+	write bool
+}
+
+// groupBumpOps dedups the dependency keys (writes win over reads) and
+// groups them per shard so each shard executes one atomic script.
+func (s *Store) groupBumpOps(readDeps, writeDeps []Key) (map[*shard][]bumpOp, int) {
 	writes := make(map[Key]struct{}, len(writeDeps))
 	for _, k := range writeDeps {
 		writes[k] = struct{}{}
 	}
-	// Group keys per shard so each shard executes one atomic script.
-	type op struct {
-		key   Key
-		write bool
-	}
-	byShard := make(map[*shard][]op)
+	byShard := make(map[*shard][]bumpOp)
 	seen := make(map[Key]struct{})
 	addKey := func(k Key, write bool) {
 		if _, dup := seen[k]; dup {
@@ -202,7 +266,7 @@ func (s *Store) Bump(readDeps, writeDeps []Key) (map[Key]uint64, error) {
 		}
 		seen[k] = struct{}{}
 		sh := s.shardFor(k)
-		byShard[sh] = append(byShard[sh], op{key: k, write: write})
+		byShard[sh] = append(byShard[sh], bumpOp{key: k, write: write})
 	}
 	for _, k := range writeDeps {
 		addKey(k, true)
@@ -212,18 +276,25 @@ func (s *Store) Bump(readDeps, writeDeps []Key) (map[Key]uint64, error) {
 			addKey(k, false)
 		}
 	}
+	return byShard, len(seen)
+}
 
-	// Shards execute their scripts concurrently in a real deployment
-	// (pipelined round trips), so the injected latency is the slowest
-	// shard's cost, charged once, rather than the sum.
+// maxShardCost is the injected latency of one pipelined window: the
+// slowest shard script's cost.
+func (s *Store) maxShardCost(byShard map[*shard][]bumpOp) time.Duration {
 	var cost time.Duration
 	for _, ops := range byShard {
 		if c := s.cfg.scriptCost(len(ops)); c > cost {
 			cost = c
 		}
 	}
-	timeutil.Wait(cost, s.cfg.Precise)
-	out := make(map[Key]uint64, len(seen))
+	return cost
+}
+
+// runBumpScripts executes the §4.2 counter update on every shard and
+// collects the versions to embed in the message.
+func (s *Store) runBumpScripts(byShard map[*shard][]bumpOp, n int) map[Key]uint64 {
+	out := make(map[Key]uint64, n)
 	for sh, ops := range byShard {
 		sh.script(0, func(m map[Key]*entry) {
 			for _, o := range ops {
@@ -242,12 +313,65 @@ func (s *Store) Bump(readDeps, writeDeps []Key) (map[Key]uint64, error) {
 			}
 		})
 	}
-	return out, nil
+	return out
+}
+
+// Batch is a publisher round-trip plan in flight: the versions returned
+// by BumpBatch plus the write locks held until Release. It is the
+// batched replacement for the LockWrites → Bump → UnlockWrites chain.
+type Batch struct {
+	store    *Store
+	held     []Key
+	released bool
+	// Versions holds the version to embed in the message for every
+	// dependency key: version for reads, version−1 for writes (§4.2).
+	Versions map[Key]uint64
+}
+
+// BumpBatch runs the whole publisher counter update of §4.2 as one
+// scripted round trip per shard (the paper's Redis LUA scripts): it
+// acquires the dependency locks in the canonical deadlock-free order
+// (lockOrdered), increments ops, sets version for write dependencies,
+// and collects the versions to embed — all within a single pipelined
+// round-trip window, instead of the separate lock and bump windows of
+// the legacy chain. Locks cover reads and writes, like the callers of
+// LockWrites did, so broker queue order stays consistent with
+// dependency order; they are held until Release.
+func (s *Store) BumpBatch(readDeps, writeDeps []Key) (*Batch, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	all := make([]Key, 0, len(readDeps)+len(writeDeps))
+	all = append(all, writeDeps...)
+	all = append(all, readDeps...)
+	held := s.lockOrdered(all)
+	if err := s.checkAlive(); err != nil {
+		// The store died while we waited for a lock holder; hand back
+		// the locks rather than versions from a dead store.
+		s.unlockOrdered(held)
+		return nil, err
+	}
+	byShard, n := s.groupBumpOps(readDeps, writeDeps)
+	s.charge(s.maxShardCost(byShard))
+	return &Batch{store: s, held: held, Versions: s.runBumpScripts(byShard, n)}, nil
+}
+
+// Release unlocks the batch's write locks (reverse acquisition order)
+// and charges the unlock round trip after the locks are down, so it
+// never extends the critical section. Safe to call more than once.
+func (b *Batch) Release() {
+	if b.released {
+		return
+	}
+	b.released = true
+	b.store.unlockOrdered(b.held)
+	b.store.charge(b.store.cfg.scriptCost(len(b.held)))
 }
 
 // Counters returns the publisher counters for a key (zero when absent).
 func (s *Store) Counters(k Key) Counters {
 	var out Counters
+	s.rt.Add(1)
 	s.shardFor(k).script(0, func(m map[Key]*entry) {
 		if e := m[k]; e != nil {
 			out = Counters{Ops: e.ops, Version: e.version}
@@ -259,6 +383,7 @@ func (s *Store) Counters(k Key) Counters {
 // Ops returns the subscriber-side ops counter for a key.
 func (s *Store) Ops(k Key) uint64 {
 	var out uint64
+	s.rt.Add(1)
 	s.shardFor(k).script(0, func(m map[Key]*entry) {
 		if e := m[k]; e != nil {
 			out = e.ops
@@ -286,7 +411,7 @@ func (s *Store) IncrOps(keys []Key) error {
 			cost = c
 		}
 	}
-	timeutil.Wait(cost, s.cfg.Precise)
+	s.charge(cost)
 	for sh, ks := range byShard {
 		sh.script(0, func(m map[Key]*entry) {
 			for _, k := range ks {
@@ -310,7 +435,7 @@ func (s *Store) SetOps(k Key, val uint64) error {
 		return err
 	}
 	sh := s.shardFor(k)
-	timeutil.Wait(s.cfg.scriptCost(1), s.cfg.Precise)
+	s.charge(s.cfg.scriptCost(1))
 	sh.script(0, func(m map[Key]*entry) {
 		e := m[k]
 		if e == nil {
@@ -347,6 +472,7 @@ func (s *Store) WaitAtLeast(k Key, min uint64, timeout time.Duration) error {
 		// check and the wait cannot be lost.
 		ch := sh.register(k)
 		var cur uint64
+		s.rt.Add(1)
 		sh.script(0, func(m map[Key]*entry) {
 			if e := m[k]; e != nil {
 				cur = e.ops
@@ -375,6 +501,94 @@ func (s *Store) WaitAtLeast(k Key, min uint64, timeout time.Duration) error {
 	}
 }
 
+// WaitAtLeastMulti blocks until the ops counter of EVERY key in reqs
+// reaches its required minimum, the timeout elapses (ErrTimeout), or
+// the store dies (ErrDead). It is the batched replacement for one
+// WaitAtLeast call per dependency: a single waiter is registered for
+// the whole dependency map, and each check is one pipelined round trip
+// over the shards involved instead of one per key. Zero-minimum entries
+// are satisfied without any round trip. Timeout semantics follow
+// WaitAtLeast, applied to the map as a whole (a zero timeout checks
+// once; a negative timeout waits forever).
+func (s *Store) WaitAtLeastMulti(reqs map[Key]uint64, timeout time.Duration) error {
+	remaining := make(map[Key]uint64, len(reqs))
+	for k, min := range reqs {
+		if min > 0 {
+			remaining[k] = min
+		}
+	}
+	if len(remaining) == 0 {
+		return s.checkAlive()
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		if err := s.checkAlive(); err != nil {
+			return err
+		}
+		// One shared waiter channel, registered on every outstanding key
+		// BEFORE the check so no concurrent IncrOps wakeup can be lost.
+		ch := make(chan struct{}, 1)
+		regd := make([]Key, 0, len(remaining))
+		byShard := make(map[*shard][]Key)
+		for k := range remaining {
+			sh := s.shardFor(k)
+			sh.registerCh(k, ch)
+			regd = append(regd, k)
+			byShard[sh] = append(byShard[sh], k)
+		}
+		deregister := func() {
+			for _, k := range regd {
+				s.shardFor(k).deregister(k, ch)
+			}
+		}
+		// One pipelined check window over all shards involved.
+		var cost time.Duration
+		for _, ks := range byShard {
+			if c := s.cfg.scriptCost(len(ks)); c > cost {
+				cost = c
+			}
+		}
+		s.charge(cost)
+		var satisfied []Key
+		for sh, ks := range byShard {
+			sh.script(0, func(m map[Key]*entry) {
+				for _, k := range ks {
+					if e := m[k]; e != nil && e.ops >= remaining[k] {
+						satisfied = append(satisfied, k)
+					}
+				}
+			})
+		}
+		for _, k := range satisfied {
+			delete(remaining, k)
+		}
+		if len(remaining) == 0 {
+			deregister()
+			return nil
+		}
+		if timeout == 0 {
+			deregister()
+			return ErrTimeout
+		}
+		var waitFor time.Duration = -1
+		if timeout > 0 {
+			waitFor = time.Until(deadline)
+			if waitFor <= 0 {
+				deregister()
+				return ErrTimeout
+			}
+		}
+		ok := await(ch, waitFor)
+		deregister()
+		if !ok {
+			return ErrTimeout
+		}
+	}
+}
+
 // ApplyIfNewer implements weak-mode last-writer-wins: it atomically
 // checks whether version is newer than the stored version for the
 // object key and records it if so. Returns applied=false when the
@@ -385,7 +599,7 @@ func (s *Store) ApplyIfNewer(k Key, version uint64) (applied bool, prev uint64, 
 	if err := s.checkAlive(); err != nil {
 		return false, 0, err
 	}
-	timeutil.Wait(s.cfg.scriptCost(1), s.cfg.Precise)
+	s.charge(s.cfg.scriptCost(1))
 	s.shardFor(k).script(0, func(m map[Key]*entry) {
 		e := m[k]
 		if e == nil {
@@ -410,12 +624,72 @@ func (s *Store) RestoreVersion(k Key, expect, prev uint64) error {
 	if err := s.checkAlive(); err != nil {
 		return err
 	}
+	s.rt.Add(1)
 	s.shardFor(k).script(0, func(m map[Key]*entry) {
 		if e := m[k]; e != nil && e.version == expect {
 			e.version = prev
 		}
 	})
 	return nil
+}
+
+// Claim is one per-object version claim for ApplyBatch: the object's
+// dependency key and the post-write version the message carries.
+type Claim struct {
+	Key     Key
+	Version uint64
+}
+
+// ClaimResult mirrors ApplyIfNewer's result for one claim of a batch.
+type ClaimResult struct {
+	Applied bool
+	Prev    uint64
+}
+
+// ApplyBatch runs the ApplyIfNewer check-and-claim for a whole
+// message's operations in one pipelined round trip (one atomic script
+// per shard), the subscriber-side counterpart of BumpBatch. Claims are
+// evaluated in slice order, so several claims on the same key behave
+// exactly like sequential ApplyIfNewer calls. A failed apply is rolled
+// back per claim with RestoreVersion, as before.
+func (s *Store) ApplyBatch(claims []Claim) ([]ClaimResult, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	if len(claims) == 0 {
+		return nil, nil
+	}
+	out := make([]ClaimResult, len(claims))
+	byShard := make(map[*shard][]int)
+	for i, c := range claims {
+		sh := s.shardFor(c.Key)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	var cost time.Duration
+	for _, idxs := range byShard {
+		if c := s.cfg.scriptCost(len(idxs)); c > cost {
+			cost = c
+		}
+	}
+	s.charge(cost)
+	for sh, idxs := range byShard {
+		sh.script(0, func(m map[Key]*entry) {
+			for _, i := range idxs {
+				c := claims[i]
+				e := m[c.Key]
+				if e == nil {
+					e = &entry{}
+					m[c.Key] = e
+				}
+				out[i].Prev = e.version
+				if c.Version > e.version {
+					e.version = c.Version
+					out[i].Applied = true
+				}
+			}
+		})
+	}
+	return out, nil
 }
 
 // Snapshot copies all counters (publisher bulk-send during bootstrap).
@@ -425,6 +699,7 @@ func (s *Store) Snapshot() (map[Key]Counters, error) {
 	}
 	out := make(map[Key]Counters)
 	for _, sh := range s.shards {
+		s.rt.Add(1)
 		sh.script(s.cfg.scriptCost(1), func(m map[Key]*entry) {
 			for k, e := range m {
 				out[k] = Counters{Ops: e.ops, Version: e.version}

@@ -75,6 +75,30 @@ type Message struct {
 	// avoid double-counting messages already reflected in a version
 	// snapshot.
 	Seq uint64 `json:"seq"`
+
+	// parsedDeps caches the Dependencies map with its keys parsed back to
+	// hashed dependency keys. Populated lazily by Deps; not concurrency
+	// safe (a message is owned by one worker at a time).
+	parsedDeps map[uint64]uint64
+}
+
+// Deps returns the Dependencies map with keys parsed to hashed
+// dependency keys, caching the result so the subscriber pipeline parses
+// each message's map once rather than once per stage.
+func (m *Message) Deps() (map[uint64]uint64, error) {
+	if m.parsedDeps != nil {
+		return m.parsedDeps, nil
+	}
+	out := make(map[uint64]uint64, len(m.Dependencies))
+	for s, v := range m.Dependencies {
+		k, err := ParseDepKey(s)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	m.parsedDeps = out
+	return out, nil
 }
 
 // DepKey renders a hashed dependency key for the maps above.

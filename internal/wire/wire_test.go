@@ -169,3 +169,32 @@ func TestEmptyModelOnEmptyTypes(t *testing.T) {
 		t.Fatal("Model on empty types")
 	}
 }
+
+func TestDepsParsesAndCaches(t *testing.T) {
+	m := &Message{
+		App:          "pub",
+		Dependencies: map[string]uint64{"12": 3, "7": 0},
+	}
+	deps, err := m.Deps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 2 || deps[12] != 3 || deps[7] != 0 {
+		t.Fatalf("deps = %v", deps)
+	}
+	again, err := m.Deps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again[12] = 99
+	if third, _ := m.Deps(); third[12] != 99 {
+		t.Error("Deps did not return the cached map")
+	}
+}
+
+func TestDepsBadKey(t *testing.T) {
+	m := &Message{Dependencies: map[string]uint64{"not-a-number": 1}}
+	if _, err := m.Deps(); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
