@@ -46,6 +46,7 @@ func main() {
 		{"fig13c", runFig13c},
 		{"fig13rt", runFig13RT},
 		{"lostmsg", runLostMsg},
+		{"reliability", runReliability},
 		{"ablation-hash", runAblationHash},
 	}
 
@@ -182,6 +183,22 @@ func runLostMsg(quick bool) {
 		results = append(results, bench.RunLostMsg(cfg))
 	}
 	fmt.Print(bench.FormatLostMsg(results))
+}
+
+func runReliability(quick bool) {
+	base := bench.DefaultReliability()
+	if quick {
+		base.Writes = 40
+	}
+	var results []bench.ReliabilityResult
+	// MongoDB journals the final payload directly; PostgreSQL stages the
+	// journal row inside the data transaction (transactional outbox).
+	for _, engine := range []string{bench.MongoDB, bench.PostgreSQL} {
+		cfg := base
+		cfg.Engine = engine
+		results = append(results, bench.RunReliability(cfg))
+	}
+	fmt.Print(bench.FormatReliability(results))
 }
 
 func runAblationHash(quick bool) {

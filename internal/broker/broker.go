@@ -22,7 +22,16 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"synapse/internal/faultinject"
 )
+
+// FaultBrokerDrop is the named fault site consulted once per (queue,
+// message) delivery: an armed fault that returns an error drops the
+// message between the exchange and that queue, modelling the rare
+// message-loss events of §6.5 deterministically (SetLoss remains for
+// probabilistic loss).
+const FaultBrokerDrop = "broker/drop"
 
 // Errors returned by queue operations.
 var (
@@ -40,12 +49,17 @@ type Delivery struct {
 	Tag         uint64
 	Redelivered bool
 	Exchange    string
+	// Attempts counts prior FAILED processing attempts (NackError calls)
+	// for this message — 0 on first delivery. Spill handbacks via Nack do
+	// not count. Consumers use it to scale their retry backoff.
+	Attempts int
 }
 
 type item struct {
 	payload     []byte
 	exchange    string
 	redelivered bool
+	fails       int
 }
 
 // LossFunc decides whether to drop a message on its way into a queue.
@@ -57,6 +71,7 @@ type Broker struct {
 	bindings  map[string][]*Queue // exchange -> queues
 	queues    map[string]*Queue
 	loss      LossFunc
+	faults    *faultinject.Registry
 	published int64
 }
 
@@ -72,6 +87,14 @@ func New() *Broker {
 func (b *Broker) SetLoss(f LossFunc) {
 	b.mu.Lock()
 	b.loss = f
+	b.mu.Unlock()
+}
+
+// SetFaults installs (or clears, with nil) a fault-injection registry;
+// Publish fires FaultBrokerDrop on it once per queue delivery.
+func (b *Broker) SetFaults(r *faultinject.Registry) {
+	b.mu.Lock()
+	b.faults = r
 	b.mu.Unlock()
 }
 
@@ -159,10 +182,14 @@ func (b *Broker) Publish(exchange string, payload []byte) {
 	b.mu.Lock()
 	qs := append([]*Queue(nil), b.bindings[exchange]...)
 	loss := b.loss
+	faults := b.faults
 	b.published++
 	b.mu.Unlock()
 	for _, q := range qs {
 		if loss != nil && loss(q.name, exchange, payload) {
+			continue
+		}
+		if faults.Fire(FaultBrokerDrop) != nil {
 			continue
 		}
 		q.push(payload, exchange)
@@ -202,6 +229,14 @@ type Queue struct {
 	waiters   int    // consumers currently blocked in GetBatch
 	dead      bool   // decommissioned
 	closed    bool
+
+	// Dead-letter "set aside" list (§4): a message whose processing has
+	// failed maxAttempts times is parked here instead of wedging the
+	// consumer pool on endless redelivery. Parked messages stay
+	// inspectable and replayable.
+	maxAttempts  int
+	setAside     []*item
+	deadLettered int64 // total messages ever set aside
 }
 
 func newQueue(name string, maxLen int) *Queue {
@@ -234,6 +269,7 @@ func (q *Queue) push(payload []byte, exchange string) {
 		for tag := range q.unacked {
 			delete(q.unacked, tag)
 		}
+		q.setAside = nil
 		q.dead = true
 	}
 	q.cond.Broadcast()
@@ -335,7 +371,7 @@ func (q *Queue) takeLocked() Delivery {
 	q.nextTag++
 	tag := q.nextTag
 	q.unacked[tag] = it
-	return Delivery{Payload: it.payload, Tag: tag, Redelivered: it.redelivered, Exchange: it.exchange}
+	return Delivery{Payload: it.payload, Tag: tag, Redelivered: it.redelivered, Exchange: it.exchange, Attempts: it.fails}
 }
 
 // Ack confirms processing of a delivery.
@@ -372,6 +408,97 @@ func (q *Queue) Nack(tag uint64, requeue bool) error {
 		q.cond.Broadcast()
 	}
 	return nil
+}
+
+// SetMaxAttempts bounds failed processing attempts per message: after n
+// NackError calls a message is set aside (dead-lettered) instead of
+// requeued. n <= 0 (the default) disables the bound — failure nacks
+// requeue forever, the pre-dead-letter behaviour.
+func (q *Queue) SetMaxAttempts(n int) {
+	q.mu.Lock()
+	q.maxAttempts = n
+	q.mu.Unlock()
+}
+
+// NackError returns a delivery to the queue after a FAILED processing
+// attempt. Unlike Nack (which hands back unprocessed prefetch without
+// penalty), it increments the message's failure count; once the count
+// reaches the queue's max attempts the message is set aside on the
+// dead-letter list instead of requeued, so a poison message cannot
+// wedge the consumer pool. Reports whether the message was set aside.
+func (q *Queue) NackError(tag uint64) (deadLettered bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.unacked[tag]
+	if !ok {
+		if q.dead {
+			return false, ErrDecommissioned
+		}
+		return false, ErrBadTag
+	}
+	delete(q.unacked, tag)
+	if q.dead || q.closed {
+		return false, nil
+	}
+	it.fails++
+	it.redelivered = true
+	if q.maxAttempts > 0 && it.fails >= q.maxAttempts {
+		q.setAside = append(q.setAside, it)
+		q.deadLettered++
+		return true, nil
+	}
+	q.pending = append([]*item{it}, q.pending...)
+	q.cond.Broadcast()
+	return false, nil
+}
+
+// DeadLetters returns copies of the set-aside message payloads in the
+// order they were parked (inspection; the originals stay parked).
+func (q *Queue) DeadLetters() []Delivery {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Delivery, 0, len(q.setAside))
+	for _, it := range q.setAside {
+		payload := make([]byte, len(it.payload))
+		copy(payload, it.payload)
+		out = append(out, Delivery{Payload: payload, Redelivered: true, Exchange: it.exchange, Attempts: it.fails})
+	}
+	return out
+}
+
+// ReplayDeadLetters moves every set-aside message back to the front of
+// the queue (original park order preserved) with its failure count
+// reset, and reports how many were replayed. Used after the operator
+// clears the underlying fault.
+func (q *Queue) ReplayDeadLetters() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.setAside)
+	if n == 0 || q.dead || q.closed {
+		q.setAside = nil
+		return 0
+	}
+	for _, it := range q.setAside {
+		it.fails = 0
+	}
+	q.pending = append(append([]*item{}, q.setAside...), q.pending...)
+	q.setAside = nil
+	q.cond.Broadcast()
+	return n
+}
+
+// DeadLetterCount reports messages currently set aside.
+func (q *Queue) DeadLetterCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.setAside)
+}
+
+// DeadLettered reports the total messages ever set aside.
+func (q *Queue) DeadLettered() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.deadLettered
 }
 
 // Len reports pending (undelivered) messages.

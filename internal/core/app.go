@@ -5,8 +5,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"synapse/internal/broker"
+	"synapse/internal/faultinject"
 	"synapse/internal/metrics"
 	"synapse/internal/model"
 	"synapse/internal/orm"
@@ -83,6 +85,17 @@ type App struct {
 	env        map[string]any
 	envMu      sync.Mutex
 	recoverMu  sync.Mutex // serializes queue recovery
+	journalMu  sync.Mutex // serializes journal drains
+
+	// faults is the app's fault-injection registry (see faultinject).
+	// Always non-nil; inert unless a test arms a site.
+	faults *faultinject.Registry
+	// journalEpoch stamps this app instance's journal entry IDs so a
+	// restarted instance (same name, same database) can never collide
+	// with entries a crashed predecessor left behind.
+	journalEpoch int64
+	republished  *metrics.Counter // journal entries republished
+	retries      *metrics.Counter // failed deliveries requeued
 
 	workersMu sync.Mutex
 	stopCh    chan struct{}
@@ -99,9 +112,6 @@ type App struct {
 	// Stages times the subscriber pipeline per message (see the Stage*
 	// constants); surfaced in Stats.
 	Stages *metrics.StageSet
-
-	// hooks for fault injection in tests (nil in production).
-	beforePublish func(*App)
 }
 
 // NewApp registers a service on the fabric. mapper may be nil only for
@@ -125,6 +135,10 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 		descs:          make(map[string]*model.Descriptor),
 		gens:           make(map[string]*genState),
 		env:            make(map[string]any),
+		faults:         faultinject.New(),
+		journalEpoch:   time.Now().UnixNano(),
+		republished:    metrics.NewCounter(),
+		retries:        metrics.NewCounter(),
 		PublishLatency: metrics.NewHistogram(),
 		Processed:      metrics.NewMeter(),
 		Stages:         metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageAck),
@@ -134,6 +148,11 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 	}
 	if mapper != nil {
 		mapper.SetHost(a)
+		if !cfg.DisablePublishJournal {
+			if err := a.registerJournal(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	// The publisher generation starts at whatever the coordinator
 	// remembers (a restarted app resumes its generation).
@@ -169,6 +188,18 @@ type Stats struct {
 	// RoundTripsPerMessage is VStoreRoundTrips over the total messages
 	// published and processed (0 when no messages have flowed).
 	RoundTripsPerMessage float64
+	// JournalDepth is the publish-journal entries awaiting a broker send
+	// (nonzero only mid-publish or after a crash).
+	JournalDepth int
+	// Republished counts journal entries resent by RecoverJournal.
+	Republished int64
+	// Retries counts failed deliveries requeued for another attempt.
+	Retries int64
+	// DeadLetters is the messages currently set aside on the queue's
+	// dead-letter list; DeadLettered is the total ever set aside
+	// (replayed messages leave the list but stay counted).
+	DeadLetters  int
+	DeadLettered int64
 	// Stages summarizes the subscriber pipeline timers by stage name.
 	Stages map[string]metrics.StageStat
 }
@@ -179,12 +210,43 @@ func (a *App) Stats() Stats {
 		Published:        a.seq.Load(),
 		Processed:        a.Processed.Count(),
 		VStoreRoundTrips: a.store.RoundTrips(),
+		JournalDepth:     a.JournalDepth(),
+		Republished:      a.republished.Count(),
+		Retries:          a.retries.Count(),
 		Stages:           a.Stages.Snapshot(),
+	}
+	if q := a.Queue(); q != nil {
+		st.DeadLetters = q.DeadLetterCount()
+		st.DeadLettered = q.DeadLettered()
 	}
 	if n := float64(st.Published) + float64(st.Processed); n > 0 {
 		st.RoundTripsPerMessage = float64(st.VStoreRoundTrips) / n
 	}
 	return st
+}
+
+// Faults returns the app's fault-injection registry; tests arm named
+// sites on it (see the Fault* constants in journal.go and the broker's
+// FaultBrokerDrop). Inert unless armed.
+func (a *App) Faults() *faultinject.Registry { return a.faults }
+
+// DeadLetters returns copies of the messages set aside after exceeding
+// Config.MaxDeliveryAttempts, oldest first (inspection).
+func (a *App) DeadLetters() []broker.Delivery {
+	if q := a.Queue(); q != nil {
+		return q.DeadLetters()
+	}
+	return nil
+}
+
+// ReplayDeadLetters requeues every set-aside message for another round
+// of delivery attempts (after the operator clears the underlying
+// fault), reporting how many were replayed.
+func (a *App) ReplayDeadLetters() int {
+	if q := a.Queue(); q != nil {
+		return q.ReplayDeadLetters()
+	}
+	return 0
 }
 
 // Name returns the app name (also its broker exchange name).
@@ -384,6 +446,7 @@ func (a *App) ensureQueue() {
 	defer a.mu.Unlock()
 	if a.queue == nil || a.queue.Dead() {
 		a.queue = a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+		a.queue.SetMaxAttempts(a.cfg.MaxDeliveryAttempts)
 	}
 }
 

@@ -102,6 +102,23 @@ type Config struct {
 	// Kept for the batched-vs-unbatched ablation benchmark; semantics are
 	// identical either way.
 	VStoreUnbatched bool
+	// MaxDeliveryAttempts bounds failed processing attempts per
+	// subscribed message: after this many failures the message is set
+	// aside on the queue's dead-letter list instead of redelivered
+	// (inspect with App.DeadLetters, requeue with App.ReplayDeadLetters).
+	// 0 (the default) retries forever.
+	MaxDeliveryAttempts int
+	// RetryBackoffBase is the delay before the first redelivery of a
+	// failed message; each subsequent failure doubles it (default 1ms).
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps the exponential redelivery backoff
+	// (default 100ms).
+	RetryBackoffMax time.Duration
+	// DisablePublishJournal turns off the durable publish journal, losing
+	// crash atomicity between the local commit and the broker send — the
+	// paper's original behaviour, where a crash in that window requires a
+	// subscriber bootstrap to heal. Kept for the journal ablation tests.
+	DisablePublishJournal bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +136,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DepTimeout == 0 {
 		c.DepTimeout = WaitForever
+	}
+	if c.RetryBackoffBase <= 0 {
+		c.RetryBackoffBase = time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 100 * time.Millisecond
 	}
 	return c
 }

@@ -6,13 +6,33 @@ import (
 	"testing"
 	"time"
 
+	"synapse/internal/faultinject"
 	"synapse/internal/model"
 )
 
+// crashPublish runs one Create on the app expecting the armed fault
+// site to kill the "process" (a recovered crash panic).
+func crashPublish(t *testing.T, pub *App, id, name string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("crash fault did not fire")
+		} else if !faultinject.IsCrash(r) {
+			panic(r)
+		}
+	}()
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", id)
+	rec.Set("name", name)
+	_, _ = ctl.Create(rec)
+}
+
 // TestCrashBetweenCommitAndPublish simulates the worst 2PC gap: the
 // publisher commits locally and dies before the message reaches the
-// broker. The subscriber diverges until the next bootstrap resyncs it —
-// the recovery the paper's design leans on (§4.4).
+// broker. The durable publish journal closes it: the staged message
+// survives in the publisher's own database and RecoverJournal — the
+// restarted publisher's first act — republishes it, converging the
+// subscriber with NO bootstrap.
 func TestCrashBetweenCommitAndPublish(t *testing.T) {
 	f := NewFabric()
 	pub, pubMapper := newDocApp(t, f, "pub", Config{})
@@ -20,22 +40,12 @@ func TestCrashBetweenCommitAndPublish(t *testing.T) {
 	sub, subMapper := newDocApp(t, f, "sub", Config{})
 	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
 
-	// Arm the crash: panic after the DB commit, before the broker send.
-	pub.beforePublish = func(*App) { panic("process killed") }
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("crash hook did not fire")
-			}
-		}()
-		ctl := pub.NewController(nil)
-		rec := model.NewRecord("User", "u1")
-		rec.Set("name", "committed-but-unpublished")
-		_, _ = ctl.Create(rec)
-	}()
-	pub.beforePublish = nil
+	// Arm the crash: die after the DB commit, before the broker send.
+	pub.Faults().Arm(FaultBeforePublish, faultinject.Crash())
+	crashPublish(t, pub, "u1", "committed-but-unpublished")
 
-	// The write committed locally but no message exists.
+	// The write committed locally, no message reached the broker, and
+	// the journal retains the staged message.
 	if _, err := pubMapper.Find("User", "u1"); err != nil {
 		t.Fatalf("local commit missing: %v", err)
 	}
@@ -43,14 +53,26 @@ func TestCrashBetweenCommitAndPublish(t *testing.T) {
 	if _, err := subMapper.Find("User", "u1"); err == nil {
 		t.Fatal("subscriber received a message that was never published")
 	}
-
-	// Recovery: a (partial) bootstrap closes the gap.
-	if err := sub.Bootstrap("pub"); err != nil {
-		t.Fatal(err)
+	if d := pub.JournalDepth(); d != 1 {
+		t.Fatalf("journal depth = %d, want 1", d)
 	}
+
+	// Recovery: the restarted publisher drains its journal. No
+	// subscriber bootstrap anywhere.
+	n, err := pub.RecoverJournal()
+	if err != nil || n != 1 {
+		t.Fatalf("RecoverJournal = %d, %v; want 1, nil", n, err)
+	}
+	if d := pub.JournalDepth(); d != 0 {
+		t.Fatalf("journal depth after drain = %d, want 0", d)
+	}
+	if got := pub.Stats().Republished; got != 1 {
+		t.Errorf("Stats.Republished = %d, want 1", got)
+	}
+	drain(t, sub)
 	got, err := subMapper.Find("User", "u1")
 	if err != nil || got.String("name") != "committed-but-unpublished" {
-		t.Fatalf("bootstrap did not heal the gap: %+v, %v", got, err)
+		t.Fatalf("journal replay did not heal the gap: %+v, %v", got, err)
 	}
 
 	// And live replication continues normally afterwards.
@@ -64,6 +86,117 @@ func TestCrashBetweenCommitAndPublish(t *testing.T) {
 	got, _ = subMapper.Find("User", "u1")
 	if got.String("name") != "alive-again" {
 		t.Errorf("post-recovery update = %q", got.String("name"))
+	}
+}
+
+// TestCrashBetweenCommitAndPublishTransactional is the same crash on a
+// transactional (SQL) publisher, where the journal entry rides in the
+// SAME engine transaction as the data write (the transactional outbox):
+// the committed-but-unsent state is guaranteed to leave a journal entry.
+func TestCrashBetweenCommitAndPublishTransactional(t *testing.T) {
+	f := NewFabric()
+	pub, pubMapper := newSQLApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	pub.Faults().Arm(FaultBeforePublish, faultinject.Crash())
+	crashPublish(t, pub, "u1", "committed-but-unpublished")
+
+	if _, err := pubMapper.Find("User", "u1"); err != nil {
+		t.Fatalf("local commit missing: %v", err)
+	}
+	if d := pub.JournalDepth(); d != 1 {
+		t.Fatalf("journal depth = %d, want 1", d)
+	}
+	if n, err := pub.RecoverJournal(); err != nil || n != 1 {
+		t.Fatalf("RecoverJournal = %d, %v; want 1, nil", n, err)
+	}
+	drain(t, sub)
+	got, err := subMapper.Find("User", "u1")
+	if err != nil || got.String("name") != "committed-but-unpublished" {
+		t.Fatalf("journal replay did not heal the gap: %+v, %v", got, err)
+	}
+}
+
+// TestCrashBeforeJournalAck covers the other half of the window: the
+// message reached the broker but the publisher died before deleting the
+// journal entry. Recovery republishes a duplicate, which the
+// subscriber's per-object version guard absorbs (exactly one apply).
+func TestCrashBeforeJournalAck(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	var applies int
+	d, _ := sub.Descriptor("User")
+	d.Callbacks.On(model.AfterCreate, func(*model.CallbackCtx) error {
+		applies++
+		return nil
+	})
+	d.Callbacks.On(model.AfterUpdate, func(*model.CallbackCtx) error {
+		applies++
+		return nil
+	})
+
+	pub.Faults().Arm(FaultBeforeJournalAck, faultinject.Crash())
+	crashPublish(t, pub, "u1", "sent-but-unacked")
+
+	if d := pub.JournalDepth(); d != 1 {
+		t.Fatalf("journal depth = %d, want 1", d)
+	}
+	if n, err := pub.RecoverJournal(); err != nil || n != 1 {
+		t.Fatalf("RecoverJournal = %d, %v; want 1, nil", n, err)
+	}
+	// Both the original send and the replay are in the queue.
+	drain(t, sub)
+	got, err := subMapper.Find("User", "u1")
+	if err != nil || got.String("name") != "sent-but-unacked" {
+		t.Fatalf("subscriber state: %+v, %v", got, err)
+	}
+	if applies != 1 {
+		t.Errorf("applied %d times, want exactly 1 (duplicate replay must be discarded)", applies)
+	}
+}
+
+// TestCrashBetweenCommitAndPublishBootstrapAblation keeps the paper's
+// original recovery as the ablation arm: with the journal disabled the
+// same crash leaves no local record of the unsent message, and only a
+// subscriber bootstrap (§4.4) can close the gap.
+func TestCrashBetweenCommitAndPublishBootstrapAblation(t *testing.T) {
+	f := NewFabric()
+	pub, pubMapper := newDocApp(t, f, "pub", Config{DisablePublishJournal: true})
+	mustPublish(t, pub, userDesc(), "name")
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	pub.Faults().Arm(FaultBeforePublish, faultinject.Crash())
+	crashPublish(t, pub, "u1", "committed-but-unpublished")
+
+	// The write committed locally but nothing records the lost message.
+	if _, err := pubMapper.Find("User", "u1"); err != nil {
+		t.Fatalf("local commit missing: %v", err)
+	}
+	if d := pub.JournalDepth(); d != 0 {
+		t.Fatalf("journal depth = %d, want 0 with the journal disabled", d)
+	}
+	if n, err := pub.RecoverJournal(); err != nil || n != 0 {
+		t.Fatalf("RecoverJournal = %d, %v; want 0, nil", n, err)
+	}
+	drain(t, sub)
+	if _, err := subMapper.Find("User", "u1"); err == nil {
+		t.Fatal("subscriber received a message that was never published")
+	}
+
+	// Only a (partial) bootstrap closes the gap.
+	if err := sub.Bootstrap("pub"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := subMapper.Find("User", "u1")
+	if err != nil || got.String("name") != "committed-but-unpublished" {
+		t.Fatalf("bootstrap did not heal the gap: %+v, %v", got, err)
 	}
 }
 

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"synapse/internal/model"
+)
+
+// TestDeadLetterSetAsideAndReplay drives the subscriber retry policy end
+// to end: a message whose apply keeps failing is retried with backoff,
+// set aside after Config.MaxDeliveryAttempts failures (the pool keeps
+// draining other messages), stays inspectable through App.DeadLetters,
+// and applies cleanly after the operator clears the fault and calls
+// App.ReplayDeadLetters.
+func TestDeadLetterSetAsideAndReplay(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	sub, subMapper := newDocApp(t, f, "sub", Config{
+		MaxDeliveryAttempts: 2,
+		RetryBackoffBase:    time.Microsecond,
+	})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	// The fault: applying the "poison" user fails until cleared.
+	var faulty atomic.Bool
+	faulty.Store(true)
+	d, _ := sub.Descriptor("User")
+	d.Callbacks.On(model.BeforeCreate, func(ctx *model.CallbackCtx) error {
+		if faulty.Load() && ctx.Record.ID == "poison" {
+			return errors.New("downstream dependency offline")
+		}
+		return nil
+	})
+
+	sub.StartWorkers(1)
+	defer sub.StopWorkers()
+
+	for _, id := range []string{"poison", "ok1", "ok2"} {
+		ctl := pub.NewController(nil)
+		rec := model.NewRecord("User", id)
+		rec.Set("name", "v-"+id)
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The healthy messages flow past the failing one...
+	waitFor(t, 10*time.Second, func() bool {
+		_, e1 := subMapper.Find("User", "ok1")
+		_, e2 := subMapper.Find("User", "ok2")
+		return e1 == nil && e2 == nil
+	})
+	// ...and the poison message lands on the dead-letter list after its
+	// attempts are exhausted.
+	waitFor(t, 10*time.Second, func() bool {
+		return sub.Stats().DeadLetters == 1
+	})
+	if _, err := subMapper.Find("User", "poison"); err == nil {
+		t.Fatal("poison message applied despite persistent failure")
+	}
+
+	st := sub.Stats()
+	if st.DeadLettered != 1 {
+		t.Errorf("Stats.DeadLettered = %d, want 1", st.DeadLettered)
+	}
+	if st.Retries < 1 {
+		t.Errorf("Stats.Retries = %d, want >= 1 (one requeue before set-aside)", st.Retries)
+	}
+	dls := sub.DeadLetters()
+	if len(dls) != 1 || dls[0].Exchange != "pub" || dls[0].Attempts != 2 {
+		t.Fatalf("DeadLetters = %+v, want one entry from pub with 2 attempts", dls)
+	}
+
+	// Operator clears the fault and replays the set-aside messages.
+	faulty.Store(false)
+	if n := sub.ReplayDeadLetters(); n != 1 {
+		t.Fatalf("ReplayDeadLetters = %d, want 1", n)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		got, err := subMapper.Find("User", "poison")
+		return err == nil && got.String("name") == "v-poison"
+	})
+	if sub.Stats().DeadLetters != 0 {
+		t.Errorf("DeadLetters = %d after replay, want 0", sub.Stats().DeadLetters)
+	}
+}

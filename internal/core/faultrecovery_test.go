@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"synapse/internal/faultinject"
+	"synapse/internal/model"
+)
+
+// TestCrashRecoveryProperty is the randomized crash/restart property
+// test for the reliable-delivery pipeline: a publisher driven by a
+// seeded schedule of writes is killed at random fault sites
+// (crash-before-publish, crash-before-journal-ack), restarted (its
+// journal drained — itself sometimes crashed mid-drain and re-drained),
+// and a causal subscriber with randomly injected apply errors must
+// converge to the publisher's exact database state via journal replay
+// and delivery retry ALONE — no Bootstrap call anywhere. Each seed is a
+// fully deterministic schedule.
+func TestCrashRecoveryProperty(t *testing.T) {
+	for _, engine := range []string{"doc", "sql"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", engine, seed), func(t *testing.T) {
+				runCrashRecoverySchedule(t, engine, seed)
+			})
+		}
+	}
+}
+
+func runCrashRecoverySchedule(t *testing.T, engine string, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	f := NewFabric()
+	var pub *App
+	switch engine {
+	case "sql":
+		pub, _ = newSQLApp(t, f, "pub", Config{})
+	default:
+		pub, _ = newDocApp(t, f, "pub", Config{})
+	}
+	mustPublish(t, pub, userDesc(), "likes")
+	sub, subMapper := newDocApp(t, f, "sub", Config{})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"likes"}, Mode: Causal})
+	pubMapper := pub.Mapper()
+
+	// --- Phase 1: the write schedule. A crashed process cannot keep
+	// writing, so every crash is followed by a restart (journal drain)
+	// before the schedule resumes — occasionally the drain itself
+	// crashes mid-way and is re-run, leaving duplicate replays in the
+	// queue for the subscriber to absorb.
+	const writes = 40
+	ids := []string{"u0", "u1", "u2", "u3"}
+	created := make(map[string]bool)
+	crashes, midDrainCrashes := 0, 0
+
+	recoverCrash := func(fn func()) (crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if !faultinject.IsCrash(r) {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		fn()
+		return false
+	}
+
+	for i := 0; i < writes; i++ {
+		id := ids[rng.Intn(len(ids))]
+		switch rng.Intn(5) {
+		case 0:
+			pub.Faults().Arm(FaultBeforePublish, faultinject.Crash())
+		case 1:
+			pub.Faults().Arm(FaultBeforeJournalAck, faultinject.Crash())
+		}
+		crashed := recoverCrash(func() {
+			ctl := pub.NewController(nil)
+			rec := model.NewRecord("User", id)
+			rec.Set("likes", i)
+			var err error
+			if created[id] {
+				_, err = ctl.Update(rec)
+			} else {
+				_, err = ctl.Create(rec)
+			}
+			if err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		})
+		created[id] = true // committed even when the send crashed
+		if !crashed {
+			pub.Faults().Reset() // drop an unfired arm before the next write
+			continue
+		}
+		crashes++
+		// Restart: drain the journal, sometimes dying mid-drain first.
+		if rng.Intn(2) == 0 {
+			pub.Faults().Arm(FaultJournalDrain, faultinject.Crash())
+			if recoverCrash(func() {
+				_, _ = pub.RecoverJournal()
+			}) {
+				midDrainCrashes++
+			}
+		}
+		if _, err := pub.RecoverJournal(); err != nil {
+			t.Fatalf("RecoverJournal after write %d: %v", i, err)
+		}
+		if d := pub.JournalDepth(); d != 0 {
+			t.Fatalf("journal not empty after recovery: depth %d", d)
+		}
+	}
+	if crashes == 0 {
+		t.Fatalf("seed %d scheduled no crashes; property not exercised", seed)
+	}
+
+	// --- Phase 2: the subscriber works through the backlog (original
+	// sends, replays, duplicates) with a few injected apply errors to
+	// exercise the retry path.
+	for n := 0; n < 3; n++ {
+		sub.Faults().ArmN(FaultApply, rng.Intn(writes), 1, faultinject.Fail(errors.New("injected apply error")))
+	}
+	sub.StartWorkers(4)
+	defer sub.StopWorkers()
+
+	converged := func() bool {
+		q := sub.Queue()
+		if q == nil || q.Len() > 0 || q.Unacked() > 0 {
+			return false
+		}
+		for id := range created {
+			want, err := pubMapper.Find("User", id)
+			if err != nil {
+				return false
+			}
+			got, err := subMapper.Find("User", id)
+			if err != nil || got.Int("likes") != want.Int("likes") {
+				return false
+			}
+		}
+		return true
+	}
+	waitFor(t, 20*time.Second, converged)
+
+	if got := pub.Stats().Republished; got < int64(crashes) {
+		t.Errorf("republished %d < %d crashes", got, crashes)
+	}
+	t.Logf("seed %d: %d crashes (%d mid-drain), %d republished, %d retries",
+		seed, crashes, midDrainCrashes, pub.Stats().Republished, sub.Stats().Retries)
+}

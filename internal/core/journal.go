@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"synapse/internal/model"
+	"synapse/internal/orm"
+	"synapse/internal/wire"
+)
+
+// The durable publish journal closes the paper's crash window between
+// the publisher's local commit and the broker send (§4.2 discusses the
+// 2PC; the original system heals the window with a subscriber
+// bootstrap). Every message is staged in the publisher's OWN storage
+// engine before the broker send and deleted right after it:
+//
+//   - On transactional engines the journal row rides in the same engine
+//     transaction as the data writes (the transactional-outbox pattern),
+//     staged after Prepare via orm.TxJournaler because its payload — the
+//     bumped dependency versions — only exists then. Commit therefore
+//     persists data and journal atomically: there is no state in which
+//     the data committed but no record of the unsent message survives.
+//   - On non-transactional engines the journal entry is written between
+//     the data apply and the broker send. A crash between the two leaves
+//     the paper's original (now much smaller) window; a crash after
+//     leaves an entry to replay.
+//
+// RecoverJournal republishes surviving entries VERBATIM with respect to
+// dependency versions: the crashed publish already bumped the
+// version-store counters, and a message carrying those exact versions is
+// the only thing that can fill the resulting gap in subscriber ops
+// counters — re-running the publisher algorithm would burn fresh
+// versions and wedge strict-causal subscribers forever. Replays may
+// duplicate a send that did reach the broker (crash between send and
+// journal delete); the subscriber side is idempotent for liveness — the
+// per-object version guard discards the duplicate apply, and the
+// duplicate ops increments only run subscriber counters ahead, which
+// weakens ordering for already-delivered messages but never blocks.
+
+// journalModel is the reserved model backing the publish journal, one
+// instance ("synapse_journals" row/document) per in-flight message.
+const journalModel = "SynapseJournal"
+
+// Named fault sites on the publish/recovery path (see faultinject).
+const (
+	// FaultBeforePublish fires after the local commit (and journal
+	// write) but before the broker send — the classic crash window.
+	FaultBeforePublish = "publish/before-send"
+	// FaultBeforeJournalAck fires between the broker send and the
+	// journal-entry delete; a crash here leaves a duplicate replay.
+	FaultBeforeJournalAck = "publish/before-journal-ack"
+	// FaultJournalDrain fires after each recovery republish, before the
+	// entry delete; a crash here tests re-entrant drains.
+	FaultJournalDrain = "journal/drain"
+	// FaultApply fires at the top of every subscriber-side operation
+	// apply, driving the retry/dead-letter path.
+	FaultApply = "subscribe/apply"
+)
+
+func journalDescriptor() *model.Descriptor {
+	return model.NewDescriptor(journalModel,
+		model.Field{Name: "payload", Type: model.String},
+	)
+}
+
+// registerJournal binds the journal model to the app's own storage
+// engine (NewApp, when the app has a database and journaling is on).
+func (a *App) registerJournal() error {
+	if _, ok := a.mapper.Descriptor(journalModel); ok {
+		return nil
+	}
+	return a.mapper.Register(journalDescriptor())
+}
+
+// journaling reports whether publishes go through the durable journal.
+func (a *App) journaling() bool {
+	return a.mapper != nil && !a.cfg.DisablePublishJournal
+}
+
+// journalID builds the entry's primary key: instance epoch then message
+// seq, both fixed-width so lexicographic id order (what Mapper.Each
+// iterates in) is publish order, and entries left by a crashed
+// predecessor instance sort — and therefore replay — before new ones.
+func (a *App) journalID(seq uint64) string {
+	return fmt.Sprintf("%020d-%016d", a.journalEpoch, seq)
+}
+
+// journalRecord wraps a marshalled message as a journal entry.
+func (a *App) journalRecord(payload []byte, seq uint64) *model.Record {
+	rec := model.NewRecord(journalModel, a.journalID(seq))
+	rec.Set("payload", string(payload))
+	return rec
+}
+
+// journalAck deletes the entry after a successful broker send. A failed
+// delete is deliberately swallowed: the entry replays on the next
+// recovery and the duplicate is idempotent, whereas failing the publish
+// here would report an error for a write that fully succeeded.
+func (a *App) journalAck(id string) {
+	_ = a.mapper.Delete(journalModel, id)
+}
+
+// JournalDepth reports the journal entries currently awaiting a broker
+// send — nonzero only while a publish is in flight or after a crash.
+func (a *App) JournalDepth() int {
+	if !a.journaling() {
+		return 0
+	}
+	if _, ok := a.mapper.Descriptor(journalModel); !ok {
+		return 0
+	}
+	return a.mapper.Len(journalModel)
+}
+
+// RecoverJournal republishes every journal entry left by a crashed
+// publish and reports how many it drained. A restarted publisher calls
+// it before serving traffic (StartWorkers also kicks it for apps that
+// consume); it is safe to call at any time — entries for in-flight
+// publishes cannot be observed because the journal is only nonempty
+// between an entry's commit and its ack, both inside performWrites, and
+// drains are serialized against each other (not against publishes; a
+// live publisher should not call this concurrently with writes).
+func (a *App) RecoverJournal() (int, error) {
+	if !a.journaling() {
+		return 0, nil
+	}
+	if _, ok := a.mapper.Descriptor(journalModel); !ok {
+		return 0, nil
+	}
+	a.journalMu.Lock()
+	defer a.journalMu.Unlock()
+
+	var entries []*model.Record
+	if err := a.mapper.Each(journalModel, "", func(r *model.Record) bool {
+		entries = append(entries, r)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	drained := 0
+	for _, e := range entries {
+		msg, err := wire.Unmarshal([]byte(e.String("payload")))
+		if err != nil {
+			// A corrupt entry can never replay; drop it rather than
+			// wedge every future recovery on it.
+			a.journalAck(e.ID)
+			continue
+		}
+		a.refreshJournalAttrs(msg)
+		msg.Recovered = true
+		payload, err := wire.Marshal(msg)
+		if err != nil {
+			return drained, err
+		}
+		a.fabric.Broker.Publish(a.name, payload)
+		a.republished.Inc()
+		drained++
+		if err := a.faults.Fire(FaultJournalDrain); err != nil {
+			return drained, err
+		}
+		a.journalAck(e.ID)
+	}
+	return drained, nil
+}
+
+// refreshJournalAttrs re-projects each operation's published attributes
+// from the current database state. Transactional journal entries carry
+// the attributes as staged pre-commit (the read-back — defaults,
+// engine-computed columns — only exists after Commit, too late to ride
+// in the transaction), so the replay re-reads the committed row. An
+// object missing or unprojectable keeps its journaled attributes: it
+// was deleted after the crashed publish, and the delete's own message
+// supersedes this one under the version guard.
+func (a *App) refreshJournalAttrs(msg *wire.Message) {
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		if op.Operation == wire.OpDestroy {
+			continue
+		}
+		desc, ok := a.Descriptor(op.Model())
+		if !ok || a.isEphemeral(op.Model()) {
+			continue
+		}
+		rec, err := a.mapper.Find(op.Model(), op.ID)
+		if err != nil {
+			continue
+		}
+		if attrs := a.projectPublished(desc, rec); attrs != nil {
+			op.Attributes = attrs
+		}
+	}
+}
+
+// stageJournalTx stages the entry into the prepared data transaction
+// (transactional-outbox). Reports false when the engine cannot, in
+// which case the caller journals post-commit like the non-tx path.
+func (a *App) stageJournalTx(tx orm.MapperTx, payload []byte, seq uint64) (string, bool, error) {
+	jtx, ok := tx.(orm.TxJournaler)
+	if !ok {
+		return "", false, nil
+	}
+	rec := a.journalRecord(payload, seq)
+	if err := jtx.StageJournal(rec); err != nil {
+		return "", false, err
+	}
+	return rec.ID, true, nil
+}
+
+// journalDirect writes the entry as a plain insert (non-transactional
+// engines, post-apply; transactional engines whose tx cannot journal).
+func (a *App) journalDirect(payload []byte, seq uint64) (string, error) {
+	rec := a.journalRecord(payload, seq)
+	if _, err := a.mapper.Create(rec); err != nil {
+		return "", err
+	}
+	return rec.ID, nil
+}

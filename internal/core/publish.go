@@ -144,8 +144,33 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 	defer plan.release()
 	deps := plan.versions
 
+	seq := a.seq.Add(1)
+	journaling := !allEphemeral && a.journaling()
+	var journalID string
+	journaled := false
+
 	dbStart := time.Now()
 	if useTx {
+		if journaling {
+			// Stage the journal entry into the prepared transaction (the
+			// transactional outbox; see journal.go). The skeleton message
+			// carries the REAL dependency versions — the only part of the
+			// payload that a replay cannot reconstruct — and the staged
+			// attributes, which the replay refreshes from the committed
+			// rows.
+			skel, err := a.buildMessage(staged, stagedRecords(staged), objectDeps, deps, external, mode, seq)
+			if err != nil {
+				return nil, err
+			}
+			skelPayload, err := wire.Marshal(skel)
+			if err != nil {
+				return nil, err
+			}
+			journalID, journaled, err = a.stageJournalTx(tx, skelPayload, seq)
+			if err != nil {
+				return nil, err
+			}
+		}
 		committed, err := tx.Commit()
 		if err != nil {
 			// The version store advanced but the commit failed after a
@@ -168,54 +193,37 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 	dbTime += time.Since(dbStart)
 
 	// --- Step 6: build and send the message.
-	msg := &wire.Message{
-		App:          a.name,
-		Operations:   make([]wire.Operation, len(staged)),
-		Dependencies: make(map[string]uint64, len(deps)),
-		PublishedAt:  time.Now().UTC(),
-		Generation:   a.generation.Load(),
-		Seq:          a.seq.Add(1),
-	}
-	for k, v := range deps {
-		msg.Dependencies[wire.DepKey(uint64(k))] = v
-	}
-	if len(external) > 0 {
-		msg.External = make(map[string]uint64, len(external))
-		for _, e := range external {
-			msg.External[wire.DepKey(e.extKey)] = e.extOps
-		}
-	}
-	if mode == Global {
-		msg.GlobalDep = wire.DepKey(uint64(a.store.KeyFor(globalDepName(a.name))))
-	}
-	for i, op := range staged {
-		w := written[i]
-		desc, _ := a.Descriptor(op.rec.Model)
-		wireOp := wire.Operation{
-			Operation: op.verb,
-			Types:     desc.TypeChain(),
-			ID:        op.rec.ID,
-			ObjectDep: wire.DepKey(uint64(a.store.KeyFor(objectDeps[i]))),
-		}
-		if op.verb != wire.OpDestroy {
-			wireOp.Attributes = a.projectPublished(desc, w)
-		} else if len(op.rec.Attrs) > 0 {
-			// Final attributes for DB-less observers (see above).
-			wireOp.Attributes = a.projectPublished(desc, op.rec)
-		}
-		msg.Operations[i] = wireOp
-	}
-	if err := wire.Validate(msg); err != nil {
+	msg, err := a.buildMessage(staged, written, objectDeps, deps, external, mode, seq)
+	if err != nil {
 		return nil, err
 	}
 	payload, err := wire.Marshal(msg)
 	if err != nil {
 		return nil, err
 	}
-	if a.beforePublish != nil {
-		a.beforePublish(a)
+	if journaling && !journaled {
+		// Non-transactional engine (or a tx that cannot journal): write
+		// the entry — final payload this time — right after the apply.
+		journalID, err = a.journalDirect(payload, seq)
+		if err != nil {
+			return nil, err
+		}
+		journaled = true
+	}
+	if err := a.faults.Fire(FaultBeforePublish); err != nil {
+		// The write is committed (and journaled); only the send failed.
+		// RecoverJournal replays it.
+		return nil, err
 	}
 	a.fabric.Broker.Publish(a.name, payload)
+	if journaled {
+		if err := a.faults.Fire(FaultBeforeJournalAck); err != nil {
+			// Sent but not acked: the entry survives and replays as a
+			// duplicate, which the subscriber version guard absorbs.
+			return nil, err
+		}
+		a.journalAck(journalID)
+	}
 	plan.release()
 
 	// --- Controller scope bookkeeping for causal chaining.
@@ -230,6 +238,64 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		a.Timeline.Record(a.name, "synapse-pub", fmt.Sprintf("seq=%d ops=%d", msg.Seq, len(msg.Operations)))
 	}
 	return written, nil
+}
+
+// buildMessage assembles the wire message for one write group (§4.2
+// step 6). recs[i] supplies the published attributes for staged[i]: the
+// committed read-back on the final message, or the staged record on the
+// journal skeleton (whose attributes the replay refreshes from the
+// database, see refreshJournalAttrs).
+func (a *App) buildMessage(staged []stagedWrite, recs []*model.Record, objectDeps []string, deps map[vstore.Key]uint64, external []depRef, mode DeliveryMode, seq uint64) (*wire.Message, error) {
+	msg := &wire.Message{
+		App:          a.name,
+		Operations:   make([]wire.Operation, len(staged)),
+		Dependencies: make(map[string]uint64, len(deps)),
+		PublishedAt:  time.Now().UTC(),
+		Generation:   a.generation.Load(),
+		Seq:          seq,
+	}
+	for k, v := range deps {
+		msg.Dependencies[wire.DepKey(uint64(k))] = v
+	}
+	if len(external) > 0 {
+		msg.External = make(map[string]uint64, len(external))
+		for _, e := range external {
+			msg.External[wire.DepKey(e.extKey)] = e.extOps
+		}
+	}
+	if mode == Global {
+		msg.GlobalDep = wire.DepKey(uint64(a.store.KeyFor(globalDepName(a.name))))
+	}
+	for i, op := range staged {
+		desc, _ := a.Descriptor(op.rec.Model)
+		wireOp := wire.Operation{
+			Operation: op.verb,
+			Types:     desc.TypeChain(),
+			ID:        op.rec.ID,
+			ObjectDep: wire.DepKey(uint64(a.store.KeyFor(objectDeps[i]))),
+		}
+		if op.verb != wire.OpDestroy {
+			wireOp.Attributes = a.projectPublished(desc, recs[i])
+		} else if len(op.rec.Attrs) > 0 {
+			// Final attributes for DB-less observers (see performWrites).
+			wireOp.Attributes = a.projectPublished(desc, op.rec)
+		}
+		msg.Operations[i] = wireOp
+	}
+	if err := wire.Validate(msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// stagedRecords projects the staged records out of a write group (the
+// attribute source for journal skeleton messages).
+func stagedRecords(staged []stagedWrite) []*model.Record {
+	out := make([]*model.Record, len(staged))
+	for i, op := range staged {
+		out[i] = op.rec
+	}
+	return out
 }
 
 // depPlan is one message group's version-store round-trip plan: the

@@ -100,6 +100,14 @@ func (a *App) StartWorkers(n int) {
 		a.workersWG.Add(1)
 		go a.workerLoop(stop)
 	}
+	// A restarting app may have journal entries from a crashed publish;
+	// drain them before (well, concurrently with) serving traffic. A
+	// no-op for apps with an empty journal.
+	a.workersWG.Add(1)
+	go func() {
+		defer a.workersWG.Done()
+		_, _ = a.RecoverJournal()
+	}()
 }
 
 // StopWorkers stops all workers and waits for them to drain in-flight
@@ -196,11 +204,22 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 		}
 		if stopped || perr != nil {
 			spill()
-			_ = q.Nack(d.Tag, true)
-			if perr != nil {
-				// Redeliver; the message may succeed once its dependencies
-				// arrive or the fault clears.
-				time.Sleep(time.Millisecond)
+			if perr == nil {
+				// Stopping, not failing: hand the message back without
+				// penalty.
+				_ = q.Nack(d.Tag, true)
+				return
+			}
+			// Failed processing: requeue through the failure-counting
+			// nack. After Config.MaxDeliveryAttempts failures the broker
+			// sets the message aside (dead-letter) so a poison message
+			// cannot wedge the pool; until then back off exponentially
+			// before the worker looks at the queue again, so redelivery
+			// does not spin on a persistent fault.
+			dead, _ := q.NackError(d.Tag)
+			if !dead {
+				a.retries.Inc()
+				a.retryBackoff(d.Attempts, stop)
 			}
 			return
 		}
@@ -210,6 +229,27 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 		if spilled {
 			return
 		}
+	}
+}
+
+// retryBackoff sleeps before a failed message's redelivery attempt:
+// exponential from Config.RetryBackoffBase, doubling per prior failure,
+// capped at Config.RetryBackoffMax, interruptible by worker stop.
+func (a *App) retryBackoff(attempts int, stop <-chan struct{}) {
+	delay := a.cfg.RetryBackoffMax
+	if attempts < 16 { // beyond 2^16 the shift is past any sane cap
+		if d := a.cfg.RetryBackoffBase << uint(attempts); d < delay {
+			delay = d
+		}
+	}
+	if delay <= 0 {
+		return
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-stop:
+	case <-t.C:
 	}
 }
 
@@ -695,6 +735,9 @@ func keyOf(depKey string) vstore.Key {
 // still maintained by the caller, since later messages may depend on
 // them.
 func (a *App) applyOp(origin string, op *wire.Operation) error {
+	if err := a.faults.Fire(FaultApply); err != nil {
+		return err
+	}
 	modelName, spec := a.matchSubscription(origin, op.Types)
 	if spec == nil {
 		return nil

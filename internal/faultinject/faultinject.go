@@ -1,0 +1,135 @@
+// Package faultinject provides named fault sites for deterministic
+// failure testing. Production code calls Fire at well-known points of
+// the write and delivery paths (e.g. "publish/before-send"); tests arm
+// faults at those sites — an injected error, or a simulated process
+// crash (panic) — with hit-count precision, so a randomized crash/
+// restart schedule is fully reproducible from its seed.
+//
+// A nil *Registry is valid and inert: Fire on it is a no-op, so
+// production paths pay one nil check when no faults are configured.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fault is one armed behaviour at a site. It returns the error to
+// inject (nil to let the hit pass), or panics to simulate a crash.
+type Fault func(site string) error
+
+// Crash returns a fault that simulates the process dying at the site by
+// panicking with a *CrashPanic. Test harnesses recover the panic with
+// IsCrash and treat everything after the site as never having run.
+func Crash() Fault {
+	return func(site string) error {
+		panic(&CrashPanic{Site: site})
+	}
+}
+
+// Fail returns a fault that injects err at the site.
+func Fail(err error) Fault {
+	return func(string) error { return err }
+}
+
+// CrashPanic is the panic value raised by Crash faults.
+type CrashPanic struct{ Site string }
+
+// Error makes the panic value readable when it escapes a test recover.
+func (c *CrashPanic) Error() string {
+	return fmt.Sprintf("faultinject: simulated crash at %s", c.Site)
+}
+
+// IsCrash reports whether a recovered panic value is a simulated crash.
+func IsCrash(r any) bool {
+	_, ok := r.(*CrashPanic)
+	return ok
+}
+
+// arm is one armed fault: skip hits pass through untouched, then the
+// fault fires for `times` hits (times < 0 = forever), then it expires.
+type arm struct {
+	skip  int
+	times int
+	f     Fault
+}
+
+// Registry tracks armed faults and hit counts per site.
+type Registry struct {
+	mu   sync.Mutex
+	arms map[string][]*arm
+	hits map[string]int
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{arms: make(map[string][]*arm), hits: make(map[string]int)}
+}
+
+// Arm installs a one-shot fault at the site: the next hit fires it.
+func (r *Registry) Arm(site string, f Fault) { r.ArmN(site, 0, 1, f) }
+
+// ArmN installs a fault at the site that skips the next `skip` hits,
+// then fires for `times` hits (times < 0 fires forever).
+func (r *Registry) ArmN(site string, skip, times int, f Fault) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.arms[site] = append(r.arms[site], &arm{skip: skip, times: times, f: f})
+}
+
+// Disarm removes every fault armed at the site.
+func (r *Registry) Disarm(site string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.arms, site)
+}
+
+// Reset removes all faults and zeroes all hit counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.arms = make(map[string][]*arm)
+	r.hits = make(map[string]int)
+}
+
+// Hits reports how many times the site has been hit (fired or not).
+func (r *Registry) Hits(site string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits[site]
+}
+
+// Fire records a hit at the site and runs the first armed fault that is
+// due, returning its injected error. Crash faults panic from inside
+// Fire. Safe on a nil registry (no-op).
+func (r *Registry) Fire(site string) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.hits[site]++
+	var due Fault
+	arms := r.arms[site]
+	for i, a := range arms {
+		if a.skip > 0 {
+			a.skip--
+			continue
+		}
+		due = a.f
+		if a.times > 0 {
+			a.times--
+		}
+		if a.times == 0 {
+			r.arms[site] = append(arms[:i], arms[i+1:]...)
+		}
+		break
+	}
+	r.mu.Unlock()
+	if due == nil {
+		return nil
+	}
+	return due(site)
+}

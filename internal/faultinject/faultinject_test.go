@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if err := r.Fire("anywhere"); err != nil {
+		t.Fatalf("nil registry fired: %v", err)
+	}
+	if r.Hits("anywhere") != 0 {
+		t.Fatal("nil registry counted hits")
+	}
+}
+
+func TestArmOneShot(t *testing.T) {
+	r := New()
+	boom := errors.New("boom")
+	r.Arm("site", Fail(boom))
+	if err := r.Fire("site"); !errors.Is(err, boom) {
+		t.Fatalf("first hit = %v, want boom", err)
+	}
+	if err := r.Fire("site"); err != nil {
+		t.Fatalf("second hit = %v, want nil (one-shot)", err)
+	}
+	if got := r.Hits("site"); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+}
+
+func TestArmNSkipAndTimes(t *testing.T) {
+	r := New()
+	boom := errors.New("boom")
+	r.ArmN("site", 2, 3, Fail(boom))
+	var fired int
+	for i := 0; i < 10; i++ {
+		if r.Fire("site") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	// The two skipped hits came first.
+	if r.Fire("site") != nil {
+		t.Fatal("expired arm still firing")
+	}
+}
+
+func TestArmForever(t *testing.T) {
+	r := New()
+	r.ArmN("site", 0, -1, Fail(errors.New("always")))
+	for i := 0; i < 5; i++ {
+		if r.Fire("site") == nil {
+			t.Fatalf("hit %d did not fire", i)
+		}
+	}
+	r.Disarm("site")
+	if r.Fire("site") != nil {
+		t.Fatal("disarmed site still firing")
+	}
+}
+
+func TestCrashPanics(t *testing.T) {
+	r := New()
+	r.Arm("site", Crash())
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("crash fault did not panic")
+		}
+		if !IsCrash(rec) {
+			t.Fatalf("panic value %v is not a CrashPanic", rec)
+		}
+		if rec.(*CrashPanic).Site != "site" {
+			t.Fatalf("crash site = %q", rec.(*CrashPanic).Site)
+		}
+	}()
+	_ = r.Fire("site")
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.ArmN("site", 0, -1, Fail(errors.New("x")))
+	_ = r.Fire("site")
+	r.Reset()
+	if r.Fire("site") != nil || r.Hits("site") != 1 {
+		t.Fatal("reset did not clear arms and counters")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -112,6 +113,25 @@ func (h *Histogram) Reset() {
 	h.sorted = false
 	h.mu.Unlock()
 }
+
+// Counter is a monotonically increasing event counter (journal
+// republishes, delivery retries, dead-letters). Unlike Meter it carries
+// no clock; it is a plain concurrency-safe tally.
+type Counter struct {
+	n atomic.Int64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add records n events.
+func (c *Counter) Add(n int64) { c.n.Add(n) }
+
+// Inc records one event.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Count reports the events recorded so far.
+func (c *Counter) Count() int64 { return c.n.Load() }
 
 // Meter counts events over a wall-clock interval to compute throughput.
 type Meter struct {

@@ -24,6 +24,7 @@ type txHandle interface {
 	Insert(table string, row storage.Row) error
 	Update(table, id string, cols map[string]any) error
 	Delete(table, id string) error
+	InsertPrepared(table string, row storage.Row) error
 	Prepare() error
 	Commit() ([]storage.Row, error)
 	Abort()
@@ -101,6 +102,28 @@ func (tx *Tx) Delete(modelName, id string) error {
 
 // Prepare locks and validates the staged writes.
 func (tx *Tx) Prepare() error { return tx.tx.Prepare() }
+
+// StageJournal implements orm.TxJournaler: the publish-journal record
+// rides in the same engine transaction as the data writes, staged after
+// Prepare (when its payload — the bumped dependency versions — exists).
+// Journal rows have app-unique IDs, so the extra row lock cannot
+// deadlock with concurrent transactions, and the fresh-ID validation in
+// InsertPrepared keeps the Commit-cannot-fail guarantee.
+func (tx *Tx) StageJournal(rec *model.Record) error {
+	table, d, err := tx.m.table(rec.Model)
+	if err != nil {
+		return err
+	}
+	if err := d.Validate(rec); err != nil {
+		return err
+	}
+	if err := tx.tx.InsertPrepared(table, toRow(rec)); err != nil {
+		return err
+	}
+	tx.m.Stats().Writes.Add(1)
+	tx.ops = append(tx.ops, txRecOp{modelName: rec.Model, id: rec.ID, hook: model.AfterCreate})
+	return nil
+}
 
 // Commit applies the staged writes, returning the written objects (the
 // engine-level read-back) in operation order, and runs after-callbacks.

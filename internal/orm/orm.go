@@ -108,6 +108,20 @@ type MapperTx interface {
 	Abort()
 }
 
+// TxJournaler is implemented by MapperTx's whose engine can stage one
+// more insert after Prepare. Synapse stages its publish-journal record
+// through it, making the journal entry atomic with the data commit: the
+// journal payload embeds the version-store dependency versions, which
+// exist only after Prepare (the §4.2 2PC interleaves the version bump
+// between Prepare and Commit). Mappers without it get the journal entry
+// as a separate write immediately after the commit.
+type TxJournaler interface {
+	// StageJournal adds the journal record to the prepared transaction.
+	// The record's model must already be registered. After a nil return,
+	// Commit persists the journal row atomically with the data writes.
+	StageJournal(rec *model.Record) error
+}
+
 // Stats counts engine queries issued by an adapter. ExtraReads counts
 // the additional read queries needed on engines that cannot return
 // written rows — the cost difference §4.1 describes between PostgreSQL

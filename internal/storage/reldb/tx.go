@@ -194,6 +194,34 @@ func (tx *Tx) validateLocked() error {
 	return nil
 }
 
+// InsertPrepared stages one additional insert into an already-prepared
+// transaction. Synapse uses it to append a publish-journal row so the
+// journal entry commits atomically with the data writes it describes —
+// the journal payload (dependency versions) only exists after Prepare,
+// when the version-store counters have been bumped. To preserve the
+// after-Prepare guarantee that Commit cannot fail, the row is validated
+// here: its lock is acquired and the insert is rejected if the row
+// already exists.
+func (tx *Tx) InsertPrepared(table string, row storage.Row) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.state != txPrepared {
+		return storage.ErrTxClosed
+	}
+	key := lockKey(table, row.ID)
+	held := tx.db.rowLocks.AcquireAll([]string{key})
+	if _, err := tx.db.Get(table, row.ID); err == nil {
+		tx.db.rowLocks.ReleaseAll(held)
+		return fmt.Errorf("%w: %s/%s", storage.ErrExists, table, row.ID)
+	} else if err != storage.ErrNotFound {
+		tx.db.rowLocks.ReleaseAll(held)
+		return err
+	}
+	tx.held = append(tx.held, held...)
+	tx.ops = append(tx.ops, txOp{kind: opInsert, table: table, id: row.ID, row: row.Clone()})
+	return nil
+}
+
 // Commit applies the staged operations and releases locks, returning the
 // written rows in operation order (deletes yield a row with only the ID
 // set). Commit without a successful Prepare performs Prepare first.

@@ -75,6 +75,10 @@ type Message struct {
 	// avoid double-counting messages already reflected in a version
 	// snapshot.
 	Seq uint64 `json:"seq"`
+	// Recovered marks a message republished from the publish journal
+	// after a crash. Replays may duplicate an original send; subscribers
+	// rely on the per-object version guard to make them idempotent.
+	Recovered bool `json:"recovered,omitempty"`
 
 	// parsedDeps caches the Dependencies map with its keys parsed back to
 	// hashed dependency keys. Populated lazily by Deps; not concurrency

@@ -1,9 +1,18 @@
 #!/bin/sh
-# check.sh — the full local gate: build, vet, race-enabled tests.
-# Run from anywhere; it always operates on the repository root.
+# check.sh — the full local gate: formatting, build, vet, race-enabled
+# tests with a coverage floor. Run from anywhere; it always operates on
+# the repository root. CI runs exactly this via `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -11,7 +20,19 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (with coverage) =="
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -race -covermode=atomic -coverprofile="$profile" ./...
+
+echo "== coverage floor =="
+floor=$(cat scripts/coverage_floor.txt)
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+echo "total coverage: ${total}% (floor: ${floor}%)"
+awk -v total="$total" -v floor="$floor" 'BEGIN { exit (total + 0 >= floor + 0) ? 0 : 1 }' || {
+    echo "coverage ${total}% fell below the floor ${floor}% recorded in scripts/coverage_floor.txt" >&2
+    echo "(fix: add tests, or consciously lower the floor in the same change)" >&2
+    exit 1
+}
 
 echo "OK"

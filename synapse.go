@@ -38,6 +38,7 @@ package synapse
 
 import (
 	"synapse/internal/core"
+	"synapse/internal/faultinject"
 	"synapse/internal/jobs"
 	"synapse/internal/model"
 	"synapse/internal/orm"
@@ -138,6 +139,34 @@ var (
 	ErrNotOwner      = core.ErrNotOwner
 	ErrDecoratorAttr = core.ErrDecoratorAttr
 )
+
+// Fault injection (§4.5 testing). Arm named fault sites on an app's
+// registry (App.Faults) to kill or fail the delivery pipeline at a
+// precise seam; see DESIGN.md §2c.
+type (
+	// Fault is the action taken when an armed site fires.
+	Fault = faultinject.Fault
+	// FaultRegistry holds the armed sites of one app (or broker).
+	FaultRegistry = faultinject.Registry
+)
+
+// Named fault sites on the publish/recover/apply path.
+const (
+	FaultBeforePublish    = core.FaultBeforePublish
+	FaultBeforeJournalAck = core.FaultBeforeJournalAck
+	FaultJournalDrain     = core.FaultJournalDrain
+	FaultApply            = core.FaultApply
+)
+
+// Crash returns a Fault that models process death at the site (a
+// recoverable panic; test with IsCrash).
+func Crash() Fault { return faultinject.Crash() }
+
+// FailWith returns a Fault that makes the site return err.
+func FailWith(err error) Fault { return faultinject.Fail(err) }
+
+// IsCrash reports whether a recovered panic value came from Crash.
+func IsCrash(r any) bool { return faultinject.IsCrash(r) }
 
 // NewFabric creates an empty ecosystem.
 func NewFabric() *Fabric { return core.NewFabric() }
