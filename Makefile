@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: build, vet,
 # and the full test suite under the race detector.
 
-.PHONY: check test bench
+.PHONY: check test bench chaos
 
 check:
 	./scripts/check.sh
@@ -12,3 +12,8 @@ test:
 # Regenerates the Fig 13 round-trip sweep and BENCH_fig13.json.
 bench:
 	go run ./cmd/synapse-bench -exp fig13rt
+
+# Long-haul chaos soak: 100 seeds of long fault scripts (partitions,
+# broker crash/restarts, version-store deaths) that must all converge.
+chaos:
+	CHAOS_SOAK=1 go test ./internal/chaos/ -run TestChaosSoak -v -timeout 30m

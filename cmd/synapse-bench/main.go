@@ -6,11 +6,14 @@
 // Usage:
 //
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
-//	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|ablation-hash|all
+//	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|reliability|
+//	                   chaos|ablation-hash|all
 //	              [-quick]
 //
 // fig13rt additionally writes BENCH_fig13.json (round trips per message,
-// batched vs unbatched) so future changes have a perf trajectory.
+// batched vs unbatched) and chaos writes BENCH_chaos.json (seeded fault
+// scripts, convergence + recovery times) so future changes have perf and
+// robustness trajectories.
 //
 // -quick shrinks every sweep for a fast end-to-end pass.
 package main
@@ -47,6 +50,7 @@ func main() {
 		{"fig13rt", runFig13RT},
 		{"lostmsg", runLostMsg},
 		{"reliability", runReliability},
+		{"chaos", runChaos},
 		{"ablation-hash", runAblationHash},
 	}
 
@@ -199,6 +203,31 @@ func runReliability(quick bool) {
 		results = append(results, bench.RunReliability(cfg))
 	}
 	fmt.Print(bench.FormatReliability(results))
+}
+
+func runChaos(quick bool) {
+	cfg := bench.DefaultChaos()
+	if quick {
+		cfg.Seeds = 6
+		cfg.Writes = 20
+		cfg.Steps = 5
+	}
+	results, err := bench.RunChaos(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatChaos(results))
+	doc, err := bench.MarshalChaos(results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_chaos.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_chaos.json")
 }
 
 func runAblationHash(quick bool) {

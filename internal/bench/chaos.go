@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"synapse/internal/chaos"
+)
+
+// ---------------------------------------------------------------------
+// Chaos: seeded fault scripts over a simulated network — partitions,
+// broker crash/restarts, version-store deaths — with exact cross-engine
+// convergence as the pass condition (§4.4's fault model end to end).
+// ---------------------------------------------------------------------
+
+// ChaosConfig parameterizes the chaos experiment: Seeds consecutive
+// seeds starting at FirstSeed, each running one chaos.Run script.
+type ChaosConfig struct {
+	FirstSeed int64
+	Seeds     int
+	Writes    int
+	Steps     int
+	Objects   int
+}
+
+// DefaultChaos mirrors the headline property test: 25 seeds, default
+// script length.
+func DefaultChaos() ChaosConfig {
+	return ChaosConfig{FirstSeed: 1, Seeds: 25}
+}
+
+// RunChaos runs the seeded scripts serially (each run owns its own
+// fabric; serial keeps the per-run timings honest).
+func RunChaos(cfg ChaosConfig) ([]chaos.Result, error) {
+	results := make([]chaos.Result, 0, cfg.Seeds)
+	for i := 0; i < cfg.Seeds; i++ {
+		res, err := chaos.Run(chaos.Config{
+			Seed:    cfg.FirstSeed + int64(i),
+			Writes:  cfg.Writes,
+			Steps:   cfg.Steps,
+			Objects: cfg.Objects,
+		})
+		if err != nil {
+			return results, fmt.Errorf("seed %d: %w", res.Seed, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FormatChaos renders the per-seed chaos runs.
+func FormatChaos(results []chaos.Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Chaos: seeded fault scripts (partitions, broker bounces, vstore kills)")
+	fmt.Fprintln(&b, "(exact cross-engine convergence, zero regressions, no Bootstrap call)")
+	fmt.Fprintf(&b, "%5s %7s %8s %6s %6s %6s %6s %6s %6s %7s %6s %10s %10s\n",
+		"seed", "bounces", "partns", "kills", "bumps", "drops", "dups", "defer", "repub", "redeliv", "regr", "converged", "recovery")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%5d %7d %8d %6d %6d %6d %6d %6d %6d %7d %6d %10v %10s\n",
+			r.Seed, r.BrokerBounces, r.Partitions, r.VStoreKills, r.GenBumps,
+			r.Net.Drops, r.Net.Duplicates, r.Deferred, r.Republished, r.Redelivered,
+			r.Regressions, r.Converged, r.RecoveryTime.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// MarshalChaos serializes the runs for BENCH_chaos.json so future
+// changes have a robustness trajectory to diff against.
+func MarshalChaos(results []chaos.Result) ([]byte, error) {
+	converged := 0
+	var worst time.Duration
+	for _, r := range results {
+		if r.Converged {
+			converged++
+		}
+		if r.RecoveryTime > worst {
+			worst = r.RecoveryTime
+		}
+	}
+	doc := struct {
+		Experiment    string         `json:"experiment"`
+		Description   string         `json:"description"`
+		Seeds         int            `json:"seeds"`
+		Converged     int            `json:"converged"`
+		WorstRecovery string         `json:"worst_recovery"`
+		Runs          []chaos.Result `json:"runs"`
+	}{
+		Experiment:    "chaos",
+		Description:   "seeded fault scripts (bidirectional partitions, broker crash/restarts, version-store deaths healed by generation bumps) over a simulated lossy network; pass = exact cross-engine convergence with zero lost and zero double-applied updates, no Bootstrap call",
+		Seeds:         len(results),
+		Converged:     converged,
+		WorstRecovery: worst.Round(time.Microsecond).String(),
+		Runs:          results,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -50,6 +50,7 @@ type ReliabilityResult struct {
 	MidDrainCrashes int
 	Republished     int64
 	Retries         int64
+	Redelivered     int64
 	DeadLettered    int64
 	JournalDepth    int
 	Converged       bool
@@ -180,6 +181,7 @@ func RunReliability(cfg ReliabilityConfig) ReliabilityResult {
 	pst, sst := pub.Stats(), sub.Stats()
 	res.Republished = pst.Republished
 	res.Retries = sst.Retries
+	res.Redelivered = sst.Redelivered
 	res.DeadLettered = sst.DeadLettered
 	res.JournalDepth = pst.JournalDepth
 	return res
@@ -207,12 +209,12 @@ func FormatReliability(results []ReliabilityResult) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Reliability: journal replay + retry + dead-letter under a seeded crash schedule")
 	fmt.Fprintln(&b, "(convergence without Bootstrap; journal depth must return to 0)")
-	fmt.Fprintf(&b, "%-12s %7s %8s %9s %12s %8s %7s %7s %10s %14s\n",
-		"engine", "writes", "crashes", "mid-drain", "republished", "retries", "dead", "depth", "converged", "converge time")
+	fmt.Fprintf(&b, "%-12s %7s %8s %9s %12s %8s %8s %7s %7s %10s %14s\n",
+		"engine", "writes", "crashes", "mid-drain", "republished", "retries", "redeliv", "dead", "depth", "converged", "converge time")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-12s %7d %8d %9d %12d %8d %7d %7d %10v %14s\n",
+		fmt.Fprintf(&b, "%-12s %7d %8d %9d %12d %8d %8d %7d %7d %10v %14s\n",
 			r.Engine, r.Writes, r.Crashes, r.MidDrainCrashes, r.Republished, r.Retries,
-			r.DeadLettered, r.JournalDepth, r.Converged, r.ConvergeTime.Round(time.Millisecond))
+			r.Redelivered, r.DeadLettered, r.JournalDepth, r.Converged, r.ConvergeTime.Round(time.Millisecond))
 	}
 	return b.String()
 }

@@ -40,6 +40,11 @@ var (
 	ErrUnknownQueue   = errors.New("broker: unknown queue")
 	ErrBadTag         = errors.New("broker: unknown delivery tag")
 	ErrCanceled       = errors.New("broker: consume canceled")
+	// ErrBrokerDown is returned by every operation — publishes, consumes,
+	// acks — between Crash() and Restart(), and forever by queue handles
+	// obtained before a crash (a reconnecting consumer must re-fetch its
+	// queue from the restarted broker).
+	ErrBrokerDown = errors.New("broker: broker is down")
 )
 
 // Delivery is one message handed to a consumer. It must be Acked or
@@ -56,9 +61,11 @@ type Delivery struct {
 }
 
 type item struct {
+	id          uint64 // log identity, unique per (queue, enqueue)
 	payload     []byte
 	exchange    string
 	redelivered bool
+	delivered   bool // handed to a consumer at least once
 	fails       int
 }
 
@@ -73,6 +80,9 @@ type Broker struct {
 	loss      LossFunc
 	faults    *faultinject.Registry
 	published int64
+	down      bool
+	seq       uint64 // message-id source for the queue log
+	log       *queueLog
 }
 
 // New returns an empty broker.
@@ -80,8 +90,95 @@ func New() *Broker {
 	return &Broker{
 		bindings: make(map[string][]*Queue),
 		queues:   make(map[string]*Queue),
+		log:      newQueueLog(),
 	}
 }
+
+// Crash models broker process death: all in-memory routing and queue
+// state is wiped, every operation fails with ErrBrokerDown, and every
+// outstanding queue handle — including consumers blocked in GetBatch —
+// is woken with ErrBrokerDown. Only the queue log (the modelled disk)
+// survives; Restart replays it.
+func (b *Broker) Crash() {
+	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		return
+	}
+	b.down = true
+	old := make([]*Queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		old = append(old, q)
+	}
+	b.queues = make(map[string]*Queue)
+	b.bindings = make(map[string][]*Queue)
+	b.mu.Unlock()
+	for _, q := range old {
+		q.fail(ErrBrokerDown)
+	}
+}
+
+// Restart brings a crashed broker back by replaying the queue log:
+// queues and bindings are rebuilt, pending messages reappear in
+// publish order, delivered-but-unacked messages return to the front of
+// their queues flagged Redelivered (their ack was lost with the
+// crash), dead-letter parks and failure counts survive, and acked
+// messages stay gone. Pre-crash queue handles and delivery tags remain
+// invalid; consumers must re-fetch their queue.
+func (b *Broker) Restart() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.down {
+		return
+	}
+	st := b.log.replay()
+	b.queues = make(map[string]*Queue, len(st.queues))
+	b.bindings = make(map[string][]*Queue)
+	for name, rq := range st.queues {
+		q := newQueue(name, rq.maxLen, b.log)
+		q.maxAttempts = rq.maxAttempts
+		q.dead = rq.dead
+		q.deadLettered = rq.deadCount
+		var redo, fresh []*item
+		for _, id := range rq.order {
+			m := rq.msgs[id]
+			it := &item{
+				id: m.id, payload: m.payload, exchange: m.exchange,
+				fails: m.fails, delivered: m.delivered, redelivered: m.delivered,
+			}
+			switch {
+			case m.deadLettered:
+				q.setAside = append(q.setAside, it)
+			case m.delivered:
+				// Unacked in-flight at crash time: redeliver first,
+				// preserving their publish order among themselves.
+				redo = append(redo, it)
+			default:
+				fresh = append(fresh, it)
+			}
+		}
+		q.pending = append(redo, fresh...)
+		b.queues[name] = q
+	}
+	for ex, qnames := range st.bindings {
+		for _, qn := range qnames {
+			if q, ok := b.queues[qn]; ok {
+				b.bindings[ex] = append(b.bindings[ex], q)
+			}
+		}
+	}
+	b.down = false
+}
+
+// Down reports whether the broker is crashed.
+func (b *Broker) Down() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.down
+}
+
+// LogSize reports the queue-log entry count (tests, compaction).
+func (b *Broker) LogSize() int { return b.log.size() }
 
 // SetLoss installs (or clears, with nil) the loss-injection function.
 func (b *Broker) SetLoss(f LossFunc) {
@@ -101,14 +198,19 @@ func (b *Broker) SetFaults(r *faultinject.Registry) {
 // DeclareQueue creates (or returns) the named durable queue. maxLen <= 0
 // means unbounded; otherwise exceeding maxLen pending messages
 // decommissions the queue (§4.4).
+// Returns nil while the broker is down.
 func (b *Broker) DeclareQueue(name string, maxLen int) *Queue {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.down {
+		return nil
+	}
 	if q, ok := b.queues[name]; ok {
 		return q
 	}
-	q := newQueue(name, maxLen)
+	q := newQueue(name, maxLen, b.log)
 	b.queues[name] = q
+	b.log.append(logEntry{op: opDeclare, queue: name, n: maxLen})
 	return q
 }
 
@@ -139,6 +241,7 @@ func (b *Broker) DeleteQueue(name string) {
 			}
 		}
 	}
+	b.log.append(logEntry{op: opDeleteQueue, queue: name})
 }
 
 // Bind subscribes the named queue to an exchange's messages.
@@ -155,6 +258,7 @@ func (b *Broker) Bind(queueName, exchange string) error {
 		}
 	}
 	b.bindings[exchange] = append(b.bindings[exchange], q)
+	b.log.append(logEntry{op: opBind, queue: queueName, exchange: exchange})
 	return nil
 }
 
@@ -170,6 +274,7 @@ func (b *Broker) Unbind(queueName, exchange string) {
 	for i, bound := range qs {
 		if bound == q {
 			b.bindings[exchange] = append(qs[:i], qs[i+1:]...)
+			b.log.append(logEntry{op: opUnbind, queue: queueName, exchange: exchange})
 			return
 		}
 	}
@@ -177,23 +282,35 @@ func (b *Broker) Unbind(queueName, exchange string) {
 
 // Publish fans the payload out to every queue bound to the exchange.
 // Delivery into each queue is independent: one decommissioned queue does
-// not affect the others.
-func (b *Broker) Publish(exchange string, payload []byte) {
+// not affect the others. Fails with ErrBrokerDown while crashed; a nil
+// return means the message is on the log (durable) for every queue it
+// reached.
+func (b *Broker) Publish(exchange string, payload []byte) error {
 	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		return ErrBrokerDown
+	}
 	qs := append([]*Queue(nil), b.bindings[exchange]...)
 	loss := b.loss
 	faults := b.faults
 	b.published++
+	ids := make([]uint64, len(qs))
+	for i := range qs {
+		b.seq++
+		ids[i] = b.seq
+	}
 	b.mu.Unlock()
-	for _, q := range qs {
+	for i, q := range qs {
 		if loss != nil && loss(q.name, exchange, payload) {
 			continue
 		}
 		if faults.Fire(FaultBrokerDrop) != nil {
 			continue
 		}
-		q.push(payload, exchange)
+		q.push(payload, exchange, ids[i])
 	}
+	return nil
 }
 
 // Published reports the total number of Publish calls (metrics).
@@ -222,6 +339,7 @@ type Queue struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
+	log       *queueLog
 	pending   []*item
 	unacked   map[uint64]*item
 	nextTag   uint64
@@ -229,6 +347,7 @@ type Queue struct {
 	waiters   int    // consumers currently blocked in GetBatch
 	dead      bool   // decommissioned
 	closed    bool
+	downErr   error // set when the owning broker crashed; handle is defunct
 
 	// Dead-letter "set aside" list (§4): a message whose processing has
 	// failed maxAttempts times is parked here instead of wedging the
@@ -239,10 +358,11 @@ type Queue struct {
 	deadLettered int64 // total messages ever set aside
 }
 
-func newQueue(name string, maxLen int) *Queue {
+func newQueue(name string, maxLen int, log *queueLog) *Queue {
 	q := &Queue{
 		name:    name,
 		maxLen:  maxLen,
+		log:     log,
 		unacked: make(map[uint64]*item),
 	}
 	q.cond = sync.NewCond(&q.mu)
@@ -252,13 +372,23 @@ func newQueue(name string, maxLen int) *Queue {
 // Name returns the queue name.
 func (q *Queue) Name() string { return q.name }
 
-func (q *Queue) push(payload []byte, exchange string) {
+// fail marks a handle defunct after a broker crash: every operation on
+// it returns err from now on, and blocked consumers wake with it.
+func (q *Queue) fail(err error) {
+	q.mu.Lock()
+	q.downErr = err
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *Queue) push(payload []byte, exchange string, id uint64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.dead || q.closed {
+	if q.dead || q.closed || q.downErr != nil {
 		return
 	}
-	q.pending = append(q.pending, &item{payload: payload, exchange: exchange})
+	q.pending = append(q.pending, &item{id: id, payload: payload, exchange: exchange})
+	q.log.append(logEntry{op: opEnqueue, queue: q.name, id: id, payload: payload, exchange: exchange})
 	// Unacked deliveries count against the bound: a prefetching consumer
 	// that cannot finish its batch is as far behind as one that never
 	// dequeued, and must not mask the overflow.
@@ -271,6 +401,7 @@ func (q *Queue) push(payload []byte, exchange string) {
 		}
 		q.setAside = nil
 		q.dead = true
+		q.log.append(logEntry{op: opDecommission, queue: q.name})
 	}
 	q.cond.Broadcast()
 }
@@ -303,6 +434,9 @@ func (q *Queue) GetBatch(max int) ([]Delivery, error) {
 	defer q.mu.Unlock()
 	seq := q.cancelSeq
 	for {
+		if q.downErr != nil {
+			return nil, q.downErr
+		}
 		if q.dead {
 			return nil, ErrDecommissioned
 		}
@@ -353,6 +487,9 @@ func (q *Queue) CancelWaiters() {
 func (q *Queue) TryGet() (Delivery, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.downErr != nil {
+		return Delivery{}, false, q.downErr
+	}
 	if q.dead {
 		return Delivery{}, false, ErrDecommissioned
 	}
@@ -371,6 +508,12 @@ func (q *Queue) takeLocked() Delivery {
 	q.nextTag++
 	tag := q.nextTag
 	q.unacked[tag] = it
+	if !it.delivered {
+		// First hand-off: from here until the ack lands, a crash makes
+		// this message redeliverable.
+		it.delivered = true
+		q.log.append(logEntry{op: opDeliver, queue: q.name, id: it.id})
+	}
 	return Delivery{Payload: it.payload, Tag: tag, Redelivered: it.redelivered, Exchange: it.exchange, Attempts: it.fails}
 }
 
@@ -378,13 +521,18 @@ func (q *Queue) takeLocked() Delivery {
 func (q *Queue) Ack(tag uint64) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if _, ok := q.unacked[tag]; !ok {
+	if q.downErr != nil {
+		return q.downErr
+	}
+	it, ok := q.unacked[tag]
+	if !ok {
 		if q.dead {
 			return ErrDecommissioned
 		}
 		return ErrBadTag
 	}
 	delete(q.unacked, tag)
+	q.log.append(logEntry{op: opAck, queue: q.name, id: it.id})
 	return nil
 }
 
@@ -394,6 +542,9 @@ func (q *Queue) Ack(tag uint64) error {
 func (q *Queue) Nack(tag uint64, requeue bool) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.downErr != nil {
+		return q.downErr
+	}
 	it, ok := q.unacked[tag]
 	if !ok {
 		if q.dead {
@@ -406,6 +557,9 @@ func (q *Queue) Nack(tag uint64, requeue bool) error {
 		it.redelivered = true
 		q.pending = append([]*item{it}, q.pending...)
 		q.cond.Broadcast()
+	} else {
+		// Dropped without requeue: gone from the durable state too.
+		q.log.append(logEntry{op: opAck, queue: q.name, id: it.id})
 	}
 	return nil
 }
@@ -417,6 +571,7 @@ func (q *Queue) Nack(tag uint64, requeue bool) error {
 func (q *Queue) SetMaxAttempts(n int) {
 	q.mu.Lock()
 	q.maxAttempts = n
+	q.log.append(logEntry{op: opMaxAttempts, queue: q.name, n: n})
 	q.mu.Unlock()
 }
 
@@ -429,6 +584,9 @@ func (q *Queue) SetMaxAttempts(n int) {
 func (q *Queue) NackError(tag uint64) (deadLettered bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.downErr != nil {
+		return false, q.downErr
+	}
 	it, ok := q.unacked[tag]
 	if !ok {
 		if q.dead {
@@ -442,9 +600,11 @@ func (q *Queue) NackError(tag uint64) (deadLettered bool, err error) {
 	}
 	it.fails++
 	it.redelivered = true
+	q.log.append(logEntry{op: opFail, queue: q.name, id: it.id})
 	if q.maxAttempts > 0 && it.fails >= q.maxAttempts {
 		q.setAside = append(q.setAside, it)
 		q.deadLettered++
+		q.log.append(logEntry{op: opDeadLetter, queue: q.name, id: it.id})
 		return true, nil
 	}
 	q.pending = append([]*item{it}, q.pending...)
@@ -483,6 +643,7 @@ func (q *Queue) ReplayDeadLetters() int {
 	}
 	q.pending = append(append([]*item{}, q.setAside...), q.pending...)
 	q.setAside = nil
+	q.log.append(logEntry{op: opReplayDL, queue: q.name})
 	q.cond.Broadcast()
 	return n
 }

@@ -1,0 +1,258 @@
+package broker
+
+import "sync"
+
+// The queue log is the broker's durability story (§4.4: "RabbitMQ
+// persists messages on disk"): an append-only record of every
+// state-changing queue operation — declarations, bindings, enqueues,
+// deliveries, acks, failures, dead-letterings, decommissions. It is
+// the one structure a Crash() does NOT wipe, and Restart() rebuilds
+// the broker's entire routing and queue state by replaying it: pending
+// messages come back in publish order, delivered-but-unacked messages
+// return to the front of their queue flagged Redelivered, dead-letter
+// parks and failure counts survive, and acked messages stay gone.
+//
+// The log self-compacts: past a threshold of appends it replays itself
+// into a snapshot and rewrites the entries as the minimal set that
+// reproduces that snapshot (acked message payloads are dropped here),
+// so memory is bounded by live state, not by traffic history.
+
+type logOp uint8
+
+const (
+	opDeclare logOp = iota
+	opMaxAttempts
+	opBind
+	opUnbind
+	opDeleteQueue
+	opEnqueue
+	opDeliver
+	opFail
+	opAck
+	opDeadLetter
+	opReplayDL
+	opDecommission
+	opDeadCount // synthesized at compaction: cumulative dead-letter total
+)
+
+type logEntry struct {
+	op       logOp
+	queue    string
+	exchange string
+	id       uint64
+	payload  []byte
+	n        int   // maxLen (declare) / maxAttempts / fails (snapshot enqueue)
+	n64      int64 // cumulative dead-letter count (opDeadCount)
+	// Snapshot-enqueue flags: state the message had at compaction time.
+	delivered    bool
+	deadLettered bool
+}
+
+// compactEvery bounds appends between snapshot rewrites.
+const compactEvery = 4096
+
+type queueLog struct {
+	mu      sync.Mutex
+	entries []logEntry
+}
+
+func newQueueLog() *queueLog { return &queueLog{} }
+
+// append records one entry, compacting first if the log has grown past
+// the threshold. Callers hold the owning queue's (or broker's) lock,
+// which serializes the per-queue entry order; the log's own lock only
+// protects the slice.
+func (l *queueLog) append(e logEntry) {
+	l.mu.Lock()
+	if len(l.entries) >= compactEvery {
+		l.compactLocked()
+	}
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// size reports the current entry count (tests).
+func (l *queueLog) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// replayMsg is one live message reconstructed from the log.
+type replayMsg struct {
+	id           uint64
+	payload      []byte
+	exchange     string
+	delivered    bool // handed to a consumer at least once (→ Redelivered)
+	fails        int
+	deadLettered bool
+}
+
+// replayQueue is one queue's reconstructed state.
+type replayQueue struct {
+	maxLen      int
+	maxAttempts int
+	dead        bool
+	deadCount   int64
+	order       []uint64 // enqueue order of live message ids
+	msgs        map[uint64]*replayMsg
+}
+
+type replayState struct {
+	queues   map[string]*replayQueue
+	bindings map[string][]string // exchange -> queue names, bind order
+}
+
+// replay folds the log into the state it describes.
+func (l *queueLog) replay() *replayState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayLocked()
+}
+
+func (l *queueLog) replayLocked() *replayState {
+	st := &replayState{
+		queues:   make(map[string]*replayQueue),
+		bindings: make(map[string][]string),
+	}
+	for i := range l.entries {
+		e := &l.entries[i]
+		switch e.op {
+		case opDeclare:
+			if _, ok := st.queues[e.queue]; !ok {
+				st.queues[e.queue] = &replayQueue{maxLen: e.n, msgs: make(map[uint64]*replayMsg)}
+			}
+		case opMaxAttempts:
+			if q := st.queues[e.queue]; q != nil {
+				q.maxAttempts = e.n
+			}
+		case opBind:
+			bound := false
+			for _, qn := range st.bindings[e.exchange] {
+				if qn == e.queue {
+					bound = true
+					break
+				}
+			}
+			if !bound {
+				st.bindings[e.exchange] = append(st.bindings[e.exchange], e.queue)
+			}
+		case opUnbind:
+			qs := st.bindings[e.exchange]
+			for j, qn := range qs {
+				if qn == e.queue {
+					st.bindings[e.exchange] = append(qs[:j], qs[j+1:]...)
+					break
+				}
+			}
+		case opDeleteQueue:
+			delete(st.queues, e.queue)
+			for ex, qs := range st.bindings {
+				for j, qn := range qs {
+					if qn == e.queue {
+						st.bindings[ex] = append(qs[:j], qs[j+1:]...)
+						break
+					}
+				}
+			}
+		case opEnqueue:
+			q := st.queues[e.queue]
+			if q == nil || q.dead {
+				break
+			}
+			m := &replayMsg{
+				id: e.id, payload: e.payload, exchange: e.exchange,
+				delivered: e.delivered, fails: e.n, deadLettered: e.deadLettered,
+			}
+			q.msgs[e.id] = m
+			q.order = append(q.order, e.id)
+		case opDeliver:
+			if q := st.queues[e.queue]; q != nil {
+				if m := q.msgs[e.id]; m != nil {
+					m.delivered = true
+				}
+			}
+		case opFail:
+			if q := st.queues[e.queue]; q != nil {
+				if m := q.msgs[e.id]; m != nil {
+					m.fails++
+				}
+			}
+		case opAck:
+			if q := st.queues[e.queue]; q != nil {
+				delete(q.msgs, e.id)
+			}
+		case opDeadLetter:
+			if q := st.queues[e.queue]; q != nil {
+				q.deadCount++
+				if m := q.msgs[e.id]; m != nil {
+					m.deadLettered = true
+				}
+			}
+		case opReplayDL:
+			if q := st.queues[e.queue]; q != nil {
+				for _, m := range q.msgs {
+					if m.deadLettered {
+						m.deadLettered = false
+						m.fails = 0
+					}
+				}
+			}
+		case opDecommission:
+			if q := st.queues[e.queue]; q != nil {
+				q.dead = true
+				q.msgs = make(map[uint64]*replayMsg)
+				q.order = nil
+			}
+		case opDeadCount:
+			if q := st.queues[e.queue]; q != nil {
+				q.deadCount = e.n64
+			}
+		}
+	}
+	// Drop ids whose message was acked so live() iteration is direct.
+	for _, q := range st.queues {
+		live := q.order[:0]
+		for _, id := range q.order {
+			if _, ok := q.msgs[id]; ok {
+				live = append(live, id)
+			}
+		}
+		q.order = live
+	}
+	return st
+}
+
+// compactLocked rewrites the log as the minimal entry set reproducing
+// the current replayed state.
+func (l *queueLog) compactLocked() {
+	st := l.replayLocked()
+	out := make([]logEntry, 0, len(st.queues)*2)
+	for name, q := range st.queues {
+		out = append(out, logEntry{op: opDeclare, queue: name, n: q.maxLen})
+		if q.maxAttempts > 0 {
+			out = append(out, logEntry{op: opMaxAttempts, queue: name, n: q.maxAttempts})
+		}
+		if q.deadCount > 0 {
+			out = append(out, logEntry{op: opDeadCount, queue: name, n64: q.deadCount})
+		}
+		if q.dead {
+			out = append(out, logEntry{op: opDecommission, queue: name})
+			continue
+		}
+		for _, id := range q.order {
+			m := q.msgs[id]
+			out = append(out, logEntry{
+				op: opEnqueue, queue: name, id: m.id,
+				payload: m.payload, exchange: m.exchange,
+				n: m.fails, delivered: m.delivered, deadLettered: m.deadLettered,
+			})
+		}
+	}
+	for ex, qs := range st.bindings {
+		for _, qn := range qs {
+			out = append(out, logEntry{op: opBind, queue: qn, exchange: ex})
+		}
+	}
+	l.entries = out
+}

@@ -34,19 +34,31 @@ func (c *Coordinator) Get(name string) uint64 {
 }
 
 // Increment atomically bumps a counter and notifies watchers, returning
-// the new value.
+// the new value. Notification happens under the lock so concurrent
+// increments cannot race an older value over a newer one; every send is
+// non-blocking, so the lock is never held across a wait.
 func (c *Coordinator) Increment(name string) uint64 {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.counters[name]++
 	v := c.counters[name]
-	ws := append([]chan uint64(nil), c.watchers[name]...)
-	c.mu.Unlock()
-	for _, w := range ws {
+	for _, w := range c.watchers[name] {
+		select {
+		case w <- v:
+			continue
+		default:
+		}
+		// Buffer full: the watcher is slow and still holds an older
+		// value. Drain the stale value and replace it with the latest —
+		// a slow watcher may miss intermediate values but must never be
+		// left holding a stale generation forever.
+		select {
+		case <-w:
+		default:
+		}
 		select {
 		case w <- v:
 		default:
-			// A slow watcher misses intermediate values but will read
-			// the latest on its next Get — counters only move forward.
 		}
 	}
 	return v

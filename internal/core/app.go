@@ -11,6 +11,7 @@ import (
 	"synapse/internal/faultinject"
 	"synapse/internal/metrics"
 	"synapse/internal/model"
+	"synapse/internal/netsim"
 	"synapse/internal/orm"
 	"synapse/internal/vstore"
 )
@@ -96,6 +97,16 @@ type App struct {
 	journalEpoch int64
 	republished  *metrics.Counter // journal entries republished
 	retries      *metrics.Counter // failed deliveries requeued
+	redelivered  *metrics.Counter // deliveries received with the redelivered flag
+	deferred     *metrics.Counter // sends degraded to journal-and-defer
+
+	// Per-endpoint resilient callers and the parked-ack retry list
+	// (see netlink.go).
+	brokerCall  *netsim.Caller
+	vstoreCall  *netsim.Caller
+	coordCall   *netsim.Caller
+	ackMu       sync.Mutex
+	pendingAcks []pendingAck
 
 	workersMu sync.Mutex
 	stopCh    chan struct{}
@@ -139,6 +150,8 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 		journalEpoch:   time.Now().UnixNano(),
 		republished:    metrics.NewCounter(),
 		retries:        metrics.NewCounter(),
+		redelivered:    metrics.NewCounter(),
+		deferred:       metrics.NewCounter(),
 		PublishLatency: metrics.NewHistogram(),
 		Processed:      metrics.NewMeter(),
 		Stages:         metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageAck),
@@ -146,6 +159,7 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 	if err := f.registerApp(a); err != nil {
 		return nil, err
 	}
+	a.initCallers()
 	if mapper != nil {
 		mapper.SetHost(a)
 		if !cfg.DisablePublishJournal {
@@ -156,7 +170,7 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 	}
 	// The publisher generation starts at whatever the coordinator
 	// remembers (a restarted app resumes its generation).
-	a.generation.Store(f.Coord.Get(genCounterName(name)))
+	a.generation.Store(a.coordGet(genCounterName(name)))
 	return a, nil
 }
 
@@ -195,6 +209,14 @@ type Stats struct {
 	Republished int64
 	// Retries counts failed deliveries requeued for another attempt.
 	Retries int64
+	// Redelivered counts deliveries consumed with the redelivered flag
+	// set (a prior delivery went unacked — broker restart, worker crash,
+	// or a lost ack).
+	Redelivered int64
+	// Deferred counts publishes whose broker send failed after retries
+	// and degraded to journal-and-defer (the periodic journal drain
+	// republishes them once the endpoint heals).
+	Deferred int64
 	// DeadLetters is the messages currently set aside on the queue's
 	// dead-letter list; DeadLettered is the total ever set aside
 	// (replayed messages leave the list but stay counted).
@@ -213,6 +235,8 @@ func (a *App) Stats() Stats {
 		JournalDepth:     a.JournalDepth(),
 		Republished:      a.republished.Count(),
 		Retries:          a.retries.Count(),
+		Redelivered:      a.redelivered.Count(),
+		Deferred:         a.deferred.Count(),
 		Stages:           a.Stages.Snapshot(),
 	}
 	if q := a.Queue(); q != nil {
@@ -445,8 +469,12 @@ func (a *App) ensureQueue() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.queue == nil || a.queue.Dead() {
-		a.queue = a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
-		a.queue.SetMaxAttempts(a.cfg.MaxDeliveryAttempts)
+		// DeclareQueue returns nil while the broker is crashed; keep the
+		// old handle (the worker loop reattaches after the restart).
+		if q := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); q != nil {
+			q.SetMaxAttempts(a.cfg.MaxDeliveryAttempts)
+			a.queue = q
+		}
 	}
 }
 

@@ -210,8 +210,14 @@ func (a *App) RecoverQueue() error {
 		return nil // another worker already recovered
 	}
 	a.fabric.Broker.DeleteQueue(a.queueName())
+	nq := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+	if nq == nil {
+		// Broker crashed mid-recovery; the worker loop reattaches after
+		// the restart and retries.
+		return broker.ErrBrokerDown
+	}
 	a.mu.Lock()
-	a.queue = a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+	a.queue = nq
 	a.mu.Unlock()
 	for _, origin := range a.subscribedOrigins() {
 		if err := a.fabric.Broker.Bind(a.queueName(), origin); err != nil {
@@ -232,7 +238,7 @@ func (a *App) RecoverQueue() error {
 // publishing resumes. Subscribers observing the new generation flush
 // and resynchronize.
 func (a *App) RecoverVersionStore() uint64 {
-	gen := a.fabric.Coord.Increment(genCounterName(a.name))
+	gen := a.coordIncrement(genCounterName(a.name))
 	a.store.Revive()
 	a.generation.Store(gen)
 	return gen

@@ -119,6 +119,27 @@ type Config struct {
 	// paper's original behaviour, where a crash in that window requires a
 	// subscriber bootstrap to heal. Kept for the journal ablation tests.
 	DisablePublishJournal bool
+	// RPCAttempts/RPCDeadline/RPCBackoffBase/RPCBackoffMax tune the
+	// per-endpoint resilient callers wrapping every cross-service call
+	// (broker, version store, coordinator): attempts per call, total
+	// per-call deadline, and the jittered exponential backoff between
+	// attempts. Zero fields take the netsim defaults (3 attempts, 50ms
+	// deadline, 1ms..16ms backoff).
+	RPCAttempts                   int
+	RPCDeadline                   time.Duration
+	RPCBackoffBase, RPCBackoffMax time.Duration
+	// BreakerThreshold consecutive failed calls open an endpoint's
+	// circuit breaker; it stays open BreakerCooldown before admitting a
+	// half-open probe. While open, calls fast-fail and publishes degrade
+	// to journal-and-defer. Zero fields take the netsim defaults (4
+	// failures, 50ms cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// JournalRetryInterval is how often a started app re-drains its
+	// publish journal, healing deferred sends once the broker endpoint
+	// recovers (default 50ms; < 0 disables the periodic drain, leaving
+	// only the one-shot drain at StartWorkers).
+	JournalRetryInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +163,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoffMax <= 0 {
 		c.RetryBackoffMax = 100 * time.Millisecond
+	}
+	if c.JournalRetryInterval == 0 {
+		c.JournalRetryInterval = 50 * time.Millisecond
 	}
 	return c
 }

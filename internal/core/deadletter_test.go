@@ -88,3 +88,87 @@ func TestDeadLetterSetAsideAndReplay(t *testing.T) {
 		t.Errorf("DeadLetters = %d after replay, want 0", sub.Stats().DeadLetters)
 	}
 }
+
+// TestDeadLetterStaleGenerationDropped pins the interaction between the
+// dead-letter shelf and the §4.4 generation barrier: a message
+// dead-lettered under generation G and replayed after the subscriber's
+// barrier has advanced past G is acked and dropped — never re-applied
+// and never re-shelved. Its state was superseded by the generation
+// flush; re-applying it would resurrect pre-crash data the new
+// generation no longer vouches for.
+func TestDeadLetterStaleGenerationDropped(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name")
+	sub, subMapper := newDocApp(t, f, "sub", Config{
+		MaxDeliveryAttempts: 2,
+		RetryBackoffBase:    time.Microsecond,
+	})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}})
+
+	// The fault stays on for the whole test: if the stale replay were
+	// (wrongly) re-attempted, it would land back on the shelf and the
+	// final DeadLetters assertion would catch it.
+	d, _ := sub.Descriptor("User")
+	d.Callbacks.On(model.BeforeCreate, func(ctx *model.CallbackCtx) error {
+		if ctx.Record.ID == "poison" {
+			return errors.New("downstream dependency offline")
+		}
+		return nil
+	})
+
+	sub.StartWorkers(1)
+	defer sub.StopWorkers()
+
+	// Generation G: the poison write exhausts its attempts and is
+	// shelved.
+	ctl := pub.NewController(nil)
+	rec := model.NewRecord("User", "poison")
+	rec.Set("name", "doomed")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return sub.Stats().DeadLetters == 1
+	})
+
+	// The publisher's version store dies and recovery bumps the
+	// generation; the next write carries G+1 and moves the subscriber's
+	// barrier past the shelved message's generation.
+	gen := pub.RecoverVersionStore()
+	if gen == 0 {
+		t.Fatal("RecoverVersionStore did not advance the generation")
+	}
+	ctl = pub.NewController(nil)
+	rec = model.NewRecord("User", "fresh")
+	rec.Set("name", "current")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		_, err := subMapper.Find("User", "fresh")
+		return err == nil
+	})
+
+	// The replayed dead letter is from a dead generation: it must drain
+	// off the shelf (acked) without applying.
+	if n := sub.ReplayDeadLetters(); n != 1 {
+		t.Fatalf("ReplayDeadLetters = %d, want 1", n)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return sub.Stats().DeadLetters == 0
+	})
+	// Settle until the queue is fully drained and acked: were the stale
+	// message being retried instead of dropped, it would re-shelve after
+	// MaxDeliveryAttempts.
+	waitFor(t, 10*time.Second, func() bool {
+		q := sub.Queue()
+		return q != nil && q.Len() == 0 && q.Unacked() == 0
+	})
+	if n := sub.Stats().DeadLetters; n != 0 {
+		t.Errorf("stale dead letter re-shelved: DeadLetters = %d, want 0", n)
+	}
+	if _, err := subMapper.Find("User", "poison"); err == nil {
+		t.Error("stale dead letter was re-applied after the generation flush")
+	}
+}

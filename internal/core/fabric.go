@@ -8,6 +8,7 @@ import (
 	"synapse/internal/broker"
 	"synapse/internal/coord"
 	"synapse/internal/model"
+	"synapse/internal/netsim"
 )
 
 // Fabric is the shared infrastructure of a Synapse ecosystem: the
@@ -17,6 +18,12 @@ import (
 type Fabric struct {
 	Broker *broker.Broker
 	Coord  *coord.Coordinator
+	// Net, when non-nil, is the simulated network every cross-service
+	// call (broker publish/consume/ack, version-store round trips,
+	// coordinator calls) is routed through — per-link latency, drops,
+	// duplicates, and partitions (see internal/netsim). Install it
+	// before creating apps; nil means a perfect in-process network.
+	Net *netsim.Network
 
 	mu   sync.RWMutex
 	apps map[string]*App

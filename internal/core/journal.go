@@ -5,6 +5,7 @@ import (
 
 	"synapse/internal/model"
 	"synapse/internal/orm"
+	"synapse/internal/vstore"
 	"synapse/internal/wire"
 )
 
@@ -146,13 +147,22 @@ func (a *App) RecoverJournal() (int, error) {
 			a.journalAck(e.ID)
 			continue
 		}
-		a.refreshJournalAttrs(msg)
+		a.refreshJournalAttrs(msg, false)
 		msg.Recovered = true
+		if err := a.regenerateStaleEntry(msg); err != nil {
+			// The store died again mid-recovery; the entry stays for the
+			// next drain.
+			return drained, err
+		}
 		payload, err := wire.Marshal(msg)
 		if err != nil {
 			return drained, err
 		}
-		a.fabric.Broker.Publish(a.name, payload)
+		if err := a.sendMessage(payload); err != nil {
+			// Endpoint still unreachable: keep the entry for the next
+			// periodic drain.
+			return drained, err
+		}
 		a.republished.Inc()
 		drained++
 		if err := a.faults.Fire(FaultJournalDrain); err != nil {
@@ -163,15 +173,22 @@ func (a *App) RecoverJournal() (int, error) {
 	return drained, nil
 }
 
-// refreshJournalAttrs re-projects each operation's published attributes
-// from the current database state. Transactional journal entries carry
-// the attributes as staged pre-commit (the read-back — defaults,
+// refreshJournalAttrs fills each operation's published attributes from
+// the current database state. Transactional journal entries carry the
+// attributes as staged pre-commit (the read-back — defaults,
 // engine-computed columns — only exists after Commit, too late to ride
-// in the transaction), so the replay re-reads the committed row. An
-// object missing or unprojectable keeps its journaled attributes: it
-// was deleted after the crashed publish, and the delete's own message
-// supersedes this one under the version guard.
-func (a *App) refreshJournalAttrs(msg *wire.Message) {
+// in the transaction), so the replay fills in what the staged record
+// lacks from the committed row. Attributes the write itself carried are
+// NEVER overwritten (overwrite=false): a live journal drain races later
+// in-flight messages of the same generation, and shipping the current
+// value under the entry's original version would let the later-version
+// original regress it on subscribers. The overwrite=true mode is for
+// regenerated stale-generation entries only (regenerateStaleEntry),
+// which claim a fresh version and must carry the state as of that
+// claim. An object missing or unprojectable keeps its journaled
+// attributes: it was deleted after the crashed publish, and the
+// delete's own message supersedes this one under the version guard.
+func (a *App) refreshJournalAttrs(msg *wire.Message, overwrite bool) {
 	for i := range msg.Operations {
 		op := &msg.Operations[i]
 		if op.Operation == wire.OpDestroy {
@@ -185,10 +202,65 @@ func (a *App) refreshJournalAttrs(msg *wire.Message) {
 		if err != nil {
 			continue
 		}
-		if attrs := a.projectPublished(desc, rec); attrs != nil {
+		attrs := a.projectPublished(desc, rec)
+		if attrs == nil {
+			continue
+		}
+		if overwrite || op.Attributes == nil {
 			op.Attributes = attrs
+			continue
+		}
+		for k, v := range attrs {
+			if _, ok := op.Attributes[k]; !ok {
+				op.Attributes[k] = v
+			}
 		}
 	}
+}
+
+// regenerateStaleEntry rebuilds a journal entry that predates the
+// current generation. Its version-store context died with the old
+// generation: replayed verbatim it would be dropped as stale by
+// subscribers past the barrier, losing the update. Instead the replay
+// becomes a fresh current-generation write of the objects' CURRENT
+// state: new versions are claimed from the revived store, the dead
+// cross-object dependencies are stripped (their counters no longer
+// exist on either side; per-object ordering is all the new generation
+// can promise about the old one, exactly the §4.4 bootstrap-free
+// contract), and — inside the write locks, after the claim, so no
+// concurrent publish can commit newer state under a lower version —
+// the attributes are re-projected from the committed rows. A no-op for
+// entries already in the current generation.
+func (a *App) regenerateStaleEntry(msg *wire.Message) error {
+	gen := a.generation.Load()
+	if msg.Generation >= gen {
+		return nil
+	}
+	keys := make([]vstore.Key, 0, len(msg.Operations))
+	for i := range msg.Operations {
+		keys = append(keys, keyOf(msg.Operations[i].ObjectDep))
+	}
+	held, err := a.store.LockWrites(keys)
+	if err != nil {
+		return err
+	}
+	defer a.store.UnlockWrites(held)
+	// Bump returns version−1 for write dependencies — the wire encoding.
+	bumped, err := a.store.Bump(nil, keys)
+	if err != nil {
+		return err
+	}
+	deps := make(map[string]uint64, len(msg.Operations))
+	for i := range msg.Operations {
+		dk := msg.Operations[i].ObjectDep
+		deps[dk] = bumped[keyOf(dk)]
+	}
+	msg.Dependencies = deps
+	msg.External = nil
+	msg.GlobalDep = ""
+	msg.Generation = gen
+	a.refreshJournalAttrs(msg, true)
+	return nil
 }
 
 // stageJournalTx stages the entry into the prepared data transaction

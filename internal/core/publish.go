@@ -215,8 +215,16 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		// RecoverJournal replays it.
 		return nil, err
 	}
-	a.fabric.Broker.Publish(a.name, payload)
-	if journaled {
+	if serr := a.sendMessage(payload); serr != nil {
+		if !journaled {
+			// No durable copy exists: surface the send failure.
+			return nil, serr
+		}
+		// Journal-and-defer: the write is committed and the entry is
+		// durable, so the publish succeeds now and the periodic journal
+		// drain republishes once the broker endpoint heals.
+		a.deferred.Inc()
+	} else if journaled {
 		if err := a.faults.Fire(FaultBeforeJournalAck); err != nil {
 			// Sent but not acked: the entry survives and replays as a
 			// duplicate, which the subscriber version guard absorbs.

@@ -102,11 +102,34 @@ func (a *App) StartWorkers(n int) {
 	}
 	// A restarting app may have journal entries from a crashed publish;
 	// drain them before (well, concurrently with) serving traffic. A
-	// no-op for apps with an empty journal.
+	// no-op for apps with an empty journal. The drain then repeats every
+	// JournalRetryInterval so deferred work retries once the endpoint
+	// heals: sends deferred on a broker outage (journal-and-defer, see
+	// publish.go) and acknowledgements parked on transport failure. The
+	// ack flush cannot live only in the worker loop — a worker whose
+	// queue went idle blocks in GetBatch and never iterates again, which
+	// would leave parked acks (and their unacked deliveries) stuck
+	// forever.
 	a.workersWG.Add(1)
 	go func() {
 		defer a.workersWG.Done()
 		_, _ = a.RecoverJournal()
+		if a.cfg.JournalRetryInterval <= 0 {
+			return
+		}
+		t := time.NewTicker(a.cfg.JournalRetryInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if a.JournalDepth() > 0 {
+					_, _ = a.RecoverJournal()
+				}
+				a.flushPendingAcks()
+			}
+		}
 	}()
 }
 
@@ -121,10 +144,27 @@ func (a *App) StopWorkers() {
 		return
 	}
 	close(stop)
-	if q := a.Queue(); q != nil {
-		q.CancelWaiters()
+	// Cancel repeatedly until every worker exits: CancelWaiters only
+	// wakes consumers already blocked, and a worker can enter GetBatch
+	// just after a one-shot cancel (it checks stop at the loop top, then
+	// flushes acks and passes the network gate before fetching). The
+	// queue handle is also re-read each round — a worker may have
+	// reattached to a rebuilt queue after a broker restart.
+	done := make(chan struct{})
+	go func() {
+		a.workersWG.Wait()
+		close(done)
+	}()
+	for {
+		if q := a.Queue(); q != nil {
+			q.CancelWaiters()
+		}
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Millisecond):
+		}
 	}
-	a.workersWG.Wait()
 }
 
 func (a *App) workerLoop(stop <-chan struct{}) {
@@ -135,9 +175,19 @@ func (a *App) workerLoop(stop <-chan struct{}) {
 			return
 		default:
 		}
+		a.flushPendingAcks()
 		q := a.Queue()
 		if q == nil {
 			return
+		}
+		// Admit the fetch through the simulated network: a partitioned or
+		// dropping link pauses the consumer instead of long-polling
+		// through a dead network.
+		if gerr := a.consumeGate(); gerr != nil {
+			if !a.pauseRetry(stop, 5*time.Millisecond) {
+				return
+			}
+			continue
 		}
 		batch, err := q.GetBatch(a.cfg.Prefetch)
 		switch {
@@ -149,6 +199,14 @@ func (a *App) workerLoop(stop <-chan struct{}) {
 				// Cannot recover (e.g. origin gone); retry after a beat.
 				time.Sleep(10 * time.Millisecond)
 			}
+			continue
+		case errors.Is(err, broker.ErrBrokerDown):
+			// Broker crashed: wait out the restart, then swap onto the
+			// rebuilt queue handle (the old one is permanently defunct).
+			if !a.awaitBrokerUp(stop) {
+				return
+			}
+			a.reattachQueue()
 			continue
 		default: // closed
 			return
@@ -178,6 +236,9 @@ func (a *App) workerLoop(stop <-chan struct{}) {
 func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan struct{}) {
 	for i := 0; i < len(batch); i++ {
 		d := batch[i]
+		if d.Redelivered {
+			a.redelivered.Inc()
+		}
 		rest := batch[i+1:]
 		spilled := false
 		spill := func() {
@@ -186,7 +247,7 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 			}
 			spilled = true
 			for j := len(rest) - 1; j >= 0; j-- {
-				_ = q.Nack(rest[j].Tag, true)
+				a.nackDelivery(q, rest[j].Tag)
 			}
 		}
 		if len(rest) > 0 && q.Starving() {
@@ -207,7 +268,7 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 			if perr == nil {
 				// Stopping, not failing: hand the message back without
 				// penalty.
-				_ = q.Nack(d.Tag, true)
+				a.nackDelivery(q, d.Tag)
 				return
 			}
 			// Failed processing: requeue through the failure-counting
@@ -216,7 +277,7 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 			// cannot wedge the pool; until then back off exponentially
 			// before the worker looks at the queue again, so redelivery
 			// does not spin on a persistent fault.
-			dead, _ := q.NackError(d.Tag)
+			dead := a.nackErrorDelivery(q, d.Tag)
 			if !dead {
 				a.retries.Inc()
 				a.retryBackoff(d.Attempts, stop)
@@ -224,7 +285,7 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 			return
 		}
 		ackStart := time.Now()
-		_ = q.Ack(d.Tag)
+		a.ackDelivery(q, d.Tag)
 		a.Stages.Observe(StageAck, time.Since(ackStart))
 		if spilled {
 			return

@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is the fast-fail returned while a Caller's circuit
+// breaker is open: the endpoint has failed repeatedly and calls are
+// rejected without touching the network until the cooldown elapses.
+var ErrBreakerOpen = errors.New("netsim: circuit breaker open")
+
+// CallerConfig tunes one endpoint's client-side resilience policy.
+type CallerConfig struct {
+	// Attempts is the number of tries per Do (including the first).
+	Attempts int
+	// Deadline bounds one Do end to end — no retry is started after
+	// the deadline has passed, so a Do can never block the app for
+	// longer than roughly Deadline plus one attempt.
+	Deadline time.Duration
+	// BackoffBase/BackoffMax bound the jittered exponential backoff
+	// slept between attempts.
+	BackoffBase, BackoffMax time.Duration
+	// BreakerThreshold consecutive failed Dos open the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before
+	// admitting a half-open probe.
+	BreakerCooldown time.Duration
+	// Seed drives the backoff jitter (deterministic per endpoint).
+	Seed int64
+}
+
+func (c CallerConfig) withDefaults() CallerConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 50 * time.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 16 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Caller is the client-side resilience wrapper for one remote
+// endpoint: deadline-bounded attempts with jittered exponential
+// backoff, and a circuit breaker that fast-fails while the endpoint is
+// known bad so the app degrades (journal-and-defer) instead of
+// blocking. closed → open after BreakerThreshold consecutive Do
+// failures; open → half-open after the cooldown (one probe Do is
+// admitted); a successful probe closes it, a failed one re-opens it.
+type Caller struct {
+	cfg CallerConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	failures  int       // consecutive failed Dos
+	openUntil time.Time // breaker open before this instant
+	trips     int64
+	fastFails int64
+}
+
+// NewCaller builds a Caller with the given policy (zero fields get
+// defaults).
+func NewCaller(cfg CallerConfig) *Caller {
+	cfg = cfg.withDefaults()
+	return &Caller{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Do runs fn under the resilience policy: up to Attempts tries within
+// Deadline, jittered backoff between tries, fast-fail with
+// ErrBreakerOpen while the breaker is open. Returns nil on the first
+// success, the last attempt's error otherwise.
+func (c *Caller) Do(fn func() error) error {
+	c.mu.Lock()
+	if time.Now().Before(c.openUntil) {
+		c.fastFails++
+		c.mu.Unlock()
+		return ErrBreakerOpen
+	}
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(c.cfg.Deadline)
+	var err error
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+			if time.Now().After(deadline) {
+				break
+			}
+		}
+		if err = fn(); err == nil {
+			c.mu.Lock()
+			c.failures = 0
+			c.mu.Unlock()
+			return nil
+		}
+	}
+
+	c.mu.Lock()
+	c.failures++
+	if c.failures >= c.cfg.BreakerThreshold {
+		// Open (or re-open after a failed half-open probe). The
+		// failure count stays at the threshold so one more failed
+		// probe re-opens immediately.
+		c.openUntil = time.Now().Add(c.cfg.BreakerCooldown)
+		c.failures = c.cfg.BreakerThreshold
+		c.trips++
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// backoff draws the jittered exponential delay before the given
+// (1-based) retry attempt: uniform in (0, min(base·2^(n-1), max)].
+func (c *Caller) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d))) + 1
+	c.mu.Unlock()
+	return j
+}
+
+// Open reports whether the breaker is currently rejecting calls.
+func (c *Caller) Open() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Now().Before(c.openUntil)
+}
+
+// Trips returns how many times the breaker has opened.
+func (c *Caller) Trips() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trips
+}
+
+// FastFails returns how many Dos were rejected without an attempt.
+func (c *Caller) FastFails() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fastFails
+}
+
+// Reset force-closes the breaker and clears the failure streak (used
+// when the caller knows the endpoint recovered, e.g. after an explicit
+// restart in tests).
+func (c *Caller) Reset() {
+	c.mu.Lock()
+	c.failures = 0
+	c.openUntil = time.Time{}
+	c.mu.Unlock()
+}

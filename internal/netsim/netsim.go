@@ -1,0 +1,209 @@
+// Package netsim is the deterministic simulated-network fabric every
+// cross-service call in the reproduction is routed through: publisher
+// and subscriber to broker, app to version store, app to coordinator.
+// The paper's deployment crosses real networks at each of these seams
+// (RabbitMQ, Redis, ZooKeeper, §4); the seed repo reached them through
+// perfect in-process function calls, which made the transport — the
+// primary failure domain of production CDC pipelines — untestable.
+//
+// A Network holds a directed link for every (from, to) endpoint pair.
+// Each link has a profile: a seeded uniform latency window, a drop rate
+// (the request is lost and the caller sees an error — modelling a
+// client whose RPC failed, not silent loss), a duplicate rate (the
+// operation executes twice, as when a retransmitted request lands after
+// the original), and bidirectional partitions. All randomness comes
+// from one seeded generator, so a fault schedule is reproducible from
+// its seed.
+//
+// Fault decisions are deterministic per seed; wall-clock interleaving
+// of concurrent callers is not (the latency injection really sleeps).
+// Correctness assertions built on netsim must therefore hold for every
+// interleaving, which is exactly what the chaos scheduler's
+// convergence checks do.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors surfaced by link traversal.
+var (
+	// ErrPartitioned is returned while the two endpoints are partitioned.
+	ErrPartitioned = errors.New("netsim: link partitioned")
+	// ErrDropped is returned when the request is lost on the wire.
+	ErrDropped = errors.New("netsim: request dropped")
+)
+
+// Profile is one link's behaviour. The zero value is a perfect link.
+type Profile struct {
+	// LatencyMin/LatencyMax bound the uniform per-call latency window.
+	LatencyMin, LatencyMax time.Duration
+	// DropRate is the probability a call fails with ErrDropped.
+	DropRate float64
+	// DupRate is the probability the operation runs a second time
+	// (retransmitted request landing after the original).
+	DupRate float64
+}
+
+type pairKey struct{ a, b string }
+
+// orderedPair normalizes an endpoint pair so partitions are symmetric.
+func orderedPair(a, b string) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// Stats summarizes a network's traffic since construction.
+type Stats struct {
+	Calls       int64
+	Drops       int64
+	Duplicates  int64
+	PartitionRx int64 // calls rejected by a partition
+}
+
+// Network is one simulated network: a set of endpoints, link profiles,
+// and active partitions, driven by a single seeded generator.
+type Network struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	def      Profile
+	profiles map[pairKey]Profile
+	parts    map[pairKey]bool
+	stats    Stats
+}
+
+// New returns an empty network with perfect links, seeded.
+func New(seed int64) *Network {
+	return &Network{
+		rng:      rand.New(rand.NewSource(seed)),
+		profiles: make(map[pairKey]Profile),
+		parts:    make(map[pairKey]bool),
+	}
+}
+
+// SetDefaultProfile installs the profile used by links with no explicit
+// profile of their own.
+func (n *Network) SetDefaultProfile(p Profile) {
+	n.mu.Lock()
+	n.def = p
+	n.mu.Unlock()
+}
+
+// SetProfile installs a profile for the (symmetric) endpoint pair.
+func (n *Network) SetProfile(a, b string, p Profile) {
+	n.mu.Lock()
+	n.profiles[orderedPair(a, b)] = p
+	n.mu.Unlock()
+}
+
+// Partition cuts the link between the endpoints in both directions.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.parts[orderedPair(a, b)] = true
+	n.mu.Unlock()
+}
+
+// Heal restores the link between the endpoints.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.parts, orderedPair(a, b))
+	n.mu.Unlock()
+}
+
+// HealAll removes every active partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.parts = make(map[pairKey]bool)
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether the endpoints are currently partitioned.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parts[orderedPair(a, b)]
+}
+
+// Stats snapshots the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// decision is one call's fate, drawn under the lock so the sequence of
+// decisions is a deterministic function of the seed and call order.
+type decision struct {
+	latency time.Duration
+	err     error
+	dup     bool
+}
+
+func (n *Network) decide(from, to string) decision {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Calls++
+	if n.parts[orderedPair(from, to)] {
+		n.stats.PartitionRx++
+		return decision{err: ErrPartitioned}
+	}
+	p, ok := n.profiles[orderedPair(from, to)]
+	if !ok {
+		p = n.def
+	}
+	var d decision
+	if w := p.LatencyMax - p.LatencyMin; w > 0 {
+		d.latency = p.LatencyMin + time.Duration(n.rng.Int63n(int64(w)))
+	} else {
+		d.latency = p.LatencyMin
+	}
+	if p.DropRate > 0 && n.rng.Float64() < p.DropRate {
+		n.stats.Drops++
+		d.err = ErrDropped
+		return d
+	}
+	if p.DupRate > 0 && n.rng.Float64() < p.DupRate {
+		n.stats.Duplicates++
+		d.dup = true
+	}
+	return d
+}
+
+// Call models the admission of one synchronous RPC from → to: injected
+// latency, then ErrPartitioned or ErrDropped when the link eats the
+// request, nil when it would go through. Use it as a gate before an
+// operation whose body runs elsewhere (e.g. a blocking consume).
+func (n *Network) Call(from, to string) error {
+	d := n.decide(from, to)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	return d.err
+}
+
+// Do routes one RPC from → to through the link: injected latency, drop
+// and partition faults before fn runs, and — on a duplicate decision —
+// a second execution of fn, modelling a retransmitted request that
+// lands after the original. fn must therefore be idempotent or
+// downstream-deduplicated (Synapse's per-object version guard).
+func (n *Network) Do(from, to string, fn func() error) error {
+	d := n.decide(from, to)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if d.dup {
+		_ = fn()
+	}
+	return nil
+}

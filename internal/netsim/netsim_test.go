@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPerfectLinkPassesThrough(t *testing.T) {
+	n := New(1)
+	ran := 0
+	if err := n.Do("a", "b", func() error { ran++; return nil }); err != nil {
+		t.Fatalf("Do on perfect link: %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("fn ran %d times, want 1", ran)
+	}
+	if err := n.Call("a", "b"); err != nil {
+		t.Fatalf("Call on perfect link: %v", err)
+	}
+}
+
+func TestPartitionIsBidirectionalAndHeals(t *testing.T) {
+	n := New(1)
+	n.Partition("app", "broker")
+	if err := n.Call("app", "broker"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("app→broker: got %v, want ErrPartitioned", err)
+	}
+	if err := n.Call("broker", "app"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("broker→app: got %v, want ErrPartitioned", err)
+	}
+	ran := false
+	if err := n.Do("app", "broker", func() error { ran = true; return nil }); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("Do under partition: got %v, want ErrPartitioned", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite partition")
+	}
+	if !n.Partitioned("broker", "app") {
+		t.Fatal("Partitioned should report true for either order")
+	}
+	n.Heal("broker", "app")
+	if err := n.Call("app", "broker"); err != nil {
+		t.Fatalf("after Heal: %v", err)
+	}
+	n.Partition("a", "b")
+	n.Partition("c", "d")
+	n.HealAll()
+	if n.Partitioned("a", "b") || n.Partitioned("c", "d") {
+		t.Fatal("HealAll left a partition behind")
+	}
+}
+
+func TestDropRateDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (drops int) {
+		n := New(seed)
+		n.SetDefaultProfile(Profile{DropRate: 0.3})
+		for i := 0; i < 200; i++ {
+			if err := n.Call("a", "b"); errors.Is(err, ErrDropped) {
+				drops++
+			}
+		}
+		return drops
+	}
+	d1, d2 := run(42), run(42)
+	if d1 != d2 {
+		t.Fatalf("same seed, different drop counts: %d vs %d", d1, d2)
+	}
+	if d1 == 0 || d1 == 200 {
+		t.Fatalf("drop rate 0.3 produced %d/200 drops", d1)
+	}
+	if got := run(43); got == d1 {
+		t.Logf("seeds 42 and 43 coincided at %d drops (possible, just unlucky)", got)
+	}
+	n := New(42)
+	n.SetDefaultProfile(Profile{DropRate: 0.3})
+	for i := 0; i < 10; i++ {
+		_ = n.Call("a", "b")
+	}
+	if s := n.Stats(); s.Calls != 10 {
+		t.Fatalf("Stats.Calls = %d, want 10", s.Calls)
+	}
+}
+
+func TestDuplicateRunsTwice(t *testing.T) {
+	n := New(7)
+	n.SetProfile("a", "b", Profile{DupRate: 1.0})
+	ran := 0
+	if err := n.Do("a", "b", func() error { ran++; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if ran != 2 {
+		t.Fatalf("fn ran %d times under DupRate=1, want 2", ran)
+	}
+	if s := n.Stats(); s.Duplicates != 1 {
+		t.Fatalf("Stats.Duplicates = %d, want 1", s.Duplicates)
+	}
+	// A failed first execution is not retried by the dup path: the
+	// "retransmit" models the request landing twice, and the caller's
+	// own retry handles the failure.
+	calls := 0
+	wantErr := errors.New("boom")
+	err := n.Do("a", "b", func() error { calls++; return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Do: got %v, want fn error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("failed fn ran %d times, want 1", calls)
+	}
+}
+
+func TestLatencyWindowRespected(t *testing.T) {
+	n := New(9)
+	n.SetProfile("a", "b", Profile{LatencyMin: 2 * time.Millisecond, LatencyMax: 4 * time.Millisecond})
+	start := time.Now()
+	if err := n.Call("a", "b"); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("latency %v below LatencyMin", el)
+	}
+}
+
+func TestCallerRetriesThroughTransientFailure(t *testing.T) {
+	c := NewCaller(CallerConfig{Attempts: 3, BackoffBase: 100 * time.Microsecond, Seed: 1})
+	calls := 0
+	err := c.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do should succeed on third attempt: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestCallerBreakerOpensAndRecovers(t *testing.T) {
+	c := NewCaller(CallerConfig{
+		Attempts: 1, BreakerThreshold: 2,
+		BreakerCooldown: 20 * time.Millisecond,
+		BackoffBase:     100 * time.Microsecond,
+		Seed:            1,
+	})
+	boom := errors.New("down")
+	for i := 0; i < 2; i++ {
+		if err := c.Do(func() error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: got %v, want boom", i, err)
+		}
+	}
+	if !c.Open() {
+		t.Fatal("breaker should be open after threshold failures")
+	}
+	ran := false
+	if err := c.Do(func() error { ran = true; return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker: got %v, want ErrBreakerOpen", err)
+	}
+	if ran {
+		t.Fatal("fn ran while breaker open")
+	}
+	if c.Trips() == 0 || c.FastFails() == 0 {
+		t.Fatalf("trips=%d fastFails=%d, want both > 0", c.Trips(), c.FastFails())
+	}
+	time.Sleep(25 * time.Millisecond)
+	// Half-open: one probe admitted; success closes the breaker.
+	if err := c.Do(func() error { return nil }); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if c.Open() {
+		t.Fatal("breaker should close after successful probe")
+	}
+}
+
+func TestCallerFailedProbeReopens(t *testing.T) {
+	c := NewCaller(CallerConfig{
+		Attempts: 1, BreakerThreshold: 2,
+		BreakerCooldown: 10 * time.Millisecond,
+		BackoffBase:     100 * time.Microsecond,
+		Seed:            1,
+	})
+	boom := errors.New("down")
+	for i := 0; i < 2; i++ {
+		_ = c.Do(func() error { return boom })
+	}
+	time.Sleep(15 * time.Millisecond)
+	_ = c.Do(func() error { return boom }) // failed half-open probe
+	if !c.Open() {
+		t.Fatal("failed probe should re-open the breaker")
+	}
+	c.Reset()
+	if c.Open() {
+		t.Fatal("Reset should close the breaker")
+	}
+}
+
+func TestCallerDeadlineBoundsRetries(t *testing.T) {
+	c := NewCaller(CallerConfig{
+		Attempts: 100, Deadline: 5 * time.Millisecond,
+		BackoffBase: 2 * time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		BreakerThreshold: 1000, Seed: 1,
+	})
+	calls := 0
+	boom := errors.New("down")
+	start := time.Now()
+	if err := c.Do(func() error { calls++; return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do: %v", err)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("Do ran %v, deadline not enforced", el)
+	}
+	if calls >= 100 {
+		t.Fatalf("all %d attempts ran despite deadline", calls)
+	}
+}

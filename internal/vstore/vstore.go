@@ -96,8 +96,24 @@ type Store struct {
 	// can still assert round-trip plans.
 	rt atomic.Uint64
 
-	mu   sync.RWMutex
-	dead bool
+	mu        sync.RWMutex
+	dead      bool
+	transport Transport
+}
+
+// Transport models the network hop between a client and the store:
+// consulted once per client-visible round-trip window, BEFORE any
+// state is touched, so a transport failure (drop, partition) leaves
+// the store unmutated and the round trip safe to retry. A nil
+// transport is a perfect network.
+type Transport func() error
+
+// SetTransport installs (or clears, with nil) the network hop. Install
+// before the store sees traffic.
+func (s *Store) SetTransport(t Transport) {
+	s.mu.Lock()
+	s.transport = t
+	s.mu.Unlock()
 }
 
 // New builds a store from the config.
@@ -141,9 +157,16 @@ func (s *Store) shardFor(k Key) *shard {
 
 func (s *Store) checkAlive() error {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.dead {
+	dead := s.dead
+	t := s.transport
+	s.mu.RUnlock()
+	if dead {
 		return ErrDead
+	}
+	// The transport call (which may sleep in retry backoff) runs outside
+	// the lock so it never delays Kill/Revive.
+	if t != nil {
+		return t()
 	}
 	return nil
 }
@@ -159,14 +182,19 @@ func (s *Store) Kill() {
 	}
 }
 
-// Revive brings a killed store back empty (its memory is gone).
+// Revive brings a killed store back empty (its counter memory is
+// gone). Shards are reset in place, never replaced: the shard slice is
+// read lock-free on every hot path (shardFor) and by Kill, so it must
+// be immutable after New. Cooperative key locks survive the reset —
+// they model client-held leases, and a holder blocked through the
+// outage must still be able to release once the store answers again.
 func (s *Store) Revive() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range s.shards {
-		s.shards[i] = newShard()
+	for _, sh := range s.shards {
+		sh.flush()
 	}
+	s.mu.Lock()
 	s.dead = false
+	s.mu.Unlock()
 }
 
 // Flush clears all counters (generation change on a subscriber).

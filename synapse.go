@@ -41,6 +41,7 @@ import (
 	"synapse/internal/faultinject"
 	"synapse/internal/jobs"
 	"synapse/internal/model"
+	"synapse/internal/netsim"
 	"synapse/internal/orm"
 	"synapse/internal/orm/activerecord"
 	"synapse/internal/orm/columnorm"
@@ -167,6 +168,39 @@ func FailWith(err error) Fault { return faultinject.Fail(err) }
 
 // IsCrash reports whether a recovered panic value came from Crash.
 func IsCrash(r any) bool { return faultinject.IsCrash(r) }
+
+// Simulated network fabric (see DESIGN.md §2d): install a Network on
+// Fabric.Net to route every cross-service call — broker publish/
+// consume/ack, version-store round trips, coordinator reads — through
+// seeded per-link latency, drops, duplicates, and partitions. Apps ride
+// it out with per-endpoint retries, circuit breakers, and
+// journal-and-defer publishes (tune via Config's RPC*/Breaker*/
+// JournalRetryInterval fields).
+type (
+	// Network is the simulated network: per-link profiles, partitions,
+	// and seeded fault decisions.
+	Network = netsim.Network
+	// NetProfile is one link's behaviour (latency band, drop and
+	// duplicate rates).
+	NetProfile = netsim.Profile
+	// NetStats counts what the network did (calls, drops, duplicates,
+	// calls rejected by partitions).
+	NetStats = netsim.Stats
+)
+
+// NewNetwork builds a simulated network whose every fault decision is
+// driven by the seed (same seed, same script).
+func NewNetwork(seed int64) *Network { return netsim.New(seed) }
+
+// Endpoint names apps dial on the simulated network: their own name is
+// the client side; these are the service sides.
+const (
+	EndpointBroker = core.EndpointBroker
+	EndpointCoord  = core.EndpointCoord
+)
+
+// EndpointVStore names an app's version-store endpoint on the network.
+func EndpointVStore(app string) string { return core.EndpointVStore(app) }
 
 // NewFabric creates an empty ecosystem.
 func NewFabric() *Fabric { return core.NewFabric() }
