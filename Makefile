@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: build, vet,
 # and the full test suite under the race detector.
 
-.PHONY: check test bench chaos
+.PHONY: check test bench bench-hotpath profile chaos
 
 check:
 	./scripts/check.sh
@@ -12,6 +12,15 @@ test:
 # Regenerates the Fig 13 round-trip sweep and BENCH_fig13.json.
 bench:
 	go run ./cmd/synapse-bench -exp fig13rt
+
+# Regenerates the message-path alloc/throughput comparison (hand-rolled
+# wire codec vs encoding/json) and BENCH_hotpath.json.
+bench-hotpath:
+	go run ./cmd/synapse-bench -exp hotpath
+
+# Same run with pprof CPU + heap capture into ./profiles/.
+profile:
+	go run ./cmd/synapse-bench -exp hotpath -cpuprofile -memprofile
 
 # Long-haul chaos soak: 100 seeds of long fault scripts (partitions,
 # broker crash/restarts, version-store deaths) that must all converge.

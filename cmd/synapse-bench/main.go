@@ -7,21 +7,28 @@
 //
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
 //	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|reliability|
-//	                   chaos|ablation-hash|all
-//	              [-quick]
+//	                   chaos|hotpath|ablation-hash|all
+//	              [-quick] [-cpuprofile] [-memprofile] [-profiledir DIR]
 //
 // fig13rt additionally writes BENCH_fig13.json (round trips per message,
-// batched vs unbatched) and chaos writes BENCH_chaos.json (seeded fault
-// scripts, convergence + recovery times) so future changes have perf and
-// robustness trajectories.
+// batched vs unbatched), chaos writes BENCH_chaos.json (seeded fault
+// scripts, convergence + recovery times), and hotpath writes
+// BENCH_hotpath.json (message-path allocs/op and throughput, hand-rolled
+// codec vs encoding/json) so future changes have perf and robustness
+// trajectories.
 //
-// -quick shrinks every sweep for a fast end-to-end pass.
+// -quick shrinks every sweep for a fast end-to-end pass. -cpuprofile and
+// -memprofile capture pprof profiles of the run into -profiledir
+// (default ./profiles).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"synapse/internal/bench"
@@ -31,7 +38,45 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	cpuProfile := flag.Bool("cpuprofile", false, "capture a pprof CPU profile of the run")
+	memProfile := flag.Bool("memprofile", false, "capture a pprof heap profile after the run")
+	profileDir := flag.String("profiledir", "profiles", "directory for pprof output")
 	flag.Parse()
+
+	if *cpuProfile {
+		path := profilePath(*profileDir, *exp, "cpu")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}()
+	}
+	if *memProfile {
+		path := profilePath(*profileDir, *exp, "heap")
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("wrote %s\n", path)
+		}()
+	}
 
 	experiments := []struct {
 		name string
@@ -51,6 +96,7 @@ func main() {
 		{"lostmsg", runLostMsg},
 		{"reliability", runReliability},
 		{"chaos", runChaos},
+		{"hotpath", runHotpath},
 		{"ablation-hash", runAblationHash},
 	}
 
@@ -68,6 +114,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// profilePath places a pprof output file under dir, creating dir if
+// needed, named after the experiment and profile kind.
+func profilePath(dir, exp, kind string) string {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%s.pprof", exp, kind))
 }
 
 func runTable1(bool) { fmt.Print(bench.FormatTable1()) }
@@ -228,6 +284,26 @@ func runChaos(quick bool) {
 		os.Exit(1)
 	}
 	fmt.Println("wrote BENCH_chaos.json")
+}
+
+func runHotpath(quick bool) {
+	cfg := bench.DefaultHotpath()
+	if quick {
+		cfg.Messages = 300
+		cfg.Warmup = 50
+	}
+	r := bench.RunHotpath(cfg)
+	fmt.Print(bench.FormatHotpath(r))
+	doc, err := bench.MarshalHotpath(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_hotpath.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_hotpath.json")
 }
 
 func runAblationHash(quick bool) {

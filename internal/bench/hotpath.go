@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"synapse/internal/broker"
+	"synapse/internal/core"
+	"synapse/internal/model"
+	"synapse/internal/storage"
+	"synapse/internal/wire"
+)
+
+// ---------------------------------------------------------------------
+// Hotpath experiment: allocation and throughput cost of the
+// publish→broker→subscribe message path, hand-rolled codec vs
+// encoding/json. The paper's Fig 9/12 claim is that Synapse's publisher
+// overhead is negligible; this harness pins the serialization share of
+// that overhead and records it so regressions show up as numbers, not
+// vibes.
+// ---------------------------------------------------------------------
+
+// HotpathConfig parameterizes the hotpath measurement.
+type HotpathConfig struct {
+	// Messages measured per side in the full-app pipeline section.
+	Messages int
+	// Warmup messages published before the measured window (pool and
+	// cache warm-up, steady-state allocation behaviour).
+	Warmup int
+	// Attrs is the published attribute count per operation.
+	Attrs int
+	// Engine backs the full-app pipeline section (a transactional engine
+	// exercises the journaled single-build publish path).
+	Engine string
+}
+
+// DefaultHotpath is the configuration the `-exp hotpath` experiment and
+// CI smoke run.
+func DefaultHotpath() HotpathConfig {
+	return HotpathConfig{
+		Messages: 2000,
+		Warmup:   200,
+		Attrs:    8,
+		Engine:   PostgreSQL,
+	}
+}
+
+// AllocStat is one measured operation: latency and allocation cost.
+type AllocStat struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// AppStat is the full-app pipeline measurement for one codec side.
+type AppStat struct {
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	BytesPerMsg  float64 `json:"bytes_per_msg"`
+}
+
+// HotpathSide is every measurement taken with one codec selected.
+type HotpathSide struct {
+	Codec string `json:"codec"`
+	// Marshal/Unmarshal are the codec microbenchmarks on a
+	// representative message.
+	Marshal   AllocStat `json:"marshal"`
+	Unmarshal AllocStat `json:"unmarshal"`
+	// PublishDeliver is the end-to-end message path: marshal, broker
+	// publish, dequeue, decode, dependency parse, ack — everything
+	// between a committed write and an applied one except the database.
+	PublishDeliver AllocStat `json:"publish_deliver"`
+	// AppPipeline runs the same path through real App publish/subscribe
+	// over Engine, journal and version store included.
+	AppPipeline AppStat `json:"app_pipeline"`
+}
+
+// HotpathResult is the BENCH_hotpath.json document body.
+type HotpathResult struct {
+	Fast   HotpathSide `json:"fast"`
+	Stdlib HotpathSide `json:"stdlib"`
+	// PublishDeliverAllocReduction is the fraction of end-to-end
+	// allocations removed by the hand-rolled codec (the acceptance
+	// criterion: >= 0.5).
+	PublishDeliverAllocReduction float64 `json:"publish_deliver_alloc_reduction"`
+	MarshalAllocReduction        float64 `json:"marshal_alloc_reduction"`
+	UnmarshalAllocReduction      float64 `json:"unmarshal_alloc_reduction"`
+	AppAllocReduction            float64 `json:"app_alloc_reduction"`
+}
+
+// hotpathMessage builds the representative message: one update with the
+// configured attribute spread and a small dependency map, mirroring the
+// Fig 6(b) shape.
+func hotpathMessage(attrs int) *wire.Message {
+	am := make(map[string]any, attrs)
+	for i := 0; i < attrs; i++ {
+		switch i % 4 {
+		case 0:
+			am[fmt.Sprintf("str_%d", i)] = fmt.Sprintf("value-%d", i)
+		case 1:
+			am[fmt.Sprintf("num_%d", i)] = float64(i) * 1.5
+		case 2:
+			am[fmt.Sprintf("int_%d", i)] = int64(i)
+		default:
+			am[fmt.Sprintf("list_%d", i)] = []any{"a", "b", float64(i)}
+		}
+	}
+	return &wire.Message{
+		App: "pub",
+		Operations: []wire.Operation{{
+			Operation:  wire.OpUpdate,
+			Types:      []string{"User", "Base"},
+			ID:         "100",
+			Attributes: am,
+			ObjectDep:  "7341",
+		}},
+		Dependencies: map[string]uint64{"7341": 42, "9922": 7},
+		PublishedAt:  time.Date(2026, 8, 6, 7, 59, 0, 0, time.UTC),
+		Generation:   1,
+		Seq:          9,
+	}
+}
+
+func benchStat(f func(b *testing.B)) AllocStat {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	return AllocStat{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// RunHotpath measures both codec sides and returns the comparison.
+func RunHotpath(cfg HotpathConfig) HotpathResult {
+	defer wire.SetStdlibCodec(false)
+	res := HotpathResult{
+		Fast:   runHotpathSide(cfg, false),
+		Stdlib: runHotpathSide(cfg, true),
+	}
+	res.PublishDeliverAllocReduction = reduction(res.Fast.PublishDeliver.AllocsPerOp, res.Stdlib.PublishDeliver.AllocsPerOp)
+	res.MarshalAllocReduction = reduction(res.Fast.Marshal.AllocsPerOp, res.Stdlib.Marshal.AllocsPerOp)
+	res.UnmarshalAllocReduction = reduction(res.Fast.Unmarshal.AllocsPerOp, res.Stdlib.Unmarshal.AllocsPerOp)
+	res.AppAllocReduction = reduction(res.Fast.AppPipeline.AllocsPerMsg, res.Stdlib.AppPipeline.AllocsPerMsg)
+	return res
+}
+
+func reduction(fast, std float64) float64 {
+	if std == 0 {
+		return 0
+	}
+	return 1 - fast/std
+}
+
+func runHotpathSide(cfg HotpathConfig, stdlib bool) HotpathSide {
+	wire.SetStdlibCodec(stdlib)
+	side := HotpathSide{Codec: "fast"}
+	if stdlib {
+		side.Codec = "encoding/json"
+	}
+	msg := hotpathMessage(cfg.Attrs)
+	payload, err := wire.Marshal(msg)
+	must(err)
+
+	side.Marshal = benchStat(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Marshal(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	side.Unmarshal = benchStat(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := wire.UnmarshalPooled(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.ReleaseMessage(m)
+		}
+	})
+	side.PublishDeliver = benchStat(func(b *testing.B) {
+		br := broker.New()
+		q := br.DeclareQueue("sub", 0)
+		if err := br.Bind("sub", "pub"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := wire.Marshal(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := br.Publish("pub", p); err != nil {
+				b.Fatal(err)
+			}
+			d, ok, err := q.TryGet()
+			if err != nil || !ok {
+				b.Fatal(err, ok)
+			}
+			m, err := wire.UnmarshalPooled(d.Payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Deps(); err != nil {
+				b.Fatal(err)
+			}
+			if err := q.Ack(d.Tag); err != nil {
+				b.Fatal(err)
+			}
+			wire.ReleaseMessage(m)
+		}
+	})
+	side.AppPipeline = runHotpathApp(cfg)
+	return side
+}
+
+// runHotpathApp drives cfg.Messages controller writes through a real
+// publisher/subscriber pair and reports throughput plus per-message
+// allocation cost across the whole process (publisher, journal, broker,
+// version store, subscriber apply) from runtime.MemStats deltas.
+func runHotpathApp(cfg HotpathConfig) AppStat {
+	f := core.NewFabric()
+	mk := func(name string) *core.App {
+		return mustApp(f, name, NewMapper(cfg.Engine, storage.Profile{}), core.Config{Mode: core.Causal})
+	}
+	pub := mk("pub")
+	sub := mk("sub")
+
+	attrNames := make([]string, cfg.Attrs)
+	fields := make([]model.Field, cfg.Attrs)
+	for i := range attrNames {
+		attrNames[i] = fmt.Sprintf("attr_%d", i)
+		fields[i] = model.Field{Name: attrNames[i], Type: model.String}
+	}
+	desc := func() *model.Descriptor { return model.NewDescriptor("Item", fields...) }
+	must(pub.Publish(desc(), core.PubSpec{Attrs: attrNames}))
+	must(sub.Subscribe(desc(), core.SubSpec{From: "pub", Attrs: attrNames}))
+	sub.StartWorkers(2)
+	defer sub.StopWorkers()
+
+	write := func(i int) {
+		rec := model.NewRecord("Item", fmt.Sprintf("it-%d", i))
+		for _, n := range attrNames {
+			rec.Set(n, "v")
+		}
+		if _, err := pub.NewController(nil).Create(rec); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < cfg.Warmup; i++ {
+		write(-i - 1)
+	}
+	waitProcessed(sub, int64(cfg.Warmup), 30*time.Second)
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < cfg.Messages; i++ {
+		write(i)
+	}
+	waitProcessed(sub, int64(cfg.Warmup+cfg.Messages), 60*time.Second)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	n := float64(cfg.Messages)
+	return AppStat{
+		MsgsPerSec:   n / elapsed.Seconds(),
+		AllocsPerMsg: float64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerMsg:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}
+}
+
+// FormatHotpath renders the comparison as a table.
+func FormatHotpath(r HotpathResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Hotpath: message-path cost, hand-rolled codec vs encoding/json")
+	fmt.Fprintf(&b, "%-16s %10s %12s %10s %10s %12s %10s %10s\n",
+		"", "fast ns", "fast allocs", "fast B", "std ns", "std allocs", "std B", "alloc cut")
+	row := func(name string, fa, sa AllocStat, red float64) {
+		fmt.Fprintf(&b, "%-16s %10.0f %12.1f %10.0f %10.0f %12.1f %10.0f %9.0f%%\n",
+			name, fa.NsPerOp, fa.AllocsPerOp, fa.BytesPerOp, sa.NsPerOp, sa.AllocsPerOp, sa.BytesPerOp, red*100)
+	}
+	row("marshal", r.Fast.Marshal, r.Stdlib.Marshal, r.MarshalAllocReduction)
+	row("unmarshal", r.Fast.Unmarshal, r.Stdlib.Unmarshal, r.UnmarshalAllocReduction)
+	row("publish-deliver", r.Fast.PublishDeliver, r.Stdlib.PublishDeliver, r.PublishDeliverAllocReduction)
+	fmt.Fprintf(&b, "%-16s %10s %12.0f %10.0f %10s %12.0f %10.0f %9.0f%%\n",
+		"app pipeline", fmt.Sprintf("%.0f/s", r.Fast.AppPipeline.MsgsPerSec), r.Fast.AppPipeline.AllocsPerMsg, r.Fast.AppPipeline.BytesPerMsg,
+		fmt.Sprintf("%.0f/s", r.Stdlib.AppPipeline.MsgsPerSec), r.Stdlib.AppPipeline.AllocsPerMsg, r.Stdlib.AppPipeline.BytesPerMsg,
+		r.AppAllocReduction*100)
+	return b.String()
+}
+
+// MarshalHotpath encodes the comparison as the BENCH_hotpath.json
+// document.
+func MarshalHotpath(r HotpathResult) ([]byte, error) {
+	doc := struct {
+		Figure      string        `json:"figure"`
+		Description string        `json:"description"`
+		Result      HotpathResult `json:"result"`
+	}{
+		Figure:      "hotpath-allocs",
+		Description: "publish→deliver message-path allocations and throughput, hand-rolled wire codec vs encoding/json baseline",
+		Result:      r,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -157,7 +157,12 @@ func (b *Broker) Restart() {
 				fresh = append(fresh, it)
 			}
 		}
-		q.pending = append(redo, fresh...)
+		for _, it := range redo {
+			q.pending.PushBack(it)
+		}
+		for _, it := range fresh {
+			q.pending.PushBack(it)
+		}
 		b.queues[name] = q
 	}
 	for ex, qnames := range st.bindings {
@@ -236,7 +241,12 @@ func (b *Broker) DeleteQueue(name string) {
 	for ex, qs := range b.bindings {
 		for i, bound := range qs {
 			if bound == q {
-				b.bindings[ex] = append(qs[:i], qs[i+1:]...)
+				// Copy-on-write: Publish iterates binding slices outside the
+				// broker lock, so a bound slice is never mutated in place.
+				next := make([]*Queue, 0, len(qs)-1)
+				next = append(next, qs[:i]...)
+				next = append(next, qs[i+1:]...)
+				b.bindings[ex] = next
 				break
 			}
 		}
@@ -252,12 +262,18 @@ func (b *Broker) Bind(queueName, exchange string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownQueue, queueName)
 	}
-	for _, bound := range b.bindings[exchange] {
+	qs := b.bindings[exchange]
+	for _, bound := range qs {
 		if bound == q {
 			return nil
 		}
 	}
-	b.bindings[exchange] = append(b.bindings[exchange], q)
+	// Copy-on-write: build a fresh slice so a Publish holding the old
+	// snapshot (it iterates outside the lock) never observes the append.
+	next := make([]*Queue, 0, len(qs)+1)
+	next = append(next, qs...)
+	next = append(next, q)
+	b.bindings[exchange] = next
 	b.log.append(logEntry{op: opBind, queue: queueName, exchange: exchange})
 	return nil
 }
@@ -273,7 +289,11 @@ func (b *Broker) Unbind(queueName, exchange string) {
 	qs := b.bindings[exchange]
 	for i, bound := range qs {
 		if bound == q {
-			b.bindings[exchange] = append(qs[:i], qs[i+1:]...)
+			// Copy-on-write (see Bind).
+			next := make([]*Queue, 0, len(qs)-1)
+			next = append(next, qs[:i]...)
+			next = append(next, qs[i+1:]...)
+			b.bindings[exchange] = next
 			b.log.append(logEntry{op: opUnbind, queue: queueName, exchange: exchange})
 			return
 		}
@@ -291,15 +311,15 @@ func (b *Broker) Publish(exchange string, payload []byte) error {
 		b.mu.Unlock()
 		return ErrBrokerDown
 	}
-	qs := append([]*Queue(nil), b.bindings[exchange]...)
+	// Bindings are copy-on-write: the slice under the map is never
+	// mutated in place, so this snapshot is safe to iterate after the
+	// unlock without cloning it per publish.
+	qs := b.bindings[exchange]
 	loss := b.loss
 	faults := b.faults
 	b.published++
-	ids := make([]uint64, len(qs))
-	for i := range qs {
-		b.seq++
-		ids[i] = b.seq
-	}
+	base := b.seq
+	b.seq += uint64(len(qs))
 	b.mu.Unlock()
 	for i, q := range qs {
 		if loss != nil && loss(q.name, exchange, payload) {
@@ -308,7 +328,7 @@ func (b *Broker) Publish(exchange string, payload []byte) error {
 		if faults.Fire(FaultBrokerDrop) != nil {
 			continue
 		}
-		q.push(payload, exchange, ids[i])
+		q.push(payload, exchange, base+uint64(i)+1)
 	}
 	return nil
 }
@@ -340,7 +360,7 @@ type Queue struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	log       *queueLog
-	pending   []*item
+	pending   itemDeque
 	unacked   map[uint64]*item
 	nextTag   uint64
 	cancelSeq uint64 // bumped by CancelWaiters to wake blocked Gets
@@ -387,15 +407,15 @@ func (q *Queue) push(payload []byte, exchange string, id uint64) {
 	if q.dead || q.closed || q.downErr != nil {
 		return
 	}
-	q.pending = append(q.pending, &item{id: id, payload: payload, exchange: exchange})
+	q.pending.PushBack(&item{id: id, payload: payload, exchange: exchange})
 	q.log.append(logEntry{op: opEnqueue, queue: q.name, id: id, payload: payload, exchange: exchange})
 	// Unacked deliveries count against the bound: a prefetching consumer
 	// that cannot finish its batch is as far behind as one that never
 	// dequeued, and must not mask the overflow.
-	if q.maxLen > 0 && len(q.pending)+len(q.unacked) > q.maxLen {
+	if q.maxLen > 0 && q.pending.Len()+len(q.unacked) > q.maxLen {
 		// Decommission: the subscriber has been away too long; kill the
 		// queue rather than grow without bound (§4.4).
-		q.pending = nil
+		q.pending.Clear()
 		for tag := range q.unacked {
 			delete(q.unacked, tag)
 		}
@@ -443,10 +463,10 @@ func (q *Queue) GetBatch(max int) ([]Delivery, error) {
 		if q.closed {
 			return nil, ErrClosed
 		}
-		if len(q.pending) > 0 {
+		if q.pending.Len() > 0 {
 			// Fair share: leave enough behind for every consumer still
 			// blocked in the wait below (ceil division keeps n >= 1).
-			n := (len(q.pending) + q.waiters) / (q.waiters + 1)
+			n := (q.pending.Len() + q.waiters) / (q.waiters + 1)
 			if n > max {
 				n = max
 			}
@@ -471,7 +491,7 @@ func (q *Queue) GetBatch(max int) ([]Delivery, error) {
 func (q *Queue) Starving() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.waiters > 0 && len(q.pending) == 0
+	return q.waiters > 0 && q.pending.Len() == 0
 }
 
 // CancelWaiters wakes every consumer currently blocked in Get with
@@ -496,15 +516,14 @@ func (q *Queue) TryGet() (Delivery, bool, error) {
 	if q.closed {
 		return Delivery{}, false, ErrClosed
 	}
-	if len(q.pending) == 0 {
+	if q.pending.Len() == 0 {
 		return Delivery{}, false, nil
 	}
 	return q.takeLocked(), true, nil
 }
 
 func (q *Queue) takeLocked() Delivery {
-	it := q.pending[0]
-	q.pending = q.pending[1:]
+	it := q.pending.PopFront()
 	q.nextTag++
 	tag := q.nextTag
 	q.unacked[tag] = it
@@ -555,7 +574,7 @@ func (q *Queue) Nack(tag uint64, requeue bool) error {
 	delete(q.unacked, tag)
 	if requeue && !q.dead && !q.closed {
 		it.redelivered = true
-		q.pending = append([]*item{it}, q.pending...)
+		q.pending.PushFront(it)
 		q.cond.Broadcast()
 	} else {
 		// Dropped without requeue: gone from the durable state too.
@@ -607,7 +626,7 @@ func (q *Queue) NackError(tag uint64) (deadLettered bool, err error) {
 		q.log.append(logEntry{op: opDeadLetter, queue: q.name, id: it.id})
 		return true, nil
 	}
-	q.pending = append([]*item{it}, q.pending...)
+	q.pending.PushFront(it)
 	q.cond.Broadcast()
 	return false, nil
 }
@@ -638,10 +657,13 @@ func (q *Queue) ReplayDeadLetters() int {
 		q.setAside = nil
 		return 0
 	}
-	for _, it := range q.setAside {
+	// Front-load the parked items in their original order: pushing each
+	// to the head back-to-front lands setAside[0] first in line.
+	for i := n - 1; i >= 0; i-- {
+		it := q.setAside[i]
 		it.fails = 0
+		q.pending.PushFront(it)
 	}
-	q.pending = append(append([]*item{}, q.setAside...), q.pending...)
 	q.setAside = nil
 	q.log.append(logEntry{op: opReplayDL, queue: q.name})
 	q.cond.Broadcast()
@@ -666,7 +688,7 @@ func (q *Queue) DeadLettered() int64 {
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.pending)
+	return q.pending.Len()
 }
 
 // Unacked reports delivered-but-unacked messages.

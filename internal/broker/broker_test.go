@@ -425,7 +425,7 @@ func TestGetBatchFairShare(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	q.mu.Lock()
 	for i := 0; i < 9; i++ {
-		q.pending = append(q.pending, &item{payload: []byte("m"), exchange: "pub"})
+		q.pending.PushBack(&item{payload: []byte("m"), exchange: "pub"})
 	}
 	q.cond.Broadcast()
 	q.mu.Unlock()

@@ -1,0 +1,73 @@
+package broker
+
+// itemDeque is a growable ring buffer holding a queue's pending items.
+// The broker's hot mutations are pop-from-front (delivery) and
+// push-to-front (nack/fail requeue, redelivery after restart); a plain
+// slice makes the front-insert O(n) — `append([]*item{it}, pending...)`
+// copies the whole queue per nack — while the ring makes every deque
+// operation O(1) amortized with no per-operation allocation.
+type itemDeque struct {
+	buf  []*item // power-of-two length, so index math is a mask
+	head int
+	n    int
+}
+
+// Len reports the number of queued items.
+func (d *itemDeque) Len() int { return d.n }
+
+// At returns the i-th item from the front without removing it.
+func (d *itemDeque) At(i int) *item {
+	return d.buf[(d.head+i)&(len(d.buf)-1)]
+}
+
+// PushBack appends an item at the tail.
+func (d *itemDeque) PushBack(it *item) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = it
+	d.n++
+}
+
+// PushFront inserts an item at the head (next to be delivered).
+func (d *itemDeque) PushFront(it *item) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = it
+	d.n++
+}
+
+// PopFront removes and returns the head item; nil when empty.
+func (d *itemDeque) PopFront() *item {
+	if d.n == 0 {
+		return nil
+	}
+	it := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return it
+}
+
+// Clear drops every item, releasing the references but keeping the ring.
+func (d *itemDeque) Clear() {
+	for i := 0; i < d.n; i++ {
+		d.buf[(d.head+i)&(len(d.buf)-1)] = nil
+	}
+	d.head, d.n = 0, 0
+}
+
+func (d *itemDeque) grow() {
+	c := len(d.buf) * 2
+	if c == 0 {
+		c = 16
+	}
+	buf := make([]*item, c)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf = buf
+	d.head = 0
+}

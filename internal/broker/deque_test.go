@@ -1,0 +1,182 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestDequeMatchesReferenceSlice drives the ring deque and a plain-slice
+// reference through the same random operation stream and compares them
+// after every step, catching wraparound and growth bugs.
+func TestDequeMatchesReferenceSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var d itemDeque
+	var ref []*item
+	next := 0
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // PushBack
+			it := &item{id: uint64(next)}
+			next++
+			d.PushBack(it)
+			ref = append(ref, it)
+		case op < 7: // PushFront
+			it := &item{id: uint64(next)}
+			next++
+			d.PushFront(it)
+			ref = append([]*item{it}, ref...)
+		case op < 9: // PopFront
+			it := d.PopFront()
+			if len(ref) == 0 {
+				if it != nil {
+					t.Fatalf("step %d: PopFront on empty returned %v", step, it)
+				}
+				continue
+			}
+			if it != ref[0] {
+				t.Fatalf("step %d: PopFront = %d, want %d", step, it.id, ref[0].id)
+			}
+			ref = ref[1:]
+		default: // Clear, occasionally
+			if rng.Intn(50) == 0 {
+				d.Clear()
+				ref = nil
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, d.Len(), len(ref))
+		}
+		if len(ref) > 0 {
+			i := rng.Intn(len(ref))
+			if d.At(i) != ref[i] {
+				t.Fatalf("step %d: At(%d) = %v, want %v", step, i, d.At(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestDequeWraparoundGrowth(t *testing.T) {
+	var d itemDeque
+	// Force the head off zero so growth has to unwrap the ring.
+	for i := 0; i < 12; i++ {
+		d.PushBack(&item{id: uint64(i)})
+	}
+	for i := 0; i < 8; i++ {
+		d.PopFront()
+	}
+	for i := 12; i < 40; i++ { // crosses the 16 -> 32 growth with head != 0
+		d.PushBack(&item{id: uint64(i)})
+	}
+	if d.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", d.Len())
+	}
+	for i := 8; i < 40; i++ {
+		it := d.PopFront()
+		if it == nil || it.id != uint64(i) {
+			t.Fatalf("PopFront = %v, want id %d", it, i)
+		}
+	}
+	if it := d.PopFront(); it != nil {
+		t.Fatalf("drained deque returned %v", it)
+	}
+}
+
+// BenchmarkFrontInsert pins the satellite claim: requeueing at the head
+// of a deep queue is O(1) on the ring deque versus O(n) for the old
+// append([]*item{it}, pending...) slice idiom.
+func BenchmarkFrontInsert(b *testing.B) {
+	for _, depth := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("deque-%d", depth), func(b *testing.B) {
+			var d itemDeque
+			for i := 0; i < depth; i++ {
+				d.PushBack(&item{id: uint64(i)})
+			}
+			it := &item{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.PushFront(it)
+				d.PopFront()
+			}
+		})
+		b.Run(fmt.Sprintf("slice-%d", depth), func(b *testing.B) {
+			pending := make([]*item, depth)
+			for i := range pending {
+				pending[i] = &item{id: uint64(i)}
+			}
+			it := &item{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pending = append([]*item{it}, pending...)
+				pending = pending[1:]
+			}
+		})
+	}
+}
+
+// BenchmarkNackRequeue measures the end-to-end broker path the deque
+// optimizes: deliver + NackError against a queue with a deep backlog.
+// The backlog stays under the durable log's compaction threshold
+// (compactEvery): past it, every append re-snapshots all live messages
+// and log cost swamps the deque work being measured.
+func BenchmarkNackRequeue(b *testing.B) {
+	br := New()
+	q := br.DeclareQueue("sub", 0)
+	if err := br.Bind("sub", "pub"); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte(`{"app":"pub"}`)
+	for i := 0; i < compactEvery/2; i++ {
+		if err := br.Publish("pub", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, ok, err := q.TryGet()
+		if err != nil || !ok {
+			b.Fatal(err, ok)
+		}
+		if _, err := q.NackError(d.Tag); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublishFanout measures the publish path against bound queues;
+// the copy-on-write bindings remove the per-call slice clone. Each
+// iteration drains what it published so queue depth stays constant —
+// letting backlogs grow past the durable log's compaction threshold
+// would make every append re-snapshot the backlog (O(n) per publish)
+// and swamp the binding cost under measurement.
+func BenchmarkPublishFanout(b *testing.B) {
+	br := New()
+	queues := make([]*Queue, 8)
+	for i := range queues {
+		name := fmt.Sprintf("sub%d", i)
+		queues[i] = br.DeclareQueue(name, 0)
+		if err := br.Bind(name, "pub"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := []byte(`{"app":"pub"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish("pub", payload); err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range queues {
+			d, ok, err := q.TryGet()
+			if err != nil || !ok {
+				b.Fatal(err, ok)
+			}
+			if err := q.Ack(d.Tag); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

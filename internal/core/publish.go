@@ -150,24 +150,26 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 	journaled := false
 
 	dbStart := time.Now()
+	var msg *wire.Message
 	if useTx {
 		if journaling {
 			// Stage the journal entry into the prepared transaction (the
-			// transactional outbox; see journal.go). The skeleton message
-			// carries the REAL dependency versions — the only part of the
-			// payload that a replay cannot reconstruct — and the staged
-			// attributes, which the replay refreshes from the committed
-			// rows.
-			skel, err := a.buildMessage(staged, stagedRecords(staged), objectDeps, deps, external, mode, seq)
+			// transactional outbox; see journal.go). The message is built
+			// ONCE here — it carries the REAL dependency versions, which a
+			// replay cannot reconstruct, plus the staged attributes — and
+			// after the commit only the attributes and timestamp are
+			// patched for the final payload, instead of re-running
+			// buildMessage+Marshal. The journal copy is encoded through a
+			// pooled scratch buffer (journalRecord copies it to a string).
+			msg, err = a.buildMessage(staged, stagedRecords(staged), objectDeps, deps, external, mode, seq)
 			if err != nil {
 				return nil, err
 			}
-			skelPayload, err := wire.Marshal(skel)
-			if err != nil {
-				return nil, err
-			}
-			journalID, journaled, err = a.stageJournalTx(tx, skelPayload, seq)
-			if err != nil {
+			if err := wire.WithEncoded(msg, func(skelPayload []byte) error {
+				var jerr error
+				journalID, journaled, jerr = a.stageJournalTx(tx, skelPayload, seq)
+				return jerr
+			}); err != nil {
 				return nil, err
 			}
 		}
@@ -192,10 +194,14 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 	}
 	dbTime += time.Since(dbStart)
 
-	// --- Step 6: build and send the message.
-	msg, err := a.buildMessage(staged, written, objectDeps, deps, external, mode, seq)
-	if err != nil {
-		return nil, err
+	// --- Step 6: build (or patch) and send the message.
+	if msg == nil {
+		msg, err = a.buildMessage(staged, written, objectDeps, deps, external, mode, seq)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		a.patchCommitted(msg, staged, written)
 	}
 	payload, err := wire.Marshal(msg)
 	if err != nil {
@@ -294,6 +300,25 @@ func (a *App) buildMessage(staged []stagedWrite, recs []*model.Record, objectDep
 		return nil, err
 	}
 	return msg, nil
+}
+
+// patchCommitted turns a journal-skeleton message into the final
+// payload in place: committed read-back attributes replace the staged
+// ones and the publish timestamp is refreshed. Dependencies, versions,
+// seq, and generation are identical by construction (the skeleton was
+// built from the same plan), and destroy operations keep their
+// skeleton attributes — buildMessage sources those from the staged
+// record either way — so a second buildMessage+Validate pass would
+// reproduce everything else bit for bit.
+func (a *App) patchCommitted(msg *wire.Message, staged []stagedWrite, written []*model.Record) {
+	for i, op := range staged {
+		if op.verb == wire.OpDestroy {
+			continue
+		}
+		desc, _ := a.Descriptor(op.rec.Model)
+		msg.Operations[i].Attributes = a.projectPublished(desc, written[i])
+	}
+	msg.PublishedAt = time.Now().UTC()
 }
 
 // stagedRecords projects the staged records out of a write group (the

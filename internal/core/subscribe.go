@@ -320,13 +320,16 @@ func (a *App) retryBackoff(attempts int, stop <-chan struct{}) {
 // back to the queue.
 func (a *App) consume(payload []byte, cancel <-chan struct{}, onBlock func()) error {
 	decodeStart := time.Now()
-	msg, err := wire.Unmarshal(payload)
+	msg, err := wire.UnmarshalPooled(payload)
 	a.Stages.Observe(StageDecode, time.Since(decodeStart))
 	if err != nil {
 		// Poison message: drop it loudly rather than loop forever.
 		return nil
 	}
 	err = a.processMessage(msg, cancel, onBlock)
+	// The processing pipeline copies attribute values into records and
+	// never retains the message, so it can go back to the decode pool.
+	wire.ReleaseMessage(msg)
 	if errors.Is(err, errStaleGeneration) {
 		return nil
 	}

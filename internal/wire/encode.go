@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// The hand-rolled encoder. The output is byte-for-byte identical to
+// encoding/json.Marshal on a *Message — same field order, the same
+// sorted map keys, the same HTML-escaped string encoding, the same
+// ES6-style float rendering — but built by appending straight into one
+// buffer, with no reflection and no intermediate values. Strings that
+// need escaping (control bytes, quotes, `<>&`, invalid UTF-8,
+// U+2028/U+2029) are rare on this path and are delegated to
+// encoding/json for the single value, which keeps the equivalence
+// guarantee absolute without reimplementing the escaper.
+
+// encoder carries one encode's scratch state: the output buffer and a
+// reusable key slice for sorting map keys. Encoders are pooled; an
+// encode borrows one, appends, copies out, and returns it.
+type encoder struct {
+	buf  []byte
+	keys []string
+}
+
+var encPool = sync.Pool{
+	New: func() any { return &encoder{buf: make([]byte, 0, 1024)} },
+}
+
+// marshalFast encodes the message into a pooled buffer and returns an
+// exact-size copy — the single allocation of the encode path.
+func marshalFast(m *Message) ([]byte, error) {
+	e := encPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	e.keys = e.keys[:0]
+	err := e.message(m)
+	if err != nil {
+		encPool.Put(e)
+		return nil, err
+	}
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	encPool.Put(e)
+	return out, nil
+}
+
+// AppendMessage appends the JSON encoding of m to dst and returns the
+// extended buffer. This is the zero-allocation entry point: callers that
+// own a scratch buffer (see WithEncoded) pay no per-message heap cost.
+// On error dst is returned truncated to its original length.
+func AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	e := encPool.Get().(*encoder)
+	n := len(dst)
+	e.buf = dst
+	err := e.message(m)
+	out := e.buf
+	e.buf = nil
+	encPool.Put(e)
+	if err != nil {
+		return out[:n], err
+	}
+	return out, nil
+}
+
+// WithEncoded encodes the message into a pooled buffer, hands the bytes
+// to fn, and reclaims the buffer when fn returns. The payload is only
+// valid inside fn: callers that retain it (brokers, journals) must copy
+// — which they do anyway when they convert to string or persist.
+func WithEncoded(m *Message, fn func(payload []byte) error) error {
+	if useStdlibCodec.Load() {
+		b, err := marshalStd(m)
+		if err != nil {
+			return err
+		}
+		return fn(b)
+	}
+	e := encPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	e.keys = e.keys[:0]
+	if err := e.message(m); err != nil {
+		encPool.Put(e)
+		return err
+	}
+	err := fn(e.buf)
+	encPool.Put(e)
+	return err
+}
+
+func (e *encoder) message(m *Message) error {
+	e.buf = append(e.buf, `{"app":`...)
+	e.str(m.App)
+	e.buf = append(e.buf, `,"operations":`...)
+	if m.Operations == nil {
+		e.buf = append(e.buf, "null"...)
+	} else {
+		e.buf = append(e.buf, '[')
+		for i := range m.Operations {
+			if i > 0 {
+				e.buf = append(e.buf, ',')
+			}
+			if err := e.operation(&m.Operations[i]); err != nil {
+				return err
+			}
+		}
+		e.buf = append(e.buf, ']')
+	}
+	e.buf = append(e.buf, `,"dependencies":`...)
+	e.depMap(m.Dependencies)
+	if len(m.External) > 0 {
+		e.buf = append(e.buf, `,"external_dependencies":`...)
+		e.depMap(m.External)
+	}
+	e.buf = append(e.buf, `,"published_at":`...)
+	if err := e.time(m.PublishedAt); err != nil {
+		return err
+	}
+	e.buf = append(e.buf, `,"generation":`...)
+	e.buf = strconv.AppendUint(e.buf, m.Generation, 10)
+	if m.GlobalDep != "" {
+		e.buf = append(e.buf, `,"global_dep":`...)
+		e.str(m.GlobalDep)
+	}
+	e.buf = append(e.buf, `,"seq":`...)
+	e.buf = strconv.AppendUint(e.buf, m.Seq, 10)
+	if m.Recovered {
+		e.buf = append(e.buf, `,"recovered":true`...)
+	}
+	e.buf = append(e.buf, '}')
+	return nil
+}
+
+func (e *encoder) operation(o *Operation) error {
+	e.buf = append(e.buf, `{"operation":`...)
+	e.str(string(o.Operation))
+	e.buf = append(e.buf, `,"types":`...)
+	if o.Types == nil {
+		e.buf = append(e.buf, "null"...)
+	} else {
+		e.buf = append(e.buf, '[')
+		for i, t := range o.Types {
+			if i > 0 {
+				e.buf = append(e.buf, ',')
+			}
+			e.str(t)
+		}
+		e.buf = append(e.buf, ']')
+	}
+	e.buf = append(e.buf, `,"id":`...)
+	e.str(o.ID)
+	if len(o.Attributes) > 0 {
+		e.buf = append(e.buf, `,"attributes":`...)
+		if err := e.anyMap(o.Attributes); err != nil {
+			return err
+		}
+	}
+	e.buf = append(e.buf, `,"object_dep":`...)
+	e.str(o.ObjectDep)
+	e.buf = append(e.buf, '}')
+	return nil
+}
+
+// depMap encodes a dependency map with its keys in sorted order —
+// encoding/json sorts map keys, and byte equivalence (golden payloads,
+// journal dedup) depends on it.
+func (e *encoder) depMap(m map[string]uint64) {
+	if m == nil {
+		e.buf = append(e.buf, "null"...)
+		return
+	}
+	n := len(e.keys)
+	for k := range m {
+		e.keys = append(e.keys, k)
+	}
+	keys := e.keys[n:]
+	slices.Sort(keys)
+	e.buf = append(e.buf, '{')
+	for i, k := range keys {
+		if i > 0 {
+			e.buf = append(e.buf, ',')
+		}
+		e.str(k)
+		e.buf = append(e.buf, ':')
+		e.buf = strconv.AppendUint(e.buf, m[k], 10)
+	}
+	e.buf = append(e.buf, '}')
+	e.keys = e.keys[:n]
+}
+
+// anyMap sorts and emits a generic object. It borrows a segment of the
+// pooled key slice (offset-based, because nested maps recurse through
+// here); the segment is released on return. Iteration stays safe if a
+// nested call grows e.keys — the local slice header keeps the original
+// backing array alive.
+func (e *encoder) anyMap(m map[string]any) error {
+	n := len(e.keys)
+	for k := range m {
+		e.keys = append(e.keys, k)
+	}
+	keys := e.keys[n:]
+	slices.Sort(keys)
+	e.buf = append(e.buf, '{')
+	for i, k := range keys {
+		if i > 0 {
+			e.buf = append(e.buf, ',')
+		}
+		e.str(k)
+		e.buf = append(e.buf, ':')
+		if err := e.value(m[k]); err != nil {
+			e.keys = e.keys[:n]
+			return err
+		}
+	}
+	e.buf = append(e.buf, '}')
+	e.keys = e.keys[:n]
+	return nil
+}
+
+// value encodes one attribute value. The coerced model value set (nil,
+// bool, int64, float64, string, []any, map[string]any) is handled
+// inline; anything else falls back to encoding/json for that value, so
+// exotic types stay byte-compatible without a reflection fast path.
+func (e *encoder) value(v any) error {
+	switch t := v.(type) {
+	case nil:
+		e.buf = append(e.buf, "null"...)
+	case bool:
+		if t {
+			e.buf = append(e.buf, "true"...)
+		} else {
+			e.buf = append(e.buf, "false"...)
+		}
+	case string:
+		e.str(t)
+	case int64:
+		e.buf = strconv.AppendInt(e.buf, t, 10)
+	case float64:
+		return e.float(t, 64)
+	case int:
+		e.buf = strconv.AppendInt(e.buf, int64(t), 10)
+	case int32:
+		e.buf = strconv.AppendInt(e.buf, int64(t), 10)
+	case uint64:
+		e.buf = strconv.AppendUint(e.buf, t, 10)
+	case float32:
+		return e.float(float64(t), 32)
+	case []any:
+		e.buf = append(e.buf, '[')
+		for i, el := range t {
+			if i > 0 {
+				e.buf = append(e.buf, ',')
+			}
+			if err := e.value(el); err != nil {
+				return err
+			}
+		}
+		e.buf = append(e.buf, ']')
+	case []string:
+		e.buf = append(e.buf, '[')
+		for i, el := range t {
+			if i > 0 {
+				e.buf = append(e.buf, ',')
+			}
+			e.str(el)
+		}
+		e.buf = append(e.buf, ']')
+	case map[string]any:
+		return e.anyMap(t)
+	default:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		e.buf = append(e.buf, b...)
+	}
+	return nil
+}
+
+// float matches encoding/json's ES6-style number rendering: shortest
+// representation, 'f' form in the human range, 'e' form with a trimmed
+// single-digit exponent outside it.
+func (e *encoder) float(f float64, bits int) error {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return fmt.Errorf("unsupported float value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 {
+		if bits == 64 && (abs < 1e-6 || abs >= 1e21) ||
+			bits == 32 && (float32(abs) < 1e-6 || float32(abs) >= 1e21) {
+			format = 'e'
+		}
+	}
+	e.buf = strconv.AppendFloat(e.buf, f, format, -1, bits)
+	if format == 'e' {
+		// Trim a leading exponent zero: e-09 becomes e-9.
+		n := len(e.buf)
+		if n >= 4 && e.buf[n-4] == 'e' && e.buf[n-3] == '-' && e.buf[n-2] == '0' {
+			e.buf[n-2] = e.buf[n-1]
+			e.buf = e.buf[:n-1]
+		}
+	}
+	return nil
+}
+
+// time encodes a timestamp exactly as time.Time.MarshalJSON does,
+// including its two strictness errors (year range, sub-minute zone
+// offsets), but appending in place.
+func (e *encoder) time(t time.Time) error {
+	if y := t.Year(); y < 0 || y >= 10000 {
+		return fmt.Errorf("year outside of range [0,9999]")
+	}
+	if _, offset := t.Zone(); offset%60 != 0 {
+		return fmt.Errorf("timezone offset has fractional minute")
+	}
+	e.buf = append(e.buf, '"')
+	e.buf = t.AppendFormat(e.buf, time.RFC3339Nano)
+	e.buf = append(e.buf, '"')
+	return nil
+}
+
+// htmlSafe marks the ASCII bytes encoding/json's default (HTML-escaping)
+// encoder emits verbatim inside strings.
+var htmlSafe = func() (s [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		s[b] = true
+	}
+	s['"'] = false
+	s['\\'] = false
+	s['<'] = false
+	s['>'] = false
+	s['&'] = false
+	return s
+}()
+
+// str encodes a string, emitting clean UTF-8 directly and delegating
+// anything that needs escaping to encoding/json for exact equivalence.
+func (e *encoder) str(s string) {
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if !htmlSafe[c] {
+				e.strSlow(s)
+				return
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if (r == utf8.RuneError && size == 1) || r == '\u2028' || r == '\u2029' {
+			e.strSlow(s)
+			return
+		}
+		i += size
+	}
+	e.buf = append(e.buf, '"')
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, '"')
+}
+
+func (e *encoder) strSlow(s string) {
+	b, err := json.Marshal(s)
+	if err != nil { // unreachable: strings always marshal
+		b = []byte(`""`)
+	}
+	e.buf = append(e.buf, b...)
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"sync"
+	"time"
+)
+
+// Message pooling. The subscriber hot path decodes one message per
+// delivery, walks it, and drops it — a perfect pooling candidate,
+// because nothing downstream retains the struct: attribute values are
+// copied into model records and the maps themselves never escape the
+// worker (see DESIGN.md, "Pooling lifecycle"). UnmarshalPooled hands out
+// a reset pooled message; the caller owns it until ReleaseMessage, after
+// which every map, slice, and byte of it may be reused by another
+// decode. Callers that retain any part of a message (tests, journals)
+// must use plain Unmarshal instead.
+
+var msgPool = sync.Pool{
+	New: func() any { return new(Message) },
+}
+
+// Map pools. nil-vs-empty is observable (encoding/json leaves a map nil
+// when its key is absent), so reset cannot simply keep a cleared map on
+// the struct — it stashes the map here and the decoder takes one back
+// only when the payload actually carries the key.
+var (
+	attrMapPool = sync.Pool{New: func() any { return make(map[string]any, 8) }}
+	depMapPool  = sync.Pool{New: func() any { return make(map[string]uint64, 4) }}
+)
+
+func getAttrMap() map[string]any   { return attrMapPool.Get().(map[string]any) }
+func getDepMap() map[string]uint64 { return depMapPool.Get().(map[string]uint64) }
+
+// UnmarshalPooled decodes a message into a pooled scratch struct,
+// reusing its maps and slices. On a fast-path decode failure the pooled
+// struct goes back to the pool and the stdlib fallback allocates a
+// fresh message — callers release either kind with ReleaseMessage.
+func UnmarshalPooled(b []byte) (*Message, error) {
+	if useStdlibCodec.Load() {
+		return unmarshalStd(b)
+	}
+	m := msgPool.Get().(*Message)
+	if err := decodeFast(b, m); err != nil {
+		m.reset()
+		msgPool.Put(m)
+		return unmarshalStd(b)
+	}
+	return m, nil
+}
+
+// ReleaseMessage returns a message obtained from UnmarshalPooled to the
+// pool. The message (and everything reachable from it) must not be used
+// afterwards. Passing a message that never came from the pool is safe —
+// it just seeds the pool.
+func ReleaseMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	m.reset()
+	msgPool.Put(m)
+}
+
+// reset clears the message for reuse while keeping its allocations: the
+// operations backing array (each element cleared through capacity, so a
+// later decode can extend into it without seeing stale data), the
+// dependency maps, and the parsed-deps cache map.
+func (m *Message) reset() {
+	m.App = ""
+	ops := m.Operations[:cap(m.Operations)]
+	for i := range ops {
+		ops[i].resetKeepAlloc()
+	}
+	m.Operations = m.Operations[:0]
+	if m.Dependencies != nil {
+		clear(m.Dependencies)
+		depMapPool.Put(m.Dependencies)
+		m.Dependencies = nil
+	}
+	if m.External != nil {
+		clear(m.External)
+		depMapPool.Put(m.External)
+		m.External = nil
+	}
+	m.PublishedAt = time.Time{}
+	m.Generation = 0
+	m.GlobalDep = ""
+	m.Seq = 0
+	m.Recovered = false
+	clear(m.parsedDeps)
+	m.depsParsed = false
+}
+
+// resetKeepAlloc zeroes an operation, stashing its attribute map in the
+// map pool and keeping the type-chain backing array (elements zeroed
+// through capacity) for the next decode.
+func (o *Operation) resetKeepAlloc() {
+	o.Operation = ""
+	types := o.Types[:cap(o.Types)]
+	for i := range types {
+		types[i] = ""
+	}
+	o.Types = o.Types[:0]
+	o.ID = ""
+	if o.Attributes != nil {
+		clear(o.Attributes)
+		attrMapPool.Put(o.Attributes)
+		o.Attributes = nil
+	}
+	o.ObjectDep = ""
+}

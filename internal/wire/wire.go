@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"synapse/internal/model"
@@ -82,26 +83,35 @@ type Message struct {
 
 	// parsedDeps caches the Dependencies map with its keys parsed back to
 	// hashed dependency keys. Populated lazily by Deps; not concurrency
-	// safe (a message is owned by one worker at a time).
+	// safe (a message is owned by one worker at a time). depsParsed marks
+	// the cache valid — a pooled message keeps the cleared map between
+	// uses, so a nil check alone cannot distinguish "cached empty" from
+	// "not yet parsed".
 	parsedDeps map[uint64]uint64
+	depsParsed bool
 }
 
 // Deps returns the Dependencies map with keys parsed to hashed
 // dependency keys, caching the result so the subscriber pipeline parses
 // each message's map once rather than once per stage.
 func (m *Message) Deps() (map[uint64]uint64, error) {
-	if m.parsedDeps != nil {
+	if m.depsParsed {
 		return m.parsedDeps, nil
 	}
-	out := make(map[uint64]uint64, len(m.Dependencies))
+	out := m.parsedDeps
+	if out == nil {
+		out = make(map[uint64]uint64, len(m.Dependencies))
+	}
 	for s, v := range m.Dependencies {
 		k, err := ParseDepKey(s)
 		if err != nil {
+			clear(out)
 			return nil, err
 		}
 		out[k] = v
 	}
 	m.parsedDeps = out
+	m.depsParsed = true
 	return out, nil
 }
 
@@ -117,8 +127,36 @@ func ParseDepKey(s string) (uint64, error) {
 	return v, nil
 }
 
-// Marshal encodes the message as JSON.
+// useStdlibCodec routes Marshal/Unmarshal through encoding/json instead
+// of the hand-rolled codec. The wire format is identical either way; the
+// toggle exists so the hotpath benchmark (and a paranoid operator) can
+// measure or A/B the two implementations side by side.
+var useStdlibCodec atomic.Bool
+
+// SetStdlibCodec switches the codec implementation. on=true selects the
+// reflection-based encoding/json path; on=false (the default) selects
+// the hand-rolled zero-allocation path. Byte output is identical.
+func SetStdlibCodec(on bool) { useStdlibCodec.Store(on) }
+
+// StdlibCodec reports whether the stdlib codec is selected.
+func StdlibCodec() bool { return useStdlibCodec.Load() }
+
+// Marshal encodes the message as JSON. The hand-rolled encoder produces
+// byte-for-byte the same payload encoding/json would; if it rejects the
+// message (non-finite float, out-of-range year) the stdlib path runs so
+// the returned error is the canonical one.
 func Marshal(m *Message) ([]byte, error) {
+	if useStdlibCodec.Load() {
+		return marshalStd(m)
+	}
+	b, err := marshalFast(m)
+	if err != nil {
+		return marshalStd(m)
+	}
+	return b, nil
+}
+
+func marshalStd(m *Message) ([]byte, error) {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("wire: marshal: %w", err)
@@ -128,8 +166,22 @@ func Marshal(m *Message) ([]byte, error) {
 
 // Unmarshal decodes a message, normalizing attribute values into the
 // model value set (JSON numbers arrive as float64 and stay that way;
-// record accessors accept both widths).
+// record accessors accept both widths). The fast decoder handles the
+// whole format; any input it cannot take — malformed JSON, numbers out
+// of range, pathological nesting — is re-decoded by encoding/json so
+// both results and errors stay exactly the stdlib's.
 func Unmarshal(b []byte) (*Message, error) {
+	if useStdlibCodec.Load() {
+		return unmarshalStd(b)
+	}
+	m := new(Message)
+	if err := decodeFast(b, m); err != nil {
+		return unmarshalStd(b)
+	}
+	return m, nil
+}
+
+func unmarshalStd(b []byte) (*Message, error) {
 	var m Message
 	if err := json.Unmarshal(b, &m); err != nil {
 		return nil, fmt.Errorf("wire: unmarshal: %w", err)

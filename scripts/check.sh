@@ -17,6 +17,11 @@ fi
 echo "== go build =="
 go build ./...
 
+echo "== go vet (hot path) =="
+# Vet the alloc-sensitive hot-path packages first so codec/broker/bench
+# regressions fail fast, before the full-suite vet and race build.
+go vet ./internal/wire/ ./internal/broker/ ./internal/bench/
+
 echo "== go vet =="
 go vet ./...
 
