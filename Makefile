@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: build, vet,
 # and the full test suite under the race detector.
 
-.PHONY: check test bench bench-hotpath profile chaos
+.PHONY: check test bench bench-hotpath bench-overload profile chaos
 
 check:
 	./scripts/check.sh
@@ -17,6 +17,11 @@ bench:
 # wire codec vs encoding/json) and BENCH_hotpath.json.
 bench-hotpath:
 	go run ./cmd/synapse-bench -exp hotpath
+
+# Regenerates the overload experiment (degradation ladder, queue bounds,
+# stall quarantine under sustained ~2x overload) and BENCH_overload.json.
+bench-overload:
+	go run ./cmd/synapse-bench -exp overload
 
 # Same run with pprof CPU + heap capture into ./profiles/.
 profile:

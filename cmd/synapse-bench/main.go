@@ -7,15 +7,17 @@
 //
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
 //	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|reliability|
-//	                   chaos|hotpath|ablation-hash|all
+//	                   chaos|overload|hotpath|ablation-hash|all
 //	              [-quick] [-cpuprofile] [-memprofile] [-profiledir DIR]
 //
 // fig13rt additionally writes BENCH_fig13.json (round trips per message,
 // batched vs unbatched), chaos writes BENCH_chaos.json (seeded fault
-// scripts, convergence + recovery times), and hotpath writes
-// BENCH_hotpath.json (message-path allocs/op and throughput, hand-rolled
-// codec vs encoding/json) so future changes have perf and robustness
-// trajectories.
+// scripts, convergence + recovery times), overload writes
+// BENCH_overload.json (degradation-ladder composition, queue bounds,
+// stall-quarantine latency under sustained ~2x overload), and hotpath
+// writes BENCH_hotpath.json (message-path allocs/op and throughput,
+// hand-rolled codec vs encoding/json) so future changes have perf and
+// robustness trajectories.
 //
 // -quick shrinks every sweep for a fast end-to-end pass. -cpuprofile and
 // -memprofile capture pprof profiles of the run into -profiledir
@@ -96,6 +98,7 @@ func main() {
 		{"lostmsg", runLostMsg},
 		{"reliability", runReliability},
 		{"chaos", runChaos},
+		{"overload", runOverload},
 		{"hotpath", runHotpath},
 		{"ablation-hash", runAblationHash},
 	}
@@ -284,6 +287,30 @@ func runChaos(quick bool) {
 		os.Exit(1)
 	}
 	fmt.Println("wrote BENCH_chaos.json")
+}
+
+func runOverload(quick bool) {
+	cfg := bench.DefaultOverload()
+	if quick {
+		cfg.Seeds = 2
+		cfg.Writes = 90
+	}
+	results, err := bench.RunOverloadBench(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatOverload(results))
+	doc, err := bench.MarshalOverload(results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_overload.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_overload.json")
 }
 
 func runHotpath(quick bool) {

@@ -186,7 +186,10 @@ func runHotpathSide(cfg HotpathConfig, stdlib bool) HotpathSide {
 	})
 	side.PublishDeliver = benchStat(func(b *testing.B) {
 		br := broker.New()
-		q := br.DeclareQueue("sub", 0)
+		q, err := br.DeclareQueue("sub", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := br.Bind("sub", "pub"); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"synapse/internal/chaos"
+)
+
+// ---------------------------------------------------------------------
+// Overload: sustained ~2x overload against a slow subscriber, with the
+// publisher's degradation ladder (throttle -> defer -> shed), a poison
+// callback quarantined by the stall watchdog, exact convergence after
+// release + replay, and a graceful drain (§6.5's degradation spectrum
+// exercised end to end instead of the §4.4 decommission cliff).
+// ---------------------------------------------------------------------
+
+// OverloadBenchConfig parameterizes the overload experiment: Seeds
+// consecutive seeds starting at FirstSeed, each one chaos.RunOverload
+// script.
+type OverloadBenchConfig struct {
+	FirstSeed int64
+	Seeds     int
+	Writes    int
+	Objects   int
+}
+
+// DefaultOverload mirrors the headline property test scaled up: 8 seeds
+// at the default script length.
+func DefaultOverload() OverloadBenchConfig {
+	return OverloadBenchConfig{FirstSeed: 1, Seeds: 8}
+}
+
+// RunOverloadBench runs the seeded overload scripts serially (each run
+// owns its own fabric; serial keeps goodput and quarantine timings
+// honest).
+func RunOverloadBench(cfg OverloadBenchConfig) ([]chaos.OverloadResult, error) {
+	results := make([]chaos.OverloadResult, 0, cfg.Seeds)
+	for i := 0; i < cfg.Seeds; i++ {
+		res, err := chaos.RunOverload(chaos.OverloadConfig{
+			Seed:    cfg.FirstSeed + int64(i),
+			Writes:  cfg.Writes,
+			Objects: cfg.Objects,
+		})
+		if err != nil {
+			return results, fmt.Errorf("seed %d: %w", res.Seed, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FormatOverload renders the per-seed overload runs.
+func FormatOverload(results []chaos.OverloadResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Overload: sustained ~2x overload vs a slow subscriber (watermark backpressure,")
+	fmt.Fprintln(&b, "degradation ladder, stall quarantine, graceful drain; bound = maxLen cliff never hit)")
+	fmt.Fprintf(&b, "%5s %6s %6s %6s %6s %6s %6s %9s %6s %10s %9s %10s\n",
+		"seed", "thrtl", "defer", "shed", "repub", "stall", "dlq", "quarant", "depth", "goodput/s", "converged", "drained")
+	for _, r := range results {
+		drained := "yes"
+		if !r.DrainOK || r.DrainUnacked != 0 {
+			drained = fmt.Sprintf("no(%d)", r.DrainUnacked)
+		}
+		fmt.Fprintf(&b, "%5d %6d %6d %6d %6d %6d %6d %9s %6d %10.0f %9v %10s\n",
+			r.Seed, r.Throttled, r.Deferred, r.Shed, r.Republished,
+			r.Stalled, r.DeadLettered, r.QuarantineTime.Round(time.Millisecond),
+			r.MaxDepth, r.GoodputOverload, r.Converged, drained)
+	}
+	if len(results) > 0 {
+		fmt.Fprintf(&b, "(watermark %d, hard bound %d; depth is the queue's high-water mark)\n",
+			results[0].HighWatermark, results[0].HardBound)
+	}
+	return b.String()
+}
+
+// MarshalOverload serializes the runs for BENCH_overload.json so future
+// changes have an overload-behavior trajectory to diff against.
+func MarshalOverload(results []chaos.OverloadResult) ([]byte, error) {
+	converged, bounded := 0, 0
+	var worstQuarantine time.Duration
+	maxDepth := 0
+	for _, r := range results {
+		if r.Converged {
+			converged++
+		}
+		if r.Decommissions == 0 && r.MaxDepth < r.HardBound {
+			bounded++
+		}
+		if r.QuarantineTime > worstQuarantine {
+			worstQuarantine = r.QuarantineTime
+		}
+		if r.MaxDepth > maxDepth {
+			maxDepth = r.MaxDepth
+		}
+	}
+	doc := struct {
+		Experiment      string                 `json:"experiment"`
+		Description     string                 `json:"description"`
+		Seeds           int                    `json:"seeds"`
+		Converged       int                    `json:"converged"`
+		Bounded         int                    `json:"bounded"`
+		MaxDepthSeen    int                    `json:"max_depth_seen"`
+		WorstQuarantine string                 `json:"worst_quarantine"`
+		Runs            []chaos.OverloadResult `json:"runs"`
+	}{
+		Experiment:      "overload",
+		Description:     "sustained ~2x overload against a deliberately slow subscriber; the publisher walks the degradation ladder (bounded-block throttle, journal-and-defer, low-priority shed) under watermark backpressure while a poison callback is quarantined by the stall watchdog; pass = queue depth bounded below the maxLen decommission cliff, exact convergence after release+replay, zero regressions, clean graceful drain",
+		Seeds:           len(results),
+		Converged:       converged,
+		Bounded:         bounded,
+		MaxDepthSeen:    maxDepth,
+		WorstQuarantine: worstQuarantine.Round(time.Microsecond).String(),
+		Runs:            results,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"synapse/internal/faultinject"
 )
@@ -67,7 +68,25 @@ type item struct {
 	redelivered bool
 	delivered   bool // handed to a consumer at least once
 	fails       int
+	enq         time.Time // when the item entered this queue's pending deque
 }
+
+// Pressure is a queue's overload signal to its publishers. It is the
+// soft counterpart of the §4.4 decommission cliff: past the high
+// watermark the queue asks publishers to degrade (throttle, defer,
+// shed) long before the hard maxLen bound would cut the subscriber off.
+type Pressure int
+
+const (
+	// PressureNormal: depth below the high watermark and the oldest
+	// pending message younger than the age watermark.
+	PressureNormal Pressure = iota
+	// PressureHigh: the queue crossed its soft high watermark and has
+	// not yet drained back to the low watermark (hysteresis), or its
+	// oldest pending message exceeds the age watermark (a stalled
+	// consumer pressures publishers even at modest depth).
+	PressureHigh
+)
 
 // LossFunc decides whether to drop a message on its way into a queue.
 type LossFunc func(queue, exchange string, payload []byte) bool
@@ -132,6 +151,7 @@ func (b *Broker) Restart() {
 		return
 	}
 	st := b.log.replay()
+	now := time.Now()
 	b.queues = make(map[string]*Queue, len(st.queues))
 	b.bindings = make(map[string][]*Queue)
 	for name, rq := range st.queues {
@@ -142,9 +162,13 @@ func (b *Broker) Restart() {
 		var redo, fresh []*item
 		for _, id := range rq.order {
 			m := rq.msgs[id]
+			// Ages restart at the recovery time: the crash gap is broker
+			// downtime, not consumer slowness, so it must not trip the
+			// age watermark the moment the queue comes back.
 			it := &item{
 				id: m.id, payload: m.payload, exchange: m.exchange,
 				fails: m.fails, delivered: m.delivered, redelivered: m.delivered,
+				enq: now,
 			}
 			switch {
 			case m.deadLettered:
@@ -203,20 +227,44 @@ func (b *Broker) SetFaults(r *faultinject.Registry) {
 // DeclareQueue creates (or returns) the named durable queue. maxLen <= 0
 // means unbounded; otherwise exceeding maxLen pending messages
 // decommissions the queue (§4.4).
-// Returns nil while the broker is down.
-func (b *Broker) DeclareQueue(name string, maxLen int) *Queue {
+// Fails with ErrBrokerDown while the broker is crashed; callers must
+// retry (or park) rather than proceed with a missing queue.
+func (b *Broker) DeclareQueue(name string, maxLen int) (*Queue, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.down {
-		return nil
+		return nil, ErrBrokerDown
 	}
 	if q, ok := b.queues[name]; ok {
-		return q
+		return q, nil
 	}
 	q := newQueue(name, maxLen, b.log)
 	b.queues[name] = q
 	b.log.append(logEntry{op: opDeclare, queue: name, n: maxLen})
-	return q
+	return q, nil
+}
+
+// ExchangePressure reports the worst overload signal across the queues
+// bound to an exchange — the publisher-side view of backpressure: a
+// fanout publisher must degrade if ANY of its subscribers is drowning.
+// A crashed broker reports PressureNormal; the publish itself will fail
+// with ErrBrokerDown and take the journal-and-defer path anyway.
+func (b *Broker) ExchangePressure(exchange string) Pressure {
+	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		return PressureNormal
+	}
+	// Copy-on-write bindings: safe to iterate after the unlock.
+	qs := b.bindings[exchange]
+	b.mu.Unlock()
+	p := PressureNormal
+	for _, q := range qs {
+		if qp := q.Pressure(); qp > p {
+			p = qp
+		}
+	}
+	return p
 }
 
 // Queue returns the named queue, if declared.
@@ -376,6 +424,17 @@ type Queue struct {
 	maxAttempts  int
 	setAside     []*item
 	deadLettered int64 // total messages ever set aside
+
+	// Overload control. Watermarks, age bound, and the credit window are
+	// volatile consumer tuning — deliberately NOT in the queue log; the
+	// owning app re-applies them on every (re)attach, the same way a real
+	// AMQP consumer re-sends basic.qos after a reconnect.
+	hiWater      int           // soft depth high watermark (0 = no depth signal)
+	loWater      int           // depth that ends a high episode (hysteresis)
+	ageWater     time.Duration // oldest-pending age watermark (0 = no age signal)
+	credits      int           // max outstanding unacked deliveries (0 = unbounded)
+	pressured    bool          // inside a high-watermark episode
+	maxDepthSeen int           // high-water mark of pending+unacked depth
 }
 
 func newQueue(name string, maxLen int, log *queueLog) *Queue {
@@ -407,8 +466,9 @@ func (q *Queue) push(payload []byte, exchange string, id uint64) {
 	if q.dead || q.closed || q.downErr != nil {
 		return
 	}
-	q.pending.PushBack(&item{id: id, payload: payload, exchange: exchange})
+	q.pending.PushBack(&item{id: id, payload: payload, exchange: exchange, enq: time.Now()})
 	q.log.append(logEntry{op: opEnqueue, queue: q.name, id: id, payload: payload, exchange: exchange})
+	q.notePressureLocked()
 	// Unacked deliveries count against the bound: a prefetching consumer
 	// that cannot finish its batch is as far behind as one that never
 	// dequeued, and must not mask the overflow.
@@ -463,12 +523,17 @@ func (q *Queue) GetBatch(max int) ([]Delivery, error) {
 		if q.closed {
 			return nil, ErrClosed
 		}
-		if q.pending.Len() > 0 {
+		if q.pending.Len() > 0 && q.creditLocked() != 0 {
 			// Fair share: leave enough behind for every consumer still
 			// blocked in the wait below (ceil division keeps n >= 1).
 			n := (q.pending.Len() + q.waiters) / (q.waiters + 1)
 			if n > max {
 				n = max
+			}
+			// Credit window: the batch may not push outstanding unacked
+			// deliveries past the granted window; acks replenish it.
+			if c := q.creditLocked(); c > 0 && n > c {
+				n = c
 			}
 			out := make([]Delivery, 0, n)
 			for i := 0; i < n; i++ {
@@ -516,10 +581,122 @@ func (q *Queue) TryGet() (Delivery, bool, error) {
 	if q.closed {
 		return Delivery{}, false, ErrClosed
 	}
-	if q.pending.Len() == 0 {
+	if q.pending.Len() == 0 || q.creditLocked() == 0 {
 		return Delivery{}, false, nil
 	}
 	return q.takeLocked(), true, nil
+}
+
+// creditLocked reports how many more deliveries the credit window
+// admits right now: -1 when the window is unbounded, otherwise the
+// remaining credit (0 = exhausted, consumers must wait for acks).
+func (q *Queue) creditLocked() int {
+	if q.credits <= 0 {
+		return -1
+	}
+	if c := q.credits - len(q.unacked); c > 0 {
+		return c
+	}
+	return 0
+}
+
+// notePressureLocked re-evaluates the depth watermark state machine and
+// the depth high-water mark. The episode flag is sticky: it sets at
+// hiWater and clears only once depth drains to loWater, so publishers
+// are not flapped on/off at the boundary.
+func (q *Queue) notePressureLocked() {
+	d := q.pending.Len() + len(q.unacked)
+	if d > q.maxDepthSeen {
+		q.maxDepthSeen = d
+	}
+	if q.hiWater <= 0 {
+		q.pressured = false
+		return
+	}
+	if q.pressured {
+		if d <= q.loWater {
+			q.pressured = false
+		}
+	} else if d >= q.hiWater {
+		q.pressured = true
+	}
+}
+
+// SetWatermarks installs the soft depth watermarks: at high the queue
+// starts signalling PressureHigh; the signal clears once depth drains
+// to low. high <= 0 disables the depth signal; low outside (0, high)
+// defaults to high/2.
+func (q *Queue) SetWatermarks(high, low int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if low <= 0 || low > high {
+		low = high / 2
+	}
+	q.hiWater, q.loWater = high, low
+	q.notePressureLocked()
+}
+
+// SetAgeWatermark installs the age watermark: while the oldest pending
+// message is older than d, the queue signals PressureHigh regardless of
+// depth. 0 disables the age signal.
+func (q *Queue) SetAgeWatermark(d time.Duration) {
+	q.mu.Lock()
+	q.ageWater = d
+	q.mu.Unlock()
+}
+
+// SetCredits grants the consumer pool a credit window of n outstanding
+// unacked deliveries (basic.qos in AMQP terms): GetBatch/TryGet stop
+// handing out messages while the window is exhausted and resume as acks
+// return credit. n <= 0 removes the window.
+func (q *Queue) SetCredits(n int) {
+	q.mu.Lock()
+	q.credits = n
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Pressure reports the queue's current overload signal.
+func (q *Queue) Pressure() Pressure {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.notePressureLocked()
+	if q.pressured {
+		return PressureHigh
+	}
+	if q.ageWater > 0 && q.pending.Len() > 0 {
+		if it := q.pending.At(0); time.Since(it.enq) >= q.ageWater {
+			return PressureHigh
+		}
+	}
+	return PressureNormal
+}
+
+// Depth reports pending plus unacked messages — the figure the
+// watermarks and the decommission bound are measured against.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending.Len() + len(q.unacked)
+}
+
+// MaxDepthSeen reports the deepest the queue has ever been
+// (pending + unacked), the bounded-memory witness for overload runs.
+func (q *Queue) MaxDepthSeen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.maxDepthSeen
+}
+
+// OldestAge reports how long the head pending message has been waiting
+// (0 when the queue is empty).
+func (q *Queue) OldestAge() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.pending.Len() == 0 {
+		return 0
+	}
+	return time.Since(q.pending.At(0).enq)
 }
 
 func (q *Queue) takeLocked() Delivery {
@@ -552,6 +729,12 @@ func (q *Queue) Ack(tag uint64) error {
 	}
 	delete(q.unacked, tag)
 	q.log.append(logEntry{op: opAck, queue: q.name, id: it.id})
+	q.notePressureLocked()
+	// The ack returns credit to the window; wake consumers blocked on an
+	// exhausted window.
+	if q.credits > 0 {
+		q.cond.Broadcast()
+	}
 	return nil
 }
 
@@ -579,6 +762,10 @@ func (q *Queue) Nack(tag uint64, requeue bool) error {
 	} else {
 		// Dropped without requeue: gone from the durable state too.
 		q.log.append(logEntry{op: opAck, queue: q.name, id: it.id})
+		q.notePressureLocked()
+		if q.credits > 0 {
+			q.cond.Broadcast()
+		}
 	}
 	return nil
 }
@@ -624,6 +811,9 @@ func (q *Queue) NackError(tag uint64) (deadLettered bool, err error) {
 		q.setAside = append(q.setAside, it)
 		q.deadLettered++
 		q.log.append(logEntry{op: opDeadLetter, queue: q.name, id: it.id})
+		// Quarantine shrinks the live depth and returns credit.
+		q.notePressureLocked()
+		q.cond.Broadcast()
 		return true, nil
 	}
 	q.pending.PushFront(it)
@@ -662,10 +852,12 @@ func (q *Queue) ReplayDeadLetters() int {
 	for i := n - 1; i >= 0; i-- {
 		it := q.setAside[i]
 		it.fails = 0
+		it.enq = time.Now()
 		q.pending.PushFront(it)
 	}
 	q.setAside = nil
 	q.log.append(logEntry{op: opReplayDL, queue: q.name})
+	q.notePressureLocked()
 	q.cond.Broadcast()
 	return n
 }

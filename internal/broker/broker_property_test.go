@@ -15,7 +15,7 @@ func TestQuickAtLeastOnce(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		b := New()
-		q := b.DeclareQueue("s", 0)
+		q, _ := b.DeclareQueue("s", 0)
 		if err := b.Bind("s", "p"); err != nil {
 			return false
 		}

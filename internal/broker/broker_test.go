@@ -10,8 +10,8 @@ import (
 
 func TestFanout(t *testing.T) {
 	b := New()
-	q1 := b.DeclareQueue("sub1", 0)
-	q2 := b.DeclareQueue("sub2", 0)
+	q1, _ := b.DeclareQueue("sub1", 0)
+	q2, _ := b.DeclareQueue("sub2", 0)
 	if err := b.Bind("sub1", "pub"); err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestFanout(t *testing.T) {
 
 func TestBindIdempotentAndUnbound(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	_ = b.Bind("s", "p") // no double delivery
 	b.Publish("p", []byte("x"))
@@ -57,7 +57,7 @@ func TestBindIdempotentAndUnbound(t *testing.T) {
 
 func TestUnbindStopsDelivery(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	b.Unbind("s", "p")
 	b.Publish("p", []byte("x"))
@@ -68,7 +68,7 @@ func TestUnbindStopsDelivery(t *testing.T) {
 
 func TestFIFOAndAck(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	for i := 0; i < 5; i++ {
 		b.Publish("p", []byte(fmt.Sprintf("m%d", i)))
@@ -95,7 +95,7 @@ func TestFIFOAndAck(t *testing.T) {
 
 func TestNackRequeueFront(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	b.Publish("p", []byte("first"))
 	b.Publish("p", []byte("second"))
@@ -116,7 +116,7 @@ func TestNackRequeueFront(t *testing.T) {
 
 func TestNackDrop(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	b.Publish("p", []byte("gone"))
 	d, _ := q.Get()
@@ -130,7 +130,7 @@ func TestNackDrop(t *testing.T) {
 
 func TestGetBlocksUntilPublish(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	got := make(chan string, 1)
 	go func() {
@@ -155,7 +155,7 @@ func TestGetBlocksUntilPublish(t *testing.T) {
 
 func TestTryGet(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	if _, ok, err := q.TryGet(); ok || err != nil {
 		t.Fatalf("TryGet on empty = %v %v", ok, err)
@@ -169,7 +169,7 @@ func TestTryGet(t *testing.T) {
 
 func TestDecommissionOnOverflow(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 3)
+	q, _ := b.DeclareQueue("s", 3)
 	_ = b.Bind("s", "p")
 	for i := 0; i < 4; i++ {
 		b.Publish("p", []byte("x"))
@@ -184,7 +184,7 @@ func TestDecommissionOnOverflow(t *testing.T) {
 		t.Errorf("Get on dead queue = %v", err)
 	}
 	// Other queues are unaffected.
-	q2 := b.DeclareQueue("s2", 0)
+	q2, _ := b.DeclareQueue("s2", 0)
 	_ = b.Bind("s2", "p")
 	b.Publish("p", []byte("y"))
 	if q2.Len() != 1 {
@@ -194,7 +194,7 @@ func TestDecommissionOnOverflow(t *testing.T) {
 
 func TestDecommissionWakesBlockedConsumer(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 1)
+	q, _ := b.DeclareQueue("s", 1)
 	_ = b.Bind("s", "p")
 	errc := make(chan error, 1)
 	go func() {
@@ -224,7 +224,7 @@ func TestDecommissionWakesBlockedConsumer(t *testing.T) {
 
 func TestDeleteQueueRebootstrapCycle(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 1)
+	q, _ := b.DeclareQueue("s", 1)
 	_ = b.Bind("s", "p")
 	b.Publish("p", []byte("1"))
 	b.Publish("p", []byte("2")) // decommission
@@ -236,7 +236,7 @@ func TestDeleteQueueRebootstrapCycle(t *testing.T) {
 		t.Fatal("queue still registered after delete")
 	}
 	// Redeclare: fresh queue, must rebind.
-	q2 := b.DeclareQueue("s", 10)
+	q2, _ := b.DeclareQueue("s", 10)
 	if q2 == q {
 		t.Fatal("DeclareQueue returned the dead queue")
 	}
@@ -253,7 +253,7 @@ func TestDeleteQueueRebootstrapCycle(t *testing.T) {
 
 func TestLossInjection(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	n := 0
 	b.SetLoss(func(queue, exchange string, payload []byte) bool {
@@ -275,7 +275,7 @@ func TestLossInjection(t *testing.T) {
 
 func TestConcurrentConsumersNoDuplicates(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	const n = 500
 	for i := 0; i < n; i++ {
@@ -329,7 +329,7 @@ func TestQueuesListing(t *testing.T) {
 
 func TestGetBatchDrainsUpToMax(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	if err := b.Bind("sub", "pub"); err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestGetBatchDrainsUpToMax(t *testing.T) {
 
 func TestGetBatchBlocksLikeGet(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	if err := b.Bind("sub", "pub"); err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestGetBatchBlocksLikeGet(t *testing.T) {
 // share of the pending messages.
 func TestGetBatchFairShare(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	if err := b.Bind("sub", "pub"); err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +445,7 @@ func TestGetBatchFairShare(t *testing.T) {
 
 func TestGetBatchCancelAndDecommission(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	errs := make(chan error, 1)
 	go func() {
 		_, err := q.GetBatch(8)
@@ -460,7 +460,7 @@ func TestGetBatchCancelAndDecommission(t *testing.T) {
 
 func TestStarving(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	if err := b.Bind("sub", "pub"); err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +493,7 @@ func TestStarving(t *testing.T) {
 // not mask the overflow that triggers decommission (§4.4).
 func TestDecommissionCountsUnacked(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 3)
+	q, _ := b.DeclareQueue("s", 3)
 	_ = b.Bind("s", "p")
 	for i := 0; i < 3; i++ {
 		b.Publish("p", []byte("x"))

@@ -14,7 +14,7 @@ import (
 // in-flight messages, and invalidation of pre-crash handles.
 func TestCrashRestartBasics(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	if err := b.Bind("sub", "pub"); err != nil {
 		t.Fatal(err)
 	}
@@ -39,8 +39,8 @@ func TestCrashRestartBasics(t *testing.T) {
 	if err := b.Publish("pub", []byte("lost")); !errors.Is(err, ErrBrokerDown) {
 		t.Fatalf("Publish while down: got %v, want ErrBrokerDown", err)
 	}
-	if got := b.DeclareQueue("other", 0); got != nil {
-		t.Fatal("DeclareQueue while down should return nil")
+	if got, err := b.DeclareQueue("other", 0); !errors.Is(err, ErrBrokerDown) || got != nil {
+		t.Fatalf("DeclareQueue while down: got (%v, %v), want (nil, ErrBrokerDown)", got, err)
 	}
 	// The old handle is defunct for every operation.
 	if err := q.Ack(d.Tag); !errors.Is(err, ErrBrokerDown) {
@@ -92,7 +92,7 @@ func TestCrashRestartBasics(t *testing.T) {
 // woken with ErrBrokerDown rather than hanging across the crash.
 func TestCrashWakesBlockedConsumer(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	errc := make(chan error, 1)
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -118,7 +118,7 @@ func TestCrashWakesBlockedConsumer(t *testing.T) {
 // counts, and the max-attempts policy all survive a bounce.
 func TestRestartPreservesDeadLettersAndAttempts(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 0)
+	q, _ := b.DeclareQueue("sub", 0)
 	q.SetMaxAttempts(2)
 	_ = b.Bind("sub", "pub")
 	if err := b.Publish("pub", []byte("poison")); err != nil {
@@ -178,7 +178,7 @@ func TestRestartPreservesDeadLettersAndAttempts(t *testing.T) {
 // dead after a bounce (the subscriber must still re-bootstrap).
 func TestRestartPreservesDecommission(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("sub", 2)
+	q, _ := b.DeclareQueue("sub", 2)
 	_ = b.Bind("sub", "pub")
 	for i := 0; i < 3; i++ {
 		_ = b.Publish("pub", []byte("m"))
@@ -212,7 +212,7 @@ func TestBrokerCrashRestartProperty(t *testing.T) {
 			t.Parallel()
 			rng := rand.New(rand.NewSource(int64(seed)))
 			b := New()
-			q := b.DeclareQueue("q", 0)
+			q, _ := b.DeclareQueue("q", 0)
 			if err := b.Bind("q", "ex"); err != nil {
 				t.Fatal(err)
 			}
@@ -314,7 +314,7 @@ func TestBrokerCrashRestartProperty(t *testing.T) {
 // the live state.
 func TestQueueLogCompaction(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("q", 0)
+	q, _ := b.DeclareQueue("q", 0)
 	_ = b.Bind("q", "ex")
 	for i := 0; i < 3*compactEvery; i++ {
 		if err := b.Publish("ex", []byte(fmt.Sprintf("m%d", i))); err != nil {

@@ -9,7 +9,7 @@ import (
 
 func TestNackErrorRequeuesUntilMaxAttempts(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	q.SetMaxAttempts(3)
 	_ = b.Bind("s", "p")
 	b.Publish("p", []byte("poison"))
@@ -53,7 +53,7 @@ func TestNackErrorRequeuesUntilMaxAttempts(t *testing.T) {
 
 func TestSpillNackDoesNotCountAsFailure(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	q.SetMaxAttempts(1)
 	_ = b.Bind("s", "p")
 	b.Publish("p", []byte("m"))
@@ -81,7 +81,7 @@ func TestSpillNackDoesNotCountAsFailure(t *testing.T) {
 
 func TestReplayDeadLetters(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	q.SetMaxAttempts(1)
 	_ = b.Bind("s", "p")
 	b.Publish("p", []byte("a"))
@@ -117,7 +117,7 @@ func TestReplayDeadLetters(t *testing.T) {
 
 func TestNackErrorUnboundedByDefault(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	b.Publish("p", []byte("m"))
 	for i := 0; i < 10; i++ {
@@ -134,7 +134,7 @@ func TestNackErrorUnboundedByDefault(t *testing.T) {
 
 func TestFaultBrokerDrop(t *testing.T) {
 	b := New()
-	q := b.DeclareQueue("s", 0)
+	q, _ := b.DeclareQueue("s", 0)
 	_ = b.Bind("s", "p")
 	faults := faultinject.New()
 	b.SetFaults(faults)

@@ -123,7 +123,7 @@ func BenchmarkFrontInsert(b *testing.B) {
 // and log cost swamps the deque work being measured.
 func BenchmarkNackRequeue(b *testing.B) {
 	br := New()
-	q := br.DeclareQueue("sub", 0)
+	q, _ := br.DeclareQueue("sub", 0)
 	if err := br.Bind("sub", "pub"); err != nil {
 		b.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func BenchmarkPublishFanout(b *testing.B) {
 	queues := make([]*Queue, 8)
 	for i := range queues {
 		name := fmt.Sprintf("sub%d", i)
-		queues[i] = br.DeclareQueue(name, 0)
+		queues[i], _ = br.DeclareQueue(name, 0)
 		if err := br.Bind(name, "pub"); err != nil {
 			b.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -99,6 +100,18 @@ type App struct {
 	retries      *metrics.Counter // failed deliveries requeued
 	redelivered  *metrics.Counter // deliveries received with the redelivered flag
 	deferred     *metrics.Counter // sends degraded to journal-and-defer
+	shed         *metrics.Counter // low-priority publishes dropped under pressure
+	throttled    *metrics.Counter // publishes that entered the bounded-block wait
+	stalled      *metrics.Counter // deliveries abandoned by the stall watchdog
+
+	// Overload-control state: the last subscriber pressure observed over
+	// the network (served from cache while the probe's link is faulty),
+	// the drain flag quiescing publishes, and the seeded jitter source
+	// staggering blocked publishers and journal resumes.
+	lastPressure atomic.Int32
+	draining     atomic.Bool
+	rngMu        sync.Mutex
+	rng          *rand.Rand
 
 	// Per-endpoint resilient callers and the parked-ack retry list
 	// (see netlink.go).
@@ -152,6 +165,10 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 		retries:        metrics.NewCounter(),
 		redelivered:    metrics.NewCounter(),
 		deferred:       metrics.NewCounter(),
+		shed:           metrics.NewCounter(),
+		throttled:      metrics.NewCounter(),
+		stalled:        metrics.NewCounter(),
+		rng:            rand.New(rand.NewSource(seedFor(name, "overload"))),
 		PublishLatency: metrics.NewHistogram(),
 		Processed:      metrics.NewMeter(),
 		Stages:         metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageAck),
@@ -222,6 +239,20 @@ type Stats struct {
 	// (replayed messages leave the list but stay counted).
 	DeadLetters  int
 	DeadLettered int64
+	// Shed counts low-priority publishes dropped under subscriber
+	// pressure (ShedLowPriority mode); Throttled counts publishes that
+	// entered the bounded-block wait (PublishBlockTimeout mode).
+	Shed      int64
+	Throttled int64
+	// Stalled counts deliveries abandoned by the apply watchdog
+	// (callback still running past its escalating ApplyTimeout budget).
+	Stalled int64
+	// QueueDepth is the subscriber queue's current pending+unacked
+	// depth; QueueMaxDepth the deepest it has ever been; QueuePressured
+	// whether it currently signals PressureHigh to publishers.
+	QueueDepth     int
+	QueueMaxDepth  int
+	QueuePressured bool
 	// Stages summarizes the subscriber pipeline timers by stage name.
 	Stages map[string]metrics.StageStat
 }
@@ -237,11 +268,17 @@ func (a *App) Stats() Stats {
 		Retries:          a.retries.Count(),
 		Redelivered:      a.redelivered.Count(),
 		Deferred:         a.deferred.Count(),
+		Shed:             a.shed.Count(),
+		Throttled:        a.throttled.Count(),
+		Stalled:          a.stalled.Count(),
 		Stages:           a.Stages.Snapshot(),
 	}
 	if q := a.Queue(); q != nil {
 		st.DeadLetters = q.DeadLetterCount()
 		st.DeadLettered = q.DeadLettered()
+		st.QueueDepth = q.Depth()
+		st.QueueMaxDepth = q.MaxDepthSeen()
+		st.QueuePressured = q.Pressure() == broker.PressureHigh
 	}
 	if n := float64(st.Published) + float64(st.Processed); n > 0 {
 		st.RoundTripsPerMessage = float64(st.VStoreRoundTrips) / n
@@ -469,13 +506,25 @@ func (a *App) ensureQueue() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.queue == nil || a.queue.Dead() {
-		// DeclareQueue returns nil while the broker is crashed; keep the
-		// old handle (the worker loop reattaches after the restart).
-		if q := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); q != nil {
-			q.SetMaxAttempts(a.cfg.MaxDeliveryAttempts)
+		// DeclareQueue fails while the broker is crashed; keep the old
+		// handle (the worker loop reattaches after the restart).
+		if q, err := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); err == nil {
+			a.tuneQueue(q)
 			a.queue = q
 		}
 	}
+}
+
+// tuneQueue applies this app's consumer policy — delivery-attempt
+// bound, soft watermarks, age bound, credit window — to a queue handle.
+// Watermarks and credits are volatile broker state (not in the queue
+// log), so this runs on every declare/reattach, like re-sending
+// basic.qos after an AMQP reconnect.
+func (a *App) tuneQueue(q *broker.Queue) {
+	q.SetMaxAttempts(a.cfg.MaxDeliveryAttempts)
+	q.SetWatermarks(a.cfg.QueueHighWatermark, a.cfg.QueueLowWatermark)
+	q.SetAgeWatermark(a.cfg.QueueAgeWatermark)
+	q.SetCredits(a.cfg.CreditWindow)
 }
 
 // Queue returns the app's subscriber queue (nil when it subscribes to

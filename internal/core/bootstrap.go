@@ -124,7 +124,24 @@ func (a *App) bootstrapModel(pub *App, modelName string) error {
 	var innerErr error
 	err := pub.mapper.Each(modelName, "", func(rec *model.Record) bool {
 		key := pub.store.KeyFor(depName(pub.name, modelName, rec.ID))
+		// Read the (version, record) pair under the publisher's write
+		// lock for the key. A publish in flight holds that lock from its
+		// version claim through the DB commit to the broker send, so an
+		// unlocked read here can pair the CLAIMED version with the
+		// not-yet-committed OLD attributes — and the claimed version in
+		// the subscriber's guard then makes it skip the live message
+		// carrying the real data: permanent divergence. Locked, the pair
+		// is atomic: both sides of the in-flight publish or neither.
+		held, lerr := pub.store.LockWrites([]vstore.Key{key})
+		if lerr != nil {
+			innerErr = lerr
+			return false
+		}
 		version := pub.store.Counters(key).Version
+		if fresh, ferr := pub.mapper.Find(modelName, rec.ID); ferr == nil {
+			rec = fresh
+		}
+		pub.store.UnlockWrites(held)
 		if version > 0 {
 			applied, _, aerr := a.store.ApplyIfNewer(key, version)
 			if aerr != nil {
@@ -210,12 +227,13 @@ func (a *App) RecoverQueue() error {
 		return nil // another worker already recovered
 	}
 	a.fabric.Broker.DeleteQueue(a.queueName())
-	nq := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
-	if nq == nil {
+	nq, err := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+	if err != nil {
 		// Broker crashed mid-recovery; the worker loop reattaches after
 		// the restart and retries.
-		return broker.ErrBrokerDown
+		return err
 	}
+	a.tuneQueue(nq)
 	a.mu.Lock()
 	a.queue = nq
 	a.mu.Unlock()

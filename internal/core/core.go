@@ -54,6 +54,9 @@ var (
 	ErrUnknownApp       = errors.New("synapse: unknown app")
 	ErrNotSubscribed    = errors.New("synapse: app is not subscribed to this publisher")
 	ErrAlreadyPublished = errors.New("synapse: attribute already published")
+	// ErrDraining is returned by writes attempted while App.Drain is
+	// quiescing the app for a planned shutdown.
+	ErrDraining = errors.New("synapse: app is draining")
 )
 
 // WaitForever is the dependency-wait timeout for pure causal mode; a
@@ -140,6 +143,51 @@ type Config struct {
 	// recovers (default 50ms; < 0 disables the periodic drain, leaving
 	// only the one-shot drain at StartWorkers).
 	JournalRetryInterval time.Duration
+
+	// QueueHighWatermark is the soft depth bound on this app's subscriber
+	// queue: at or past it the queue signals PressureHigh to its
+	// publishers, whose admission control degrades (block, defer, shed)
+	// instead of growing the queue toward the QueueMaxLen decommission
+	// cliff. 0 disables the depth signal.
+	QueueHighWatermark int
+	// QueueLowWatermark ends a high-watermark episode once depth drains
+	// to it (hysteresis, so publishers are not flapped at the boundary).
+	// 0 or an out-of-range value defaults to QueueHighWatermark/2.
+	QueueLowWatermark int
+	// QueueAgeWatermark signals PressureHigh while the oldest pending
+	// message is older than this, so a stalled consumer pressures its
+	// publishers even at modest queue depth. 0 disables the age signal.
+	QueueAgeWatermark time.Duration
+	// CreditWindow bounds outstanding unacked deliveries across this
+	// app's worker pool: the queue hands out at most this many in-flight
+	// messages and acks replenish the window. 0 = unbounded.
+	CreditWindow int
+	// PublishBlockTimeout enables bounded-block admission: a publish
+	// that sees PressureHigh first waits (jittered polls) up to this
+	// long for pressure to clear before degrading to defer or shed.
+	// 0 makes pressured publishes degrade immediately.
+	PublishBlockTimeout time.Duration
+	// ShedLowPriority enables load shedding: while pressured, publishes
+	// marked low-priority (Controller.SetLowPriority) are dropped after
+	// their local commit instead of sent, counted in Stats.Shed. The
+	// subscriber misses those updates until a later write of the same
+	// objects supersedes them (weak-mode semantics for marked traffic).
+	// A shed message is a hole in the causal order — its versions were
+	// claimed but never shipped — so causal subscribers downstream of a
+	// shedding publisher need a finite DepTimeout (§6.5 degradation) to
+	// ride past the gap; with WaitForever they would wedge on it.
+	ShedLowPriority bool
+	// ApplyTimeout arms the per-delivery stall watchdog: a subscriber
+	// callback still running after the budget is abandoned and the
+	// delivery counted as a failed attempt. The budget escalates —
+	// doubling per prior failure, capped at ApplyTimeoutMax — so a hung
+	// callback quarantines to the dead-letter list after
+	// MaxDeliveryAttempts instead of wedging its worker forever.
+	// 0 (the default) disables the watchdog.
+	ApplyTimeout time.Duration
+	// ApplyTimeoutMax caps the escalating stall budget
+	// (default 8× ApplyTimeout).
+	ApplyTimeoutMax time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +214,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JournalRetryInterval == 0 {
 		c.JournalRetryInterval = 50 * time.Millisecond
+	}
+	if c.ApplyTimeoutMax <= 0 {
+		c.ApplyTimeoutMax = 8 * c.ApplyTimeout
 	}
 	return c
 }

@@ -80,7 +80,7 @@ func mustSubscribe(t *testing.T, a *App, d *model.Descriptor, spec SubSpec) {
 func tap(t *testing.T, f *Fabric, exchange string) func() []*wire.Message {
 	t.Helper()
 	name := "tap-" + exchange
-	q := f.Broker.DeclareQueue(name, 0)
+	q, _ := f.Broker.DeclareQueue(name, 0)
 	if err := f.Broker.Bind(name, exchange); err != nil {
 		t.Fatal(err)
 	}

@@ -122,6 +122,18 @@ func (a *App) JournalDepth() int {
 // drains are serialized against each other (not against publishes; a
 // live publisher should not call this concurrently with writes).
 func (a *App) RecoverJournal() (int, error) {
+	return a.recoverJournal(nil)
+}
+
+// recoverJournal is RecoverJournal with an optional pacing gate: when
+// admit is non-nil it is consulted before every republish, and a false
+// return stops the drain early, leaving the remaining entries for the
+// next pass. The periodic drain (StartWorkers) paces against the
+// backpressure signal this way so a cleared low watermark is answered
+// entry by entry, not with the whole deferred backlog in one burst that
+// would punch straight past the high watermark again. App.Drain and
+// explicit RecoverJournal calls pass nil: they flush unconditionally.
+func (a *App) recoverJournal(admit func() bool) (int, error) {
 	if !a.journaling() {
 		return 0, nil
 	}
@@ -140,6 +152,9 @@ func (a *App) RecoverJournal() (int, error) {
 	}
 	drained := 0
 	for _, e := range entries {
+		if admit != nil && !admit() {
+			return drained, nil
+		}
 		msg, err := wire.Unmarshal([]byte(e.String("payload")))
 		if err != nil {
 			// A corrupt entry can never replay; drop it rather than

@@ -297,18 +297,24 @@ func (a *App) awaitBrokerUp(stop <-chan struct{}) bool {
 }
 
 // reattachQueue swaps the app onto the restarted broker's rebuilt
-// queue handle (the pre-crash handle is permanently defunct).
+// queue handle (the pre-crash handle is permanently defunct). The log
+// replays durable queue state but not the volatile consumer tuning
+// (watermarks, credits), so the handle is re-tuned either way. If the
+// broker crashed again mid-reattach the app keeps its defunct handle;
+// the worker loop parks in awaitBrokerUp and retries — never a nil
+// queue mid-flight.
 func (a *App) reattachQueue() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if q, ok := a.fabric.Broker.Queue(a.queueName()); ok {
+		a.tuneQueue(q)
 		a.queue = q
 		return
 	}
 	// The restarted broker has no such queue (it was never durably
 	// declared — e.g. the crash raced the declaration): redeclare.
-	if q := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); q != nil {
-		q.SetMaxAttempts(a.cfg.MaxDeliveryAttempts)
+	if q, err := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); err == nil {
+		a.tuneQueue(q)
 		a.queue = q
 	}
 }

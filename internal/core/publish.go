@@ -29,6 +29,9 @@ import (
 // the app's PublishLatency histogram — the "Synapse time" column of
 // Fig 12(a).
 func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]*model.Record, error) {
+	if a.draining.Load() {
+		return nil, ErrDraining
+	}
 	start := time.Now()
 	var dbTime time.Duration
 
@@ -221,7 +224,28 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		// RecoverJournal replays it.
 		return nil, err
 	}
-	if serr := a.sendMessage(payload); serr != nil {
+	send := true
+	switch a.admitPublish(c, journaled) {
+	case admitShed:
+		// Load shed: the local write stands; the message is dropped and
+		// its journal entry (if any) acked, so the periodic drain cannot
+		// resurrect a message the publisher chose to drop.
+		send = false
+		a.shed.Inc()
+		if journaled {
+			a.journalAck(journalID)
+		}
+	case admitDefer:
+		// Journal-and-defer without touching the broker: the pressured
+		// queue must not grow, and the entry is already durable — the
+		// journal drain republishes it after pressure clears (with a
+		// jittered resume; see the ticker in StartWorkers).
+		send = false
+		a.deferred.Inc()
+	}
+	if !send {
+		// Degraded: nothing sent now.
+	} else if serr := a.sendMessage(payload); serr != nil {
 		if !journaled {
 			// No durable copy exists: surface the send failure.
 			return nil, serr

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"synapse/internal/broker"
@@ -113,19 +114,43 @@ func (a *App) StartWorkers(n int) {
 	a.workersWG.Add(1)
 	go func() {
 		defer a.workersWG.Done()
-		_, _ = a.RecoverJournal()
+		// Background drains are paced: each republish re-checks the
+		// backpressure signal, so resuming a large deferred backlog
+		// cannot itself re-overload the queue it deferred for.
+		paced := func() bool { return a.exchangePressure() != broker.PressureHigh }
+		_, _ = a.recoverJournal(paced)
 		if a.cfg.JournalRetryInterval <= 0 {
 			return
 		}
 		t := time.NewTicker(a.cfg.JournalRetryInterval)
 		defer t.Stop()
+		wasPressured := false
 		for {
 			select {
 			case <-stop:
 				return
 			case <-t.C:
+				// Publishes deferred under backpressure stay journaled while
+				// the subscriber side still signals overload: draining now
+				// would re-grow the pressured queue. Parked acks flush
+				// regardless — acks RELIEVE pressure (they return credit and
+				// shrink depth).
+				if a.JournalDepth() > 0 && a.exchangePressure() == broker.PressureHigh {
+					wasPressured = true
+					a.flushPendingAcks()
+					continue
+				}
+				if wasPressured {
+					// Jittered resume off the low watermark: concurrently
+					// deferred publishers stagger their drains instead of
+					// refilling the queue in one synchronized burst.
+					wasPressured = false
+					if !a.pauseRetry(stop, a.jitter(a.cfg.JournalRetryInterval)) {
+						return
+					}
+				}
 				if a.JournalDepth() > 0 {
-					_, _ = a.RecoverJournal()
+					_, _ = a.recoverJournal(paced)
 				}
 				a.flushPendingAcks()
 			}
@@ -240,15 +265,18 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 			a.redelivered.Inc()
 		}
 		rest := batch[i+1:]
-		spilled := false
+		// Once + atomic: with the stall watchdog armed, consume runs in a
+		// goroutine that may be abandoned mid-apply and call spill later,
+		// concurrently with this worker reading the flag.
+		var spilled atomic.Bool
+		var spillOnce sync.Once
 		spill := func() {
-			if spilled {
-				return
-			}
-			spilled = true
-			for j := len(rest) - 1; j >= 0; j-- {
-				a.nackDelivery(q, rest[j].Tag)
-			}
+			spillOnce.Do(func() {
+				spilled.Store(true)
+				for j := len(rest) - 1; j >= 0; j-- {
+					a.nackDelivery(q, rest[j].Tag)
+				}
+			})
 		}
 		if len(rest) > 0 && q.Starving() {
 			spill()
@@ -261,7 +289,7 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 		}
 		var perr error
 		if !stopped {
-			perr = a.consume(d.Payload, stop, spill)
+			perr = a.consumeGuarded(d, stop, spill)
 		}
 		if stopped || perr != nil {
 			spill()
@@ -287,7 +315,7 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 		ackStart := time.Now()
 		a.ackDelivery(q, d.Tag)
 		a.Stages.Observe(StageAck, time.Since(ackStart))
-		if spilled {
+		if spilled.Load() {
 			return
 		}
 	}
@@ -312,6 +340,76 @@ func (a *App) retryBackoff(attempts int, stop <-chan struct{}) {
 	case <-stop:
 	case <-t.C:
 	}
+}
+
+// errStalled marks a delivery abandoned by the apply watchdog: the
+// subscriber callback was still running when its escalating time budget
+// expired.
+var errStalled = errors.New("synapse: subscriber apply stalled past watchdog budget")
+
+// consumeGuarded runs consume under the per-delivery stall watchdog
+// (Config.ApplyTimeout; disabled at 0, where it falls through with no
+// extra goroutine). The budget escalates with the message's prior
+// failed attempts — doubling each time, capped at ApplyTimeoutMax — so
+// transiently slow applies get a longer second chance while a truly
+// hung callback still exhausts MaxDeliveryAttempts and quarantines to
+// the dead-letter set-aside. A timed-out apply is abandoned: its
+// private cancel channel is closed (dependency waits observe it), a
+// short grace wait lets a responsive callback surface its result, and
+// then the delivery is failed so the worker moves on. The abandoned
+// goroutine may straggle and eventually write; the apply stripes plus
+// the per-object version guard absorb that exactly as they absorb
+// redelivered duplicates.
+func (a *App) consumeGuarded(d broker.Delivery, stop <-chan struct{}, onBlock func()) error {
+	if a.cfg.ApplyTimeout <= 0 {
+		return a.consume(d.Payload, stop, onBlock)
+	}
+	budget := a.cfg.ApplyTimeout
+	for i := 0; i < d.Attempts && budget < a.cfg.ApplyTimeoutMax; i++ {
+		budget *= 2
+	}
+	if budget > a.cfg.ApplyTimeoutMax {
+		budget = a.cfg.ApplyTimeoutMax
+	}
+	// A bounded causal dependency wait is not a stall: with a finite
+	// DepTimeout the delivery may legitimately sit that long before its
+	// apply even starts, so the watchdog arms after that allowance on
+	// top of the apply budget. Under WaitForever no allowance is added —
+	// there the watchdog is exactly what bounds an otherwise unbounded
+	// wait (the wait observes the cancel channel and exits cleanly).
+	if a.cfg.DepTimeout > 0 && a.cfg.DepTimeout != WaitForever {
+		budget += a.cfg.DepTimeout
+	}
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- a.consume(d.Payload, cancel, onBlock) }()
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	var reason error
+	select {
+	case err := <-done:
+		return err
+	case <-stop:
+		reason = errWaitInterrupted
+	case <-t.C:
+		reason = errStalled
+	}
+	close(cancel)
+	grace := budget / 4
+	if grace < time.Millisecond {
+		grace = time.Millisecond
+	}
+	g := time.NewTimer(grace)
+	defer g.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-g.C:
+	}
+	if errors.Is(reason, errStalled) {
+		a.stalled.Inc()
+	}
+	return reason
 }
 
 // consume decodes and processes one message payload. onBlock (may be

@@ -135,7 +135,7 @@ func TestJobWritesAreDependencyTracked(t *testing.T) {
 	if err := pub.Publish(itemDesc(), core.PubSpec{Attrs: []string{"v"}}); err != nil {
 		t.Fatal(err)
 	}
-	q := f.Broker.DeclareQueue("tap", 0)
+	q, _ := f.Broker.DeclareQueue("tap", 0)
 	if err := f.Broker.Bind("tap", "pub"); err != nil {
 		t.Fatal(err)
 	}

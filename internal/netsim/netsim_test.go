@@ -216,3 +216,71 @@ func TestCallerDeadlineBoundsRetries(t *testing.T) {
 		t.Fatalf("all %d attempts ran despite deadline", calls)
 	}
 }
+
+// TestCallerBreakerHalfOpenRecoveryOverFabric integrates the breaker
+// with the simulated network end to end: a partition trips the breaker
+// through real failed calls, fast-fails protect the app while the
+// fabric is down, and after the fabric heals the next Do past the
+// cooldown is a half-open probe that rides the healthy link — calls
+// resume from a single cheap probe, never by waiting out a full RPC
+// deadline against a dead link.
+func TestCallerBreakerHalfOpenRecoveryOverFabric(t *testing.T) {
+	n := New(7)
+	n.SetProfile("app", "broker", Profile{
+		LatencyMin: 10 * time.Microsecond,
+		LatencyMax: 50 * time.Microsecond,
+	})
+	c := NewCaller(CallerConfig{
+		Attempts:         2,
+		Deadline:         250 * time.Millisecond,
+		BackoffBase:      100 * time.Microsecond,
+		BackoffMax:       500 * time.Microsecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Millisecond,
+		Seed:             7,
+	})
+	rpc := func() error { return n.Do("app", "broker", func() error { return nil }) }
+
+	// Fault: every call through the partitioned link fails for real,
+	// walking the breaker to its threshold.
+	n.Partition("app", "broker")
+	for i := 0; i < 3; i++ {
+		if err := c.Do(rpc); !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("call %d through partition: got %v, want ErrPartitioned", i, err)
+		}
+	}
+	if !c.Open() {
+		t.Fatal("breaker should be open after threshold failures through the partition")
+	}
+	// While open and within cooldown, calls fast-fail without touching
+	// the (still dead) link.
+	before := n.Stats().PartitionRx
+	if err := c.Do(rpc); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("within cooldown: got %v, want ErrBreakerOpen", err)
+	}
+	if n.Stats().PartitionRx != before {
+		t.Fatal("fast-fail still dialed the partitioned link")
+	}
+
+	// Heal the fabric; after the cooldown the half-open probe goes
+	// through the healthy link and closes the breaker quickly — far
+	// inside the configured RPC deadline.
+	n.Heal("app", "broker")
+	time.Sleep(12 * time.Millisecond)
+	start := time.Now()
+	if err := c.Do(rpc); err != nil {
+		t.Fatalf("half-open probe over healed link: %v", err)
+	}
+	if el := time.Since(start); el > c.cfg.Deadline/2 {
+		t.Fatalf("recovery took %v, should be a single cheap probe", el)
+	}
+	if c.Open() {
+		t.Fatal("breaker should close after the successful probe")
+	}
+	if err := c.Do(rpc); err != nil {
+		t.Fatalf("steady state after recovery: %v", err)
+	}
+	if c.Trips() != 1 || c.FastFails() != 1 {
+		t.Fatalf("trips=%d fastFails=%d, want 1/1", c.Trips(), c.FastFails())
+	}
+}

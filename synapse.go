@@ -139,6 +139,8 @@ var (
 	ErrModeTooStrong = core.ErrModeTooStrong
 	ErrNotOwner      = core.ErrNotOwner
 	ErrDecoratorAttr = core.ErrDecoratorAttr
+	// ErrDraining is returned by writes while App.Drain quiesces the app.
+	ErrDraining = core.ErrDraining
 )
 
 // Fault injection (§4.5 testing). Arm named fault sites on an app's
