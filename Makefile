@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: build, vet,
 # and the full test suite under the race detector.
 
-.PHONY: check test bench bench-hotpath bench-overload profile chaos
+.PHONY: check test bench bench-hotpath bench-overload bench-causality profile chaos
 
 check:
 	./scripts/check.sh
@@ -22,6 +22,11 @@ bench-hotpath:
 # stall quarantine under sustained ~2x overload) and BENCH_overload.json.
 bench-overload:
 	go run ./cmd/synapse-bench -exp overload
+
+# Regenerates the dependency-tracker comparison (hashed cardinality
+# sweep vs dotted version vectors) and BENCH_causality.json.
+bench-causality:
+	go run ./cmd/synapse-bench -exp causality
 
 # Same run with pprof CPU + heap capture into ./profiles/.
 profile:

@@ -7,7 +7,7 @@
 //
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
 //	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|reliability|
-//	                   chaos|overload|hotpath|ablation-hash|all
+//	                   chaos|overload|hotpath|ablation-hash|causality|all
 //	              [-quick] [-cpuprofile] [-memprofile] [-profiledir DIR]
 //
 // fig13rt additionally writes BENCH_fig13.json (round trips per message,
@@ -16,8 +16,10 @@
 // BENCH_overload.json (degradation-ladder composition, queue bounds,
 // stall-quarantine latency under sustained ~2x overload), and hotpath
 // writes BENCH_hotpath.json (message-path allocs/op and throughput,
-// hand-rolled codec vs encoding/json) so future changes have perf and
-// robustness trajectories.
+// hand-rolled codec vs encoding/json), and causality writes
+// BENCH_causality.json (subscriber apply throughput under hashed
+// dependency cardinalities vs dotted version vectors) so future changes
+// have perf and robustness trajectories.
 //
 // -quick shrinks every sweep for a fast end-to-end pass. -cpuprofile and
 // -memprofile capture pprof profiles of the run into -profiledir
@@ -101,6 +103,7 @@ func main() {
 		{"overload", runOverload},
 		{"hotpath", runHotpath},
 		{"ablation-hash", runAblationHash},
+		{"causality", runCausality},
 	}
 
 	found := false
@@ -341,4 +344,26 @@ func runAblationHash(quick bool) {
 		duration = 300 * time.Millisecond
 	}
 	fmt.Print(bench.FormatAblation(bench.RunAblationHashCardinality(cards, workers, callback, duration)))
+}
+
+func runCausality(quick bool) {
+	cfg := bench.DefaultCausality()
+	if quick {
+		cfg.Cards = []uint64{1, 256}
+		cfg.Workers = 8
+		cfg.Duration = 300 * time.Millisecond
+		cfg.Objects = 128
+	}
+	points := bench.RunCausality(cfg)
+	fmt.Print(bench.FormatCausality(points))
+	doc, err := bench.MarshalCausality(points)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_causality.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_causality.json")
 }

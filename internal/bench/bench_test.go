@@ -329,6 +329,37 @@ func TestAblationCardinality(t *testing.T) {
 	}
 }
 
+// TestCausalitySmoke is the CI smoke for the tracker sweep: the DVV
+// tracker must out-apply the degenerate cardinality-1 hash tracker
+// (global ordering) on the same read-heavy workload, report zero false
+// dependencies, and the hash point must suspect at least some — the
+// whole reason the exact tracker exists.
+func TestCausalitySmoke(t *testing.T) {
+	cfg := CausalityConfig{
+		Cards:      []uint64{1},
+		IncludeDVV: true,
+		Workers:    8,
+		Callback:   2 * time.Millisecond,
+		Duration:   300 * time.Millisecond,
+		Objects:    128,
+		ReadDeps:   3,
+	}
+	points := RunCausality(cfg)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	hash, dvv := points[0], points[1]
+	if dvv.Throughput <= hash.Throughput {
+		t.Errorf("dvv (%f) should out-apply hash/1 (%f)", dvv.Throughput, hash.Throughput)
+	}
+	if dvv.FalseDepsSuspected != 0 {
+		t.Errorf("dvv suspected %d false deps, want 0", dvv.FalseDepsSuspected)
+	}
+	if hash.FalseDepsSuspected == 0 {
+		t.Error("cardinality-1 workload suspected no false deps")
+	}
+}
+
 func TestTable3Counts(t *testing.T) {
 	rows, err := RunTable3()
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"synapse/internal/chaos"
+	"synapse/internal/core"
 )
 
 // ---------------------------------------------------------------------
@@ -16,17 +17,22 @@ import (
 // ---------------------------------------------------------------------
 
 // ChaosConfig parameterizes the chaos experiment: Seeds consecutive
-// seeds starting at FirstSeed, each running one chaos.Run script.
+// seeds starting at FirstSeed, each running one chaos.Run script per
+// tracker policy in Trackers.
 type ChaosConfig struct {
 	FirstSeed int64
 	Seeds     int
 	Writes    int
 	Steps     int
 	Objects   int
+	// Trackers lists the dependency-tracking policies to run every seed
+	// under (default: hash and dvv — the same fault scripts must uphold
+	// zero-lost/zero-regression under both).
+	Trackers []string
 }
 
 // DefaultChaos mirrors the headline property test: 25 seeds, default
-// script length.
+// script length, both tracker policies.
 func DefaultChaos() ChaosConfig {
 	return ChaosConfig{FirstSeed: 1, Seeds: 25}
 }
@@ -34,18 +40,25 @@ func DefaultChaos() ChaosConfig {
 // RunChaos runs the seeded scripts serially (each run owns its own
 // fabric; serial keeps the per-run timings honest).
 func RunChaos(cfg ChaosConfig) ([]chaos.Result, error) {
-	results := make([]chaos.Result, 0, cfg.Seeds)
-	for i := 0; i < cfg.Seeds; i++ {
-		res, err := chaos.Run(chaos.Config{
-			Seed:    cfg.FirstSeed + int64(i),
-			Writes:  cfg.Writes,
-			Steps:   cfg.Steps,
-			Objects: cfg.Objects,
-		})
-		if err != nil {
-			return results, fmt.Errorf("seed %d: %w", res.Seed, err)
+	trackers := cfg.Trackers
+	if len(trackers) == 0 {
+		trackers = []string{core.TrackerHash, core.TrackerDVV}
+	}
+	results := make([]chaos.Result, 0, cfg.Seeds*len(trackers))
+	for _, tracker := range trackers {
+		for i := 0; i < cfg.Seeds; i++ {
+			res, err := chaos.Run(chaos.Config{
+				Seed:    cfg.FirstSeed + int64(i),
+				Writes:  cfg.Writes,
+				Steps:   cfg.Steps,
+				Objects: cfg.Objects,
+				Tracker: tracker,
+			})
+			if err != nil {
+				return results, fmt.Errorf("seed %d (%s): %w", res.Seed, tracker, err)
+			}
+			results = append(results, res)
 		}
-		results = append(results, res)
 	}
 	return results, nil
 }
@@ -55,11 +68,11 @@ func FormatChaos(results []chaos.Result) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Chaos: seeded fault scripts (partitions, broker bounces, vstore kills)")
 	fmt.Fprintln(&b, "(exact cross-engine convergence, zero regressions, no Bootstrap call)")
-	fmt.Fprintf(&b, "%5s %7s %8s %6s %6s %6s %6s %6s %6s %7s %6s %10s %10s\n",
-		"seed", "bounces", "partns", "kills", "bumps", "drops", "dups", "defer", "repub", "redeliv", "regr", "converged", "recovery")
+	fmt.Fprintf(&b, "%5s %-7s %7s %8s %6s %6s %6s %6s %6s %6s %7s %6s %10s %10s\n",
+		"seed", "tracker", "bounces", "partns", "kills", "bumps", "drops", "dups", "defer", "repub", "redeliv", "regr", "converged", "recovery")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%5d %7d %8d %6d %6d %6d %6d %6d %6d %7d %6d %10v %10s\n",
-			r.Seed, r.BrokerBounces, r.Partitions, r.VStoreKills, r.GenBumps,
+		fmt.Fprintf(&b, "%5d %-7s %7d %8d %6d %6d %6d %6d %6d %6d %7d %6d %10v %10s\n",
+			r.Seed, r.Tracker, r.BrokerBounces, r.Partitions, r.VStoreKills, r.GenBumps,
 			r.Net.Drops, r.Net.Duplicates, r.Deferred, r.Republished, r.Redelivered,
 			r.Regressions, r.Converged, r.RecoveryTime.Round(time.Millisecond))
 	}

@@ -119,8 +119,8 @@ func BenchmarkFrontInsert(b *testing.B) {
 // BenchmarkNackRequeue measures the end-to-end broker path the deque
 // optimizes: deliver + NackError against a queue with a deep backlog.
 // The backlog stays under the durable log's compaction threshold
-// (compactEvery): past it, every append re-snapshots all live messages
-// and log cost swamps the deque work being measured.
+// (compactEvery) so occasional snapshot rewrites do not perturb the
+// deque work being measured.
 func BenchmarkNackRequeue(b *testing.B) {
 	br := New()
 	q, _ := br.DeclareQueue("sub", 0)

@@ -54,6 +54,13 @@ const compactEvery = 4096
 type queueLog struct {
 	mu      sync.Mutex
 	entries []logEntry
+	// compacted is the entry count right after the last snapshot
+	// rewrite. The next compaction waits until the log doubles past it:
+	// a snapshot cannot shrink below the live state, so compacting at a
+	// fixed size would replay the ENTIRE log on every append once the
+	// live backlog alone exceeds the threshold — quadratic in backlog.
+	// Doubling keeps the amortized cost per append O(1) at any depth.
+	compacted int
 }
 
 func newQueueLog() *queueLog { return &queueLog{} }
@@ -64,8 +71,9 @@ func newQueueLog() *queueLog { return &queueLog{} }
 // protects the slice.
 func (l *queueLog) append(e logEntry) {
 	l.mu.Lock()
-	if len(l.entries) >= compactEvery {
+	if n := len(l.entries); n >= compactEvery && n >= 2*l.compacted {
 		l.compactLocked()
+		l.compacted = len(l.entries)
 	}
 	l.entries = append(l.entries, e)
 	l.mu.Unlock()

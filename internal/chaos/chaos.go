@@ -63,6 +63,11 @@ type Config struct {
 	// SettleTimeout bounds how long convergence may take after the
 	// final heal (default 10s).
 	SettleTimeout time.Duration
+	// Tracker selects the dependency-tracking policy for every app in
+	// the ecosystem: core.TrackerHash (the default) or core.TrackerDVV.
+	// The invariants are policy-independent; running the same seeds
+	// under both trackers is the DVV zero-lost/zero-regression check.
+	Tracker string
 }
 
 func (c Config) withDefaults() Config {
@@ -86,8 +91,9 @@ func (c Config) withDefaults() Config {
 
 // Result is what one chaos run observed.
 type Result struct {
-	Seed   int64
-	Writes int
+	Seed    int64
+	Writes  int
+	Tracker string // dependency-tracking policy the run used
 
 	// Fault script composition.
 	BrokerBounces int // broker Crash/Restart cycles
@@ -154,7 +160,11 @@ func (p *subProbe) count() int {
 // Run executes one seeded chaos script and reports what it observed.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	res := Result{Seed: cfg.Seed, Writes: cfg.Writes}
+	tracker := cfg.Tracker
+	if tracker == "" {
+		tracker = core.TrackerHash
+	}
+	res := Result{Seed: cfg.Seed, Writes: cfg.Writes, Tracker: tracker}
 
 	net := netsim.New(cfg.Seed)
 	// Version-store and coordinator links: latency only. A persistent
@@ -172,6 +182,7 @@ func Run(cfg Config) (Result, error) {
 
 	rpc := core.Config{
 		Mode:                 core.Causal,
+		DepTracker:           tracker,
 		DepTimeout:           50 * time.Millisecond,
 		RPCAttempts:          2,
 		RPCDeadline:          4 * time.Millisecond,

@@ -3,6 +3,8 @@ package chaos
 import (
 	"os"
 	"testing"
+
+	"synapse/internal/core"
 )
 
 // TestChaosConvergesAcrossSeeds is the headline robustness property:
@@ -32,6 +34,48 @@ func TestChaosConvergesAcrossSeeds(t *testing.T) {
 			})
 			if err != nil {
 				t.Fatalf("seed %d: %v", res.Seed, err)
+			}
+			if !res.Converged {
+				t.Fatalf("seed %d did not converge: %s", res.Seed, res.Mismatch)
+			}
+			if res.Regressions != 0 {
+				t.Fatalf("seed %d applied %d stale updates over newer state", res.Seed, res.Regressions)
+			}
+			if res.PendingAcks != 0 {
+				t.Fatalf("seed %d left %d acks parked", res.Seed, res.PendingAcks)
+			}
+		})
+	}
+}
+
+// TestChaosConvergesUnderDVV replays a batch of the same fault scripts
+// with every app on the dotted-version-vector tracker: exact per-name
+// causality must uphold the identical zero-lost / zero-regression /
+// zero-parked-acks invariants the hashed tracker does.
+func TestChaosConvergesUnderDVV(t *testing.T) {
+	seeds := 12
+	cfg := Config{Tracker: core.TrackerDVV}
+	if testing.Short() {
+		seeds = 4
+		cfg.Writes = 20
+		cfg.Steps = 5
+	}
+
+	for i := 0; i < seeds; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				Seed:    int64(i + 1),
+				Writes:  cfg.Writes,
+				Steps:   cfg.Steps,
+				Tracker: cfg.Tracker,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", res.Seed, err)
+			}
+			if res.Tracker != core.TrackerDVV {
+				t.Fatalf("seed %d ran under tracker %q", res.Seed, res.Tracker)
 			}
 			if !res.Converged {
 				t.Fatalf("seed %d did not converge: %s", res.Seed, res.Mismatch)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"synapse/internal/broker"
+	"synapse/internal/deptrack"
 	"synapse/internal/faultinject"
 	"synapse/internal/metrics"
 	"synapse/internal/model"
@@ -67,12 +68,13 @@ type subSpec struct {
 // mix. Every app has its own database (via its ORM mapper), its own
 // version store, and — when it subscribes — its own broker queue.
 type App struct {
-	fabric *Fabric
-	name   string
-	mapper orm.Mapper
-	cfg    Config
-	store  *vstore.Store
-	queue  *broker.Queue
+	fabric  *Fabric
+	name    string
+	mapper  orm.Mapper
+	cfg     Config
+	store   *vstore.Store
+	tracker deptrack.Tracker
+	queue   *broker.Queue
 
 	mu       sync.RWMutex
 	pubs     map[string]*pubSpec            // model -> publication
@@ -103,6 +105,22 @@ type App struct {
 	shed         *metrics.Counter // low-priority publishes dropped under pressure
 	throttled    *metrics.Counter // publishes that entered the bounded-block wait
 	stalled      *metrics.Counter // deliveries abandoned by the stall watchdog
+
+	// Dependency-wait observability (see subscribe.go): waits that found
+	// a dependency unmet on the first check, waits that gave up (§6.5),
+	// and the false-dependency estimate — blocked waits whose blocking
+	// key was last written by a DIFFERENT name (a hash collision;
+	// structurally zero under the DVV tracker).
+	depWaitsBlocked  *metrics.Counter
+	depTimeouts      *metrics.Counter
+	falseDeps        *metrics.Counter
+	lastDepTimeoutMu sync.Mutex
+	lastDepTimeout   string
+	// depWriters records, per resolved object key, a fingerprint of the
+	// last (origin, model, id) applied under it — the evidence the
+	// false-dependency estimate compares against. Striped to keep the
+	// hot-path record cheap under concurrent workers.
+	depWriters [16]depWriterStripe
 
 	// Overload-control state: the last subscriber pressure observed over
 	// the network (served from cache while the probe's link is faulty),
@@ -136,42 +154,62 @@ type App struct {
 	// Stages times the subscriber pipeline per message (see the Stage*
 	// constants); surfaced in Stats.
 	Stages *metrics.StageSet
+	// DepWaitBlocked times only the dependency waits that actually
+	// blocked (the StageDepWait timer averages over every message, most
+	// of which wait 0).
+	DepWaitBlocked *metrics.Histogram
+}
+
+// depWriterStripe is one stripe of the last-writer fingerprint table.
+type depWriterStripe struct {
+	mu sync.Mutex
+	m  map[vstore.Key]uint64
 }
 
 // NewApp registers a service on the fabric. mapper may be nil only for
 // apps whose models are all ephemeral or observed (DB-less services).
 func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error) {
 	cfg = cfg.withDefaults()
+	store := vstore.New(vstore.Config{
+		Shards:      cfg.VStoreShards,
+		Cardinality: cfg.DepCardinality,
+		RTT:         cfg.VStoreRTT,
+		PerKey:      cfg.VStorePerKey,
+		Precise:     cfg.VStorePrecise,
+	})
+	tracker, err := deptrack.New(cfg.DepTracker, store, cfg.VStoreUnbatched)
+	if err != nil {
+		return nil, err
+	}
 	a := &App{
-		fabric: f,
-		name:   name,
-		mapper: mapper,
-		cfg:    cfg,
-		store: vstore.New(vstore.Config{
-			Shards:      cfg.VStoreShards,
-			Cardinality: cfg.DepCardinality,
-			RTT:         cfg.VStoreRTT,
-			PerKey:      cfg.VStorePerKey,
-			Precise:     cfg.VStorePrecise,
-		}),
-		pubs:           make(map[string]*pubSpec),
-		subs:           make(map[string]map[string]*subSpec),
-		descs:          make(map[string]*model.Descriptor),
-		gens:           make(map[string]*genState),
-		env:            make(map[string]any),
-		faults:         faultinject.New(),
-		journalEpoch:   time.Now().UnixNano(),
-		republished:    metrics.NewCounter(),
-		retries:        metrics.NewCounter(),
-		redelivered:    metrics.NewCounter(),
-		deferred:       metrics.NewCounter(),
-		shed:           metrics.NewCounter(),
-		throttled:      metrics.NewCounter(),
-		stalled:        metrics.NewCounter(),
-		rng:            rand.New(rand.NewSource(seedFor(name, "overload"))),
-		PublishLatency: metrics.NewHistogram(),
-		Processed:      metrics.NewMeter(),
-		Stages:         metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageAck),
+		fabric:          f,
+		name:            name,
+		mapper:          mapper,
+		cfg:             cfg,
+		store:           store,
+		tracker:         tracker,
+		pubs:            make(map[string]*pubSpec),
+		subs:            make(map[string]map[string]*subSpec),
+		descs:           make(map[string]*model.Descriptor),
+		gens:            make(map[string]*genState),
+		env:             make(map[string]any),
+		faults:          faultinject.New(),
+		journalEpoch:    time.Now().UnixNano(),
+		republished:     metrics.NewCounter(),
+		retries:         metrics.NewCounter(),
+		redelivered:     metrics.NewCounter(),
+		deferred:        metrics.NewCounter(),
+		shed:            metrics.NewCounter(),
+		throttled:       metrics.NewCounter(),
+		stalled:         metrics.NewCounter(),
+		depWaitsBlocked: metrics.NewCounter(),
+		depTimeouts:     metrics.NewCounter(),
+		falseDeps:       metrics.NewCounter(),
+		rng:             rand.New(rand.NewSource(seedFor(name, "overload"))),
+		PublishLatency:  metrics.NewHistogram(),
+		Processed:       metrics.NewMeter(),
+		Stages:          metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageAck),
+		DepWaitBlocked:  metrics.NewHistogram(),
 	}
 	if err := f.registerApp(a); err != nil {
 		return nil, err
@@ -247,6 +285,23 @@ type Stats struct {
 	// Stalled counts deliveries abandoned by the apply watchdog
 	// (callback still running past its escalating ApplyTimeout budget).
 	Stalled int64
+	// DepWaitsBlocked counts causal dependency waits that found at least
+	// one dependency unmet on the first check; DepWaitBlockedMean and
+	// DepWaitBlockedMax summarize how long those blocked waits took to
+	// resolve (or give up).
+	DepWaitsBlocked    int64
+	DepWaitBlockedMean time.Duration
+	DepWaitBlockedMax  time.Duration
+	// FalseDepsSuspected estimates the blocked waits released by a write
+	// to a DIFFERENT name hashing onto the same dependency key — the
+	// false-dependency cost of the fixed-cardinality hash tracker
+	// (§4.2). Structurally zero under the DVV tracker.
+	FalseDepsSuspected int64
+	// DepTimeouts counts dependency waits that gave up (§6.5 degraded
+	// processing); LastDepTimeout renders the most recent one, naming
+	// the blocking dependency through the app's tracker.
+	DepTimeouts    int64
+	LastDepTimeout string
 	// QueueDepth is the subscriber queue's current pending+unacked
 	// depth; QueueMaxDepth the deepest it has ever been; QueuePressured
 	// whether it currently signals PressureHigh to publishers.
@@ -260,19 +315,27 @@ type Stats struct {
 // Stats snapshots the app's hot-path counters and stage timers.
 func (a *App) Stats() Stats {
 	st := Stats{
-		Published:        a.seq.Load(),
-		Processed:        a.Processed.Count(),
-		VStoreRoundTrips: a.store.RoundTrips(),
-		JournalDepth:     a.JournalDepth(),
-		Republished:      a.republished.Count(),
-		Retries:          a.retries.Count(),
-		Redelivered:      a.redelivered.Count(),
-		Deferred:         a.deferred.Count(),
-		Shed:             a.shed.Count(),
-		Throttled:        a.throttled.Count(),
-		Stalled:          a.stalled.Count(),
-		Stages:           a.Stages.Snapshot(),
+		Published:          a.seq.Load(),
+		Processed:          a.Processed.Count(),
+		VStoreRoundTrips:   a.store.RoundTrips(),
+		JournalDepth:       a.JournalDepth(),
+		Republished:        a.republished.Count(),
+		Retries:            a.retries.Count(),
+		Redelivered:        a.redelivered.Count(),
+		Deferred:           a.deferred.Count(),
+		Shed:               a.shed.Count(),
+		Throttled:          a.throttled.Count(),
+		Stalled:            a.stalled.Count(),
+		DepWaitsBlocked:    a.depWaitsBlocked.Count(),
+		FalseDepsSuspected: a.falseDeps.Count(),
+		DepTimeouts:        a.depTimeouts.Count(),
+		Stages:             a.Stages.Snapshot(),
 	}
+	st.DepWaitBlockedMean = a.DepWaitBlocked.Mean()
+	st.DepWaitBlockedMax = a.DepWaitBlocked.Max()
+	a.lastDepTimeoutMu.Lock()
+	st.LastDepTimeout = a.lastDepTimeout
+	a.lastDepTimeoutMu.Unlock()
 	if q := a.Queue(); q != nil {
 		st.DeadLetters = q.DeadLetterCount()
 		st.DeadLettered = q.DeadLettered()
@@ -318,6 +381,9 @@ func (a *App) Mapper() orm.Mapper { return a.mapper }
 
 // Store returns the app's version store (benchmarks and tests).
 func (a *App) Store() *vstore.Store { return a.store }
+
+// Tracker returns the app's dependency tracker (see Config.DepTracker).
+func (a *App) Tracker() deptrack.Tracker { return a.tracker }
 
 // Config returns the app's configuration.
 func (a *App) Config() Config { return a.cfg }
@@ -629,3 +695,45 @@ func depName(app, modelName, id string) string {
 // globalDepName is the synthetic object serializing all writes in
 // global mode.
 func globalDepName(app string) string { return app + "/global" }
+
+// opFingerprint hashes an operation's identity — origin app, model, id
+// — without allocating (incremental FNV-1a over the components), so
+// the last-writer table can be maintained on the apply hot path without
+// rebuilding the dependency-name string.
+func opFingerprint(origin, model, id string) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= '/'
+		h *= 1099511628211
+	}
+	mix(origin)
+	mix(model)
+	mix(id)
+	return h
+}
+
+// recordDepWriter notes that an operation with fingerprint fp was the
+// last write applied under key k.
+func (a *App) recordDepWriter(k vstore.Key, fp uint64) {
+	s := &a.depWriters[uint64(k)%uint64(len(a.depWriters))]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[vstore.Key]uint64)
+	}
+	s.m[k] = fp
+	s.mu.Unlock()
+}
+
+// lastDepWriter reports the fingerprint of the last write applied under
+// key k, if any write was recorded.
+func (a *App) lastDepWriter(k vstore.Key) (uint64, bool) {
+	s := &a.depWriters[uint64(k)%uint64(len(a.depWriters))]
+	s.mu.Lock()
+	fp, ok := s.m[k]
+	s.mu.Unlock()
+	return fp, ok
+}

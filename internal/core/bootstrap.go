@@ -64,13 +64,17 @@ func (a *App) Bootstrap(from string, models ...string) error {
 	gs.mu.Unlock()
 
 	// Step 1: bulk version load (max-merge; concurrent processing can
-	// only have moved counters forward).
-	snap, err := pub.store.Snapshot()
+	// only have moved counters forward). The export is keyed by the
+	// publisher's wire tokens, not raw store keys: under the DVV tracker
+	// each store interns names into its own key space, so raw keys are
+	// meaningless across stores — tokens resolve correctly through OUR
+	// tracker regardless of which policies the two sides run.
+	export, err := pub.tracker.ExportVersions()
 	if err != nil {
 		return fmt.Errorf("synapse: bootstrap version snapshot: %w", err)
 	}
-	for k, c := range snap {
-		if err := a.store.SetOps(k, c.Ops); err != nil {
+	for token, c := range export {
+		if err := a.store.SetOps(a.tracker.Resolve(token), c.Ops); err != nil {
 			return err
 		}
 	}
@@ -123,7 +127,14 @@ func (a *App) bootstrapModel(pub *App, modelName string) error {
 
 	var innerErr error
 	err := pub.mapper.Each(modelName, "", func(rec *model.Record) bool {
-		key := pub.store.KeyFor(depName(pub.name, modelName, rec.ID))
+		// Three views of the object's dependency: the publisher's store
+		// key (its lock and counters), the publisher's wire token (what
+		// live messages carry), and OUR resolution of that token (where
+		// the subscriber-side guard lives).
+		name := depName(pub.name, modelName, rec.ID)
+		pubKey := pub.tracker.KeyFor(name)
+		token := pub.tracker.Token(name)
+		subKey := a.tracker.Resolve(token)
 		// Read the (version, record) pair under the publisher's write
 		// lock for the key. A publish in flight holds that lock from its
 		// version claim through the DB commit to the broker send, so an
@@ -132,18 +143,18 @@ func (a *App) bootstrapModel(pub *App, modelName string) error {
 		// the subscriber's guard then makes it skip the live message
 		// carrying the real data: permanent divergence. Locked, the pair
 		// is atomic: both sides of the in-flight publish or neither.
-		held, lerr := pub.store.LockWrites([]vstore.Key{key})
+		held, lerr := pub.store.LockWrites([]vstore.Key{pubKey})
 		if lerr != nil {
 			innerErr = lerr
 			return false
 		}
-		version := pub.store.Counters(key).Version
+		version := pub.store.Counters(pubKey).Version
 		if fresh, ferr := pub.mapper.Find(modelName, rec.ID); ferr == nil {
 			rec = fresh
 		}
 		pub.store.UnlockWrites(held)
 		if version > 0 {
-			applied, _, aerr := a.store.ApplyIfNewer(key, version)
+			applied, _, aerr := a.store.ApplyIfNewer(subKey, version)
 			if aerr != nil {
 				innerErr = aerr
 				return false
@@ -157,7 +168,7 @@ func (a *App) bootstrapModel(pub *App, modelName string) error {
 			Types:      desc.TypeChain(),
 			ID:         rec.ID,
 			Attributes: pub.projectPublished(desc, rec),
-			ObjectDep:  wire.DepKey(uint64(key)),
+			ObjectDep:  token,
 		}
 		if aerr := a.applyOp(pub.name, &op); aerr != nil {
 			innerErr = aerr
@@ -183,7 +194,7 @@ func (a *App) processBootstrapMessage(msg *wire.Message) error {
 		}
 	}
 	if msg.Seq > a.bootSeqFor(msg.App) && a.originMode(msg.App) >= Causal {
-		keys := depKeys(msg)
+		keys := a.depKeys(msg)
 		if err := a.store.IncrOps(keys); err != nil {
 			return err
 		}
@@ -192,10 +203,15 @@ func (a *App) processBootstrapMessage(msg *wire.Message) error {
 	return nil
 }
 
-func depKeys(msg *wire.Message) []vKey {
-	keys := make([]vKey, 0, len(msg.Dependencies))
+// depKeys resolves every dependency token a message carries — hashed
+// keys and exact dots alike — into this app's version-store key space.
+func (a *App) depKeys(msg *wire.Message) []vKey {
+	keys := make([]vKey, 0, len(msg.Dependencies)+len(msg.Dots))
 	for depKey := range msg.Dependencies {
-		keys = append(keys, keyOf(depKey))
+		keys = append(keys, a.tracker.Resolve(depKey))
+	}
+	for name := range msg.Dots {
+		keys = append(keys, a.tracker.Resolve(name))
 	}
 	return keys
 }

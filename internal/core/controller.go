@@ -30,7 +30,10 @@ type depRef struct {
 	name     string
 	external bool   // read of another app's object (decorator flow)
 	extOps   uint64 // subscriber-side ops value at read time
-	extKey   uint64 // hashed with the ORIGIN app's parameters
+	// extToken is the wire token in the ORIGIN app's tracker form (its
+	// hashed key space or its exact name), so the dependency lands on
+	// the counters the origin's other subscribers actually maintain.
+	extToken string
 }
 
 // Controller is one unit of work (an HTTP request handler or background
@@ -93,10 +96,10 @@ func (c *Controller) registerRead(modelName, id string) {
 		return
 	}
 	// Subscribed (possibly decorated) model: the dependency belongs to
-	// the origin app's key space, so it must be hashed with the
-	// origin's parameters (its cardinality may differ from ours).
-	// External deps carry this subscriber's current ops value for the
-	// key — the amount of the origin's history we had seen at read time.
+	// the origin app's key space, so it must be tokenized with the
+	// ORIGIN's tracker (its policy and cardinality may differ from
+	// ours). External deps carry this subscriber's current ops value for
+	// the key — the amount of the origin's history seen at read time.
 	origin := c.originFor(modelName)
 	if origin == "" {
 		// Neither owned nor subscribed: a purely local model; track as a
@@ -105,11 +108,14 @@ func (c *Controller) registerRead(modelName, id string) {
 		return
 	}
 	name := depName(origin, modelName, id)
-	key := c.app.store.KeyFor(name)
+	token := c.app.tracker.Token(name)
 	if originApp, ok := c.app.fabric.App(origin); ok {
-		key = originApp.store.KeyFor(name)
+		token = originApp.tracker.Token(name)
 	}
-	c.readDeps = append(c.readDeps, depRef{name: name, external: true, extOps: c.app.store.Ops(key), extKey: uint64(key)})
+	// The local ops counter for the token lives under OUR resolution of
+	// it (this app's hashed fold or intern of the origin's token).
+	ops := c.app.store.Ops(c.app.tracker.Resolve(token))
+	c.readDeps = append(c.readDeps, depRef{name: name, external: true, extOps: ops, extToken: token})
 }
 
 // originFor picks the origin app for a subscribed model (the owner is

@@ -65,6 +65,19 @@ var (
 // 0s and ∞, respectively").
 const WaitForever time.Duration = -1
 
+// Dependency-tracker policies for Config.DepTracker (they mirror the
+// deptrack package's Policy names).
+const (
+	// TrackerHash hashes dependency names into the fixed-cardinality key
+	// space of DepCardinality — the paper's design: O(1) version-store
+	// state, with false dependencies on hash collisions.
+	TrackerHash = "hash"
+	// TrackerDVV tracks exact per-name dots (dotted version vectors):
+	// collision-free causality, version-store state proportional to the
+	// working set. Messages carry name→version dots on the wire.
+	TrackerDVV = "dvv"
+)
+
 // Config configures one app.
 type Config struct {
 	// Mode is the delivery mode this app supports as a publisher.
@@ -73,7 +86,13 @@ type Config struct {
 	// VStoreShards is the number of version-store shards (default 1).
 	VStoreShards int
 	// DepCardinality bounds the dependency hash space (0 = unhashed).
+	// Only meaningful under TrackerHash.
 	DepCardinality uint64
+	// DepTracker selects the dependency-tracking policy: TrackerHash
+	// (the default) or TrackerDVV. Publishers and subscribers may mix
+	// policies freely — wire tokens are self-describing (names vs
+	// decimal keys) and every subscriber resolves both forms.
+	DepTracker string
 	// VStoreRTT injects a network round trip per version-store script
 	// call (benchmarks; zero in tests).
 	VStoreRTT time.Duration

@@ -253,7 +253,7 @@ func (a *App) regenerateStaleEntry(msg *wire.Message) error {
 	}
 	keys := make([]vstore.Key, 0, len(msg.Operations))
 	for i := range msg.Operations {
-		keys = append(keys, keyOf(msg.Operations[i].ObjectDep))
+		keys = append(keys, a.tracker.Resolve(msg.Operations[i].ObjectDep))
 	}
 	held, err := a.store.LockWrites(keys)
 	if err != nil {
@@ -265,12 +265,24 @@ func (a *App) regenerateStaleEntry(msg *wire.Message) error {
 	if err != nil {
 		return err
 	}
+	// Rebuild the dependency maps in the tokens' own forms: exact names
+	// (DVV dots) back into Dots, decimal hashed keys into Dependencies.
 	deps := make(map[string]uint64, len(msg.Operations))
+	var dots map[string]uint64
 	for i := range msg.Operations {
-		dk := msg.Operations[i].ObjectDep
-		deps[dk] = bumped[keyOf(dk)]
+		tok := msg.Operations[i].ObjectDep
+		v := bumped[a.tracker.Resolve(tok)]
+		if wire.IsNameToken(tok) {
+			if dots == nil {
+				dots = make(map[string]uint64, len(msg.Operations))
+			}
+			dots[tok] = v
+		} else {
+			deps[tok] = v
+		}
 	}
 	msg.Dependencies = deps
+	msg.Dots = dots
 	msg.External = nil
 	msg.GlobalDep = ""
 	msg.Generation = gen

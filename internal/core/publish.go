@@ -6,7 +6,6 @@ import (
 
 	"synapse/internal/model"
 	"synapse/internal/orm"
-	"synapse/internal/vstore"
 	"synapse/internal/wire"
 )
 
@@ -81,15 +80,6 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		writeNames = append(writeNames, globalDepName(a.name))
 	}
 
-	writeKeys := make([]vstore.Key, len(writeNames))
-	for i, n := range writeNames {
-		writeKeys[i] = a.store.KeyFor(n)
-	}
-	readKeys := make([]vstore.Key, len(readNames))
-	for i, n := range readNames {
-		readKeys[i] = a.store.KeyFor(n)
-	}
-
 	// Decide the apply strategy: a transactional engine takes the 2PC
 	// path (the engine's prepared row locks validate the write set);
 	// everything else applies operations one by one. Ephemeral-only
@@ -140,12 +130,24 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		dbTime += time.Since(dbStart)
 	}
 
-	plan, err := a.planDeps(readKeys, writeKeys)
+	// Steps 2+3 run through the app's dependency tracker (hash or DVV;
+	// see deptrack): lock the union of the dependency names and bump
+	// their counters in one batched round trip per shard, collecting the
+	// versions to embed keyed by wire token. The locks are held over ALL
+	// dependency keys (reads and writes) from the counter bump through
+	// the broker publish. This is stronger than the paper, which locks
+	// only write dependencies and releases before sending: that leaves a
+	// window where a message can be enqueued ahead of the message
+	// carrying its dependency, which a subscriber can only escape with
+	// spare workers or timeouts. Holding the locks across the publish
+	// makes queue order consistent with dependency order, so even a
+	// single-worker causal subscriber never deadlocks.
+	plan, err := a.tracker.Plan(readNames, writeNames)
 	if err != nil {
 		return nil, err
 	}
-	defer plan.release()
-	deps := plan.versions
+	defer plan.Release()
+	deps := plan.Versions
 
 	seq := a.seq.Add(1)
 	journaling := !allEphemeral && a.journaling()
@@ -262,7 +264,7 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 		}
 		a.journalAck(journalID)
 	}
-	plan.release()
+	plan.Release()
 
 	// --- Controller scope bookkeeping for causal chaining.
 	if mode >= Causal {
@@ -283,26 +285,25 @@ func (a *App) performWrites(c *Controller, staged []stagedWrite, _ []string) ([]
 // committed read-back on the final message, or the staged record on the
 // journal skeleton (whose attributes the replay refreshes from the
 // database, see refreshJournalAttrs).
-func (a *App) buildMessage(staged []stagedWrite, recs []*model.Record, objectDeps []string, deps map[vstore.Key]uint64, external []depRef, mode DeliveryMode, seq uint64) (*wire.Message, error) {
+func (a *App) buildMessage(staged []stagedWrite, recs []*model.Record, objectDeps []string, deps map[string]uint64, external []depRef, mode DeliveryMode, seq uint64) (*wire.Message, error) {
 	msg := &wire.Message{
-		App:          a.name,
-		Operations:   make([]wire.Operation, len(staged)),
-		Dependencies: make(map[string]uint64, len(deps)),
-		PublishedAt:  time.Now().UTC(),
-		Generation:   a.generation.Load(),
-		Seq:          seq,
+		App:         a.name,
+		Operations:  make([]wire.Operation, len(staged)),
+		PublishedAt: time.Now().UTC(),
+		Generation:  a.generation.Load(),
+		Seq:         seq,
 	}
-	for k, v := range deps {
-		msg.Dependencies[wire.DepKey(uint64(k))] = v
-	}
+	// The tracker owns the wire form of the plan's versions: hashed keys
+	// land in Dependencies, exact dots in Dots.
+	a.tracker.EncodeDeps(msg, deps)
 	if len(external) > 0 {
 		msg.External = make(map[string]uint64, len(external))
 		for _, e := range external {
-			msg.External[wire.DepKey(e.extKey)] = e.extOps
+			msg.External[e.extToken] = e.extOps
 		}
 	}
 	if mode == Global {
-		msg.GlobalDep = wire.DepKey(uint64(a.store.KeyFor(globalDepName(a.name))))
+		msg.GlobalDep = a.tracker.Token(globalDepName(a.name))
 	}
 	for i, op := range staged {
 		desc, _ := a.Descriptor(op.rec.Model)
@@ -310,7 +311,7 @@ func (a *App) buildMessage(staged []stagedWrite, recs []*model.Record, objectDep
 			Operation: op.verb,
 			Types:     desc.TypeChain(),
 			ID:        op.rec.ID,
-			ObjectDep: wire.DepKey(uint64(a.store.KeyFor(objectDeps[i]))),
+			ObjectDep: a.tracker.Token(objectDeps[i]),
 		}
 		if op.verb != wire.OpDestroy {
 			wireOp.Attributes = a.projectPublished(desc, recs[i])
@@ -353,70 +354,6 @@ func stagedRecords(staged []stagedWrite) []*model.Record {
 		out[i] = op.rec
 	}
 	return out
-}
-
-// depPlan is one message group's version-store round-trip plan: the
-// locked dependency keys and the versions bumped for them, produced in
-// a single batched round trip per shard (or via the legacy per-call
-// chain when Config.VStoreUnbatched is set, for the ablation bench).
-//
-// Version-store locks are held over ALL dependency keys (reads and
-// writes) from the counter bump through the broker publish. This is
-// stronger than the paper, which locks only write dependencies and
-// releases before sending: that leaves a window where a message can be
-// enqueued ahead of the message carrying its dependency, which a
-// subscriber can only escape with spare workers or timeouts. Holding
-// the locks across the publish makes queue order consistent with
-// dependency order, so even a single-worker causal subscriber never
-// deadlocks.
-type depPlan struct {
-	app      *App
-	batch    *vstore.Batch // batched path
-	held     []vstore.Key  // legacy path
-	versions map[vstore.Key]uint64
-	released bool
-}
-
-// planDeps locks the union of the dependency keys and bumps their
-// counters, returning the versions to embed in the message (version for
-// reads, version−1 for writes — §4.2 step 3). The locks stay held until
-// release.
-func (a *App) planDeps(readKeys, writeKeys []vstore.Key) (*depPlan, error) {
-	if a.cfg.VStoreUnbatched {
-		allKeys := make([]vstore.Key, 0, len(writeKeys)+len(readKeys))
-		allKeys = append(allKeys, writeKeys...)
-		allKeys = append(allKeys, readKeys...)
-		held, err := a.store.LockWrites(allKeys)
-		if err != nil {
-			return nil, err
-		}
-		deps, err := a.store.Bump(readKeys, writeKeys)
-		if err != nil {
-			a.store.UnlockWrites(held)
-			return nil, err
-		}
-		return &depPlan{app: a, held: held, versions: deps}, nil
-	}
-	b, err := a.store.BumpBatch(readKeys, writeKeys)
-	if err != nil {
-		return nil, err
-	}
-	return &depPlan{app: a, batch: b, versions: b.Versions}, nil
-}
-
-// release unlocks the plan's dependency keys, waking subscribers
-// blocked on them. Idempotent; performWrites calls it right after the
-// broker publish and again (as a no-op) from its deferred cleanup.
-func (p *depPlan) release() {
-	if p.released {
-		return
-	}
-	p.released = true
-	if p.batch != nil {
-		p.batch.Release()
-		return
-	}
-	p.app.store.UnlockWrites(p.held)
 }
 
 // applyOne performs a single non-transactional operation through the

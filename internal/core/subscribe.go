@@ -492,7 +492,7 @@ func (a *App) waitDep(k vstore.Key, min uint64, timeout time.Duration, cancel <-
 			return err
 		}
 		if timeout >= 0 && (timeout == 0 || !time.Now().Before(deadline)) {
-			return vstore.ErrTimeout
+			return a.describeDepTimeout(err)
 		}
 		select {
 		case <-cancel:
@@ -543,15 +543,18 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 	var globalKey vstore.Key
 	skipGlobal := mode < Global && msg.GlobalDep != ""
 	if skipGlobal {
-		globalKey = keyOf(msg.GlobalDep)
+		globalKey = a.tracker.Resolve(msg.GlobalDep)
 	}
 
-	// One request map for the whole message; external dependency minimums
-	// (decorator cross-app causality — waited, never incremented) are
-	// max-merged with dependency versions on key collisions, which is
+	// One request map for the whole message: hashed dependency versions,
+	// exact dots (resolved through this app's tracker — a hash
+	// subscriber folds a DVV publisher's names into its own key space, a
+	// DVV subscriber interns them), and external dependency minimums
+	// (decorator cross-app causality — waited, never incremented).
+	// Requirements landing on the same key are max-merged, which is
 	// equivalent to the legacy one-wait-per-entry behaviour.
-	reqs := make(map[vstore.Key]uint64, len(deps)+len(msg.External))
-	incr := make([]vstore.Key, 0, len(deps))
+	reqs := make(map[vstore.Key]uint64, len(deps)+len(msg.Dots)+len(msg.External))
+	incr := make([]vstore.Key, 0, len(deps)+len(msg.Dots))
 	for k, minVersion := range deps {
 		key := vstore.Key(k)
 		if skipGlobal && key == globalKey {
@@ -560,30 +563,48 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 		reqs[key] = minVersion
 		incr = append(incr, key)
 	}
-	for depKey, minOps := range msg.External {
-		k, err := wire.ParseDepKey(depKey)
-		if err != nil {
-			return err
+	for name, minVersion := range msg.Dots {
+		key := a.tracker.Resolve(name)
+		if skipGlobal && key == globalKey {
+			continue
 		}
-		if minOps > reqs[vstore.Key(k)] {
-			reqs[vstore.Key(k)] = minOps
+		if minVersion > reqs[key] {
+			reqs[key] = minVersion
+		}
+		incr = append(incr, key)
+	}
+	for depKey, minOps := range msg.External {
+		k := a.tracker.Resolve(depKey)
+		if minOps > reqs[k] {
+			reqs[k] = minOps
 		}
 	}
 
 	waitStart := time.Now()
-	werr := a.waitDepsMulti(reqs, timeout, cancel, onBlock)
-	a.Stages.Observe(StageDepWait, time.Since(waitStart))
+	blocked, werr := a.waitDepsMulti(reqs, timeout, cancel, onBlock)
+	waited := time.Since(waitStart)
+	a.Stages.Observe(StageDepWait, waited)
+	if blocked {
+		a.depWaitsBlocked.Inc()
+		a.DepWaitBlocked.Observe(waited)
+	}
 	if werr != nil && !errors.Is(werr, vstore.ErrTimeout) {
 		return werr
 	}
 	// On ErrTimeout: §6.5 — give up waiting for late or lost messages and
 	// process anyway, trading consistency for availability; the per-object
 	// guard in the apply discards stale versions, weak-style.
+	if werr != nil {
+		a.noteDepTimeout(werr)
+	} else if blocked {
+		a.noteFalseDeps(msg, reqs)
+	}
 
 	applyStart := time.Now()
 	if err := a.applyOpsBatched(msg); err != nil {
 		return err
 	}
+	a.recordDepWriters(msg)
 	// The bootstrap Seq boundary outlives Bootstrapping(): a message
 	// published before the version snapshot has its bumps bulk-loaded
 	// already, and re-incrementing (e.g. backlog prefetched during the
@@ -611,14 +632,25 @@ func (a *App) processCausalUnbatched(msg *wire.Message, mode DeliveryMode, cance
 		if mode < Global && depKey == msg.GlobalDep {
 			continue
 		}
-		k, err := wire.ParseDepKey(depKey)
-		if err != nil {
-			return err
-		}
-		if werr := a.waitDep(vstore.Key(k), minVersion, timeout, cancel); werr != nil {
+		if werr := a.waitDep(a.tracker.Resolve(depKey), minVersion, timeout, cancel); werr != nil {
 			if errors.Is(werr, vstore.ErrTimeout) {
 				// §6.5: give up waiting for late or lost messages and
 				// process anyway, trading consistency for availability.
+				a.noteDepTimeout(werr)
+				continue
+			}
+			return werr
+		}
+	}
+	// Exact dots (DVV publisher) resolve through this app's tracker —
+	// same wait discipline as the hashed dependencies above.
+	for name, minVersion := range msg.Dots {
+		if mode < Global && name == msg.GlobalDep {
+			continue
+		}
+		if werr := a.waitDep(a.tracker.Resolve(name), minVersion, timeout, cancel); werr != nil {
+			if errors.Is(werr, vstore.ErrTimeout) {
+				a.noteDepTimeout(werr)
 				continue
 			}
 			return werr
@@ -627,12 +659,11 @@ func (a *App) processCausalUnbatched(msg *wire.Message, mode DeliveryMode, cance
 	// External dependencies (decorator cross-app causality): wait, never
 	// increment.
 	for depKey, minOps := range msg.External {
-		k, err := wire.ParseDepKey(depKey)
-		if err != nil {
-			return err
-		}
-		if werr := a.waitDep(vstore.Key(k), minOps, timeout, cancel); werr != nil && !errors.Is(werr, vstore.ErrTimeout) {
-			return werr
+		if werr := a.waitDep(a.tracker.Resolve(depKey), minOps, timeout, cancel); werr != nil {
+			if !errors.Is(werr, vstore.ErrTimeout) {
+				return werr
+			}
+			a.noteDepTimeout(werr)
 		}
 	}
 	a.Stages.Observe(StageDepWait, time.Since(waitStart))
@@ -651,13 +682,20 @@ func (a *App) processCausalUnbatched(msg *wire.Message, mode DeliveryMode, cance
 		}
 	}
 
-	keys := make([]vstore.Key, 0, len(msg.Dependencies))
+	a.recordDepWriters(msg)
+
+	keys := make([]vstore.Key, 0, len(msg.Dependencies)+len(msg.Dots))
 	for depKey := range msg.Dependencies {
 		if mode < Global && depKey == msg.GlobalDep {
 			continue
 		}
-		k, _ := wire.ParseDepKey(depKey)
-		keys = append(keys, vstore.Key(k))
+		keys = append(keys, a.tracker.Resolve(depKey))
+	}
+	for name := range msg.Dots {
+		if mode < Global && name == msg.GlobalDep {
+			continue
+		}
+		keys = append(keys, a.tracker.Resolve(name))
 	}
 	// Same bootstrap Seq boundary as the batched path: bumps already
 	// covered by a bootstrap version snapshot must not re-increment.
@@ -677,14 +715,24 @@ func (a *App) processCausalUnbatched(msg *wire.Message, mode DeliveryMode, cance
 // map, still sliced so a worker blocked on a dependency that will never
 // arrive (lost message, §6.5) can observe shutdown and queue
 // decommission instead of hanging forever. onBlock (may be nil) fires
-// once, before the first round that actually blocks.
-func (a *App) waitDepsMulti(reqs map[vstore.Key]uint64, timeout time.Duration, cancel <-chan struct{}, onBlock func()) error {
-	if onBlock != nil && timeout != 0 {
-		// Probe without blocking; only pay the spill when we would wait.
-		err := a.store.WaitAtLeastMulti(reqs, 0)
-		if err == nil || !errors.Is(err, vstore.ErrTimeout) {
-			return err
-		}
+// once, before the first round that actually blocks. The returned bool
+// reports whether the wait actually blocked (the initial non-blocking
+// probe failed) — the signal behind Stats.DepWaitsBlocked and the
+// false-dependency estimate.
+func (a *App) waitDepsMulti(reqs map[vstore.Key]uint64, timeout time.Duration, cancel <-chan struct{}, onBlock func()) (bool, error) {
+	// Probe without blocking: the common case (every dependency already
+	// satisfied) answers in one pipelined round trip, and a failed probe
+	// marks the wait as genuinely blocked — the signal for spilling the
+	// rest of a prefetched batch (onBlock) to idle workers.
+	err := a.store.WaitAtLeastMulti(reqs, 0)
+	if err == nil || !errors.Is(err, vstore.ErrTimeout) {
+		return false, err
+	}
+	if timeout == 0 {
+		// Zero timeout degrades immediately (§6.5 weak-like processing).
+		return false, a.describeDepTimeout(err)
+	}
+	if onBlock != nil {
 		onBlock()
 	}
 	const slice = 100 * time.Millisecond
@@ -694,29 +742,27 @@ func (a *App) waitDepsMulti(reqs map[vstore.Key]uint64, timeout time.Duration, c
 	}
 	for {
 		step := slice
-		if timeout == 0 {
-			step = 0
-		} else if timeout > 0 {
+		if timeout > 0 {
 			if rem := time.Until(deadline); rem < step {
 				step = rem
 			}
 		}
 		err := a.store.WaitAtLeastMulti(reqs, step)
 		if err == nil || !errors.Is(err, vstore.ErrTimeout) {
-			return err
+			return true, err
 		}
-		if timeout >= 0 && (timeout == 0 || !time.Now().Before(deadline)) {
-			return vstore.ErrTimeout
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return true, a.describeDepTimeout(err)
 		}
 		select {
 		case <-cancel:
-			return errWaitInterrupted
+			return true, errWaitInterrupted
 		default:
 		}
 		if q := a.Queue(); q != nil && q.Dead() {
 			// The queue died while we waited; abandon the message so
 			// the worker can run the recovery path.
-			return errWaitInterrupted
+			return true, errWaitInterrupted
 		}
 	}
 }
@@ -781,7 +827,7 @@ func (a *App) applyOpsBatched(msg *wire.Message) error {
 		if !guarded {
 			continue
 		}
-		claims = append(claims, vstore.Claim{Key: keyOf(op.ObjectDep), Version: v})
+		claims = append(claims, vstore.Claim{Key: a.tracker.Resolve(op.ObjectDep), Version: v})
 		idx = append(idx, i)
 		depKeys = append(depKeys, op.ObjectDep)
 	}
@@ -804,7 +850,7 @@ func (a *App) applyOpsBatched(msg *wire.Message) error {
 			for j := i; j < len(msg.Operations); j++ {
 				if rj, ok := claimed[j]; ok && rj.Applied {
 					v, _ := a.objectVersion(msg, &msg.Operations[j])
-					_ = a.store.RestoreVersion(keyOf(msg.Operations[j].ObjectDep), v, rj.Prev)
+					_ = a.store.RestoreVersion(a.tracker.Resolve(msg.Operations[j].ObjectDep), v, rj.Prev)
 				}
 			}
 			return err
@@ -858,7 +904,7 @@ func (a *App) applyGuarded(msg *wire.Message, op *wire.Operation) error {
 		mu := &a.applyLocks[a.applyStripe(op.ObjectDep)]
 		mu.Lock()
 		defer mu.Unlock()
-		applied, p, err := a.store.ApplyIfNewer(keyOf(op.ObjectDep), newVersion)
+		applied, p, err := a.store.ApplyIfNewer(a.tracker.Resolve(op.ObjectDep), newVersion)
 		if err != nil {
 			return err
 		}
@@ -869,7 +915,7 @@ func (a *App) applyGuarded(msg *wire.Message, op *wire.Operation) error {
 	}
 	if err := a.applyOp(msg.App, op); err != nil {
 		if guarded {
-			_ = a.store.RestoreVersion(keyOf(op.ObjectDep), newVersion, prev)
+			_ = a.store.RestoreVersion(a.tracker.Resolve(op.ObjectDep), newVersion, prev)
 		}
 		return err
 	}
@@ -878,17 +924,78 @@ func (a *App) applyGuarded(msg *wire.Message, op *wire.Operation) error {
 
 // objectVersion computes the object's post-write version from the
 // message dependencies (the embedded value is version−1 for writes).
+// The object's token lives in Dependencies (hash publisher) or Dots
+// (DVV publisher) depending on the origin's tracker.
 func (a *App) objectVersion(msg *wire.Message, op *wire.Operation) (uint64, bool) {
-	v, ok := msg.Dependencies[op.ObjectDep]
-	if !ok {
-		return 0, false
+	if v, ok := msg.Dependencies[op.ObjectDep]; ok {
+		return v + 1, true
 	}
-	return v + 1, true
+	if v, ok := msg.Dots[op.ObjectDep]; ok {
+		return v + 1, true
+	}
+	return 0, false
 }
 
 func keyOf(depKey string) vstore.Key {
 	k, _ := wire.ParseDepKey(depKey)
 	return vstore.Key(k)
+}
+
+// describeDepTimeout decorates a dependency-wait timeout with the
+// blocking dependency rendered through this app's tracker, so a log
+// line or dead-letter names the exact dot or hashed key that never
+// arrived instead of a bare "timed out". The result still unwraps to
+// vstore.ErrTimeout, so §6.5 degradation callers are unaffected.
+func (a *App) describeDepTimeout(err error) error {
+	var we *vstore.WaitError
+	if !errors.As(err, &we) || len(we.Unmet) == 0 {
+		return err
+	}
+	r := we.Unmet[0]
+	extra := ""
+	if len(we.Unmet) > 1 {
+		extra = fmt.Sprintf(" (+%d more)", len(we.Unmet)-1)
+	}
+	return fmt.Errorf("synapse: %s tracker blocked on %s (have %d, need %d)%s: %w",
+		a.tracker.Policy(), a.tracker.DescribeKey(r.Key), r.Have, r.Need, extra, err)
+}
+
+// noteDepTimeout records a dependency wait that gave up (§6.5), keeping
+// the rendered error for Stats.LastDepTimeout.
+func (a *App) noteDepTimeout(err error) {
+	a.depTimeouts.Inc()
+	a.lastDepTimeoutMu.Lock()
+	a.lastDepTimeout = err.Error()
+	a.lastDepTimeoutMu.Unlock()
+}
+
+// noteFalseDeps runs after a wait that blocked and then resolved: for
+// each of this message's own objects whose dependency key was actually
+// waited on, if the last write recorded under that key came from a
+// DIFFERENT (origin, model, id), the block was at least partly a false
+// dependency — an unrelated name hashing onto the same key. Under the
+// DVV tracker keys are per-name, so the estimate is structurally zero.
+func (a *App) noteFalseDeps(msg *wire.Message, reqs map[vstore.Key]uint64) {
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		k := a.tracker.Resolve(op.ObjectDep)
+		if need, waited := reqs[k]; !waited || need == 0 {
+			continue
+		}
+		if last, ok := a.lastDepWriter(k); ok && last != opFingerprint(msg.App, op.Model(), op.ID) {
+			a.falseDeps.Inc()
+		}
+	}
+}
+
+// recordDepWriters notes each applied operation as the last writer of
+// its object key — the evidence noteFalseDeps compares future blocked
+// waits against.
+func (a *App) recordDepWriters(msg *wire.Message) {
+	for i := range msg.Operations {
+		op := &msg.Operations[i]
+		a.recordDepWriter(a.tracker.Resolve(op.ObjectDep), opFingerprint(msg.App, op.Model(), op.ID))
+	}
 }
 
 // applyOp persists (or observes) a single operation if this app

@@ -1,0 +1,343 @@
+// Package deptrack extracts Synapse's dependency-tracking policy into a
+// pluggable layer. The publisher algorithm of §4.2 and the subscriber
+// wait/apply gate are policy-independent: both sides only need a way to
+// derive a version-store key from a dependency name, a wire token to
+// embed in messages, and a plan that bumps counters under the write
+// locks. What varies is how names map onto counters:
+//
+//   - The hash tracker is the paper's design ("Scaling the Version
+//     Store", §4.2): names hash into a fixed-cardinality key space, so
+//     every version store consumes O(1) memory, at the cost of FALSE
+//     dependencies — two unrelated names sharing a hashed key serialize
+//     each other's applies.
+//   - The DVV tracker keeps exact per-name dots (a dotted version
+//     vector: one counter pair per object name ever written). Messages
+//     carry name→version dots on the wire (wire.Message.Dots); there
+//     are no false dependencies, so causally-unrelated messages apply
+//     concurrently, at the cost of version-store state proportional to
+//     the working set.
+//
+// Both trackers speak both token forms on the subscriber side: tokens
+// containing '/' are exact names, pure decimals are hashed keys (see
+// wire.IsNameToken), so mixed-policy fabrics interoperate — a hash
+// subscriber folds a DVV publisher's dots into its own hashed space,
+// and a DVV subscriber adopts a hash publisher's decimal keys verbatim.
+package deptrack
+
+import (
+	"fmt"
+	"sync"
+
+	"synapse/internal/vstore"
+	"synapse/internal/wire"
+)
+
+// Policy names a dependency-tracking policy.
+type Policy string
+
+const (
+	// PolicyHash is the paper's fixed-cardinality dependency hashing.
+	PolicyHash Policy = "hash"
+	// PolicyDVV tracks exact per-name dots (dotted version vectors).
+	PolicyDVV Policy = "dvv"
+)
+
+// Plan is one publish's dependency plan in flight: the versions to
+// embed in the message, keyed by wire token, with the version-store
+// write locks held until Release (they cover the broker send, keeping
+// queue order consistent with dependency order — see core's publisher).
+type Plan struct {
+	// Versions maps each dependency's wire token to the version to embed
+	// in the message: version for read dependencies, version−1 for
+	// writes (§4.2).
+	Versions map[string]uint64
+
+	store    *vstore.Store
+	batch    *vstore.Batch // batched path
+	held     []vstore.Key  // legacy unbatched path
+	released bool
+}
+
+// Release unlocks the plan's dependency keys, waking subscribers
+// blocked on them. Idempotent.
+func (p *Plan) Release() {
+	if p.released {
+		return
+	}
+	p.released = true
+	if p.batch != nil {
+		p.batch.Release()
+		return
+	}
+	if p.store != nil {
+		p.store.UnlockWrites(p.held)
+	}
+}
+
+// Tracker is one dependency-tracking policy bound to an app's version
+// store. It owns every translation between dependency names, wire
+// tokens, and version-store keys; core's publisher and subscriber never
+// branch on the policy themselves.
+type Tracker interface {
+	// Policy reports which policy this tracker implements.
+	Policy() Policy
+	// KeyFor derives the version-store key for a dependency name.
+	KeyFor(name string) vstore.Key
+	// Token renders the wire token for a dependency name: the decimal
+	// hashed key (hash) or the name itself (dvv).
+	Token(name string) string
+	// Resolve maps a wire token — either form, regardless of this
+	// tracker's own policy — to a version-store key. Name tokens go
+	// through KeyFor; decimal tokens are adopted verbatim, like the
+	// pre-tracker subscriber did. Malformed decimals resolve to key 0
+	// (they cannot pass wire.Validate on the publish side).
+	Resolve(token string) vstore.Key
+	// Plan locks the union of the dependency names and bumps their
+	// counters in one batched round trip per shard (§4.2 step 2+3),
+	// returning the versions to embed keyed by wire token. The locks
+	// stay held until Plan.Release.
+	Plan(readNames, writeNames []string) (*Plan, error)
+	// EncodeDeps installs a plan's versions on an outgoing message in
+	// this tracker's wire form: Dependencies for hashed keys, Dots (plus
+	// an empty Dependencies map, which the format requires) for names.
+	EncodeDeps(msg *wire.Message, versions map[string]uint64)
+	// ExportVersions snapshots every counter pair keyed by wire token —
+	// the bulk version send of a §4.4 bootstrap. Token keying (rather
+	// than raw vstore keys) is what lets a subscriber with a different
+	// policy, or a different intern table, fold the snapshot into its
+	// own key space via Resolve.
+	ExportVersions() (map[string]vstore.Counters, error)
+	// DescribeKey renders a key for diagnostics (timeout errors): the
+	// exact name under dvv when known, the hashed key number otherwise.
+	DescribeKey(k vstore.Key) string
+}
+
+// New builds the tracker for a policy name ("" selects hash, the
+// paper's default). unbatched routes plans through the legacy per-call
+// LockWrites/Bump chain instead of BumpBatch (the ablation toggle).
+func New(policy string, store *vstore.Store, unbatched bool) (Tracker, error) {
+	switch Policy(policy) {
+	case "", PolicyHash:
+		return &hashTracker{store: store, unbatched: unbatched}, nil
+	case PolicyDVV:
+		return &dvvTracker{
+			store:     store,
+			unbatched: unbatched,
+			names:     make(map[string]vstore.Key),
+			byKey:     make(map[vstore.Key]string),
+		}, nil
+	}
+	return nil, fmt.Errorf("deptrack: unknown tracker policy %q", policy)
+}
+
+// bumpLocked runs the lock+bump step shared by both trackers: one
+// BumpBatch round-trip plan, or the legacy LockWrites/Bump chain when
+// unbatched. The returned plan holds the locks; Versions is left for
+// the caller to re-key by token.
+func bumpLocked(store *vstore.Store, unbatched bool, readKeys, writeKeys []vstore.Key) (map[vstore.Key]uint64, *Plan, error) {
+	if unbatched {
+		all := make([]vstore.Key, 0, len(writeKeys)+len(readKeys))
+		all = append(all, writeKeys...)
+		all = append(all, readKeys...)
+		held, err := store.LockWrites(all)
+		if err != nil {
+			return nil, nil, err
+		}
+		versions, err := store.Bump(readKeys, writeKeys)
+		if err != nil {
+			store.UnlockWrites(held)
+			return nil, nil, err
+		}
+		return versions, &Plan{store: store, held: held}, nil
+	}
+	b, err := store.BumpBatch(readKeys, writeKeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Versions, &Plan{batch: b}, nil
+}
+
+// hashTracker is the paper's fixed-cardinality dependency hashing: the
+// store's KeyFor folds names into the configured key space, tokens are
+// the decimal keys, and colliding names deliberately share counters.
+type hashTracker struct {
+	store     *vstore.Store
+	unbatched bool
+}
+
+func (t *hashTracker) Policy() Policy { return PolicyHash }
+
+func (t *hashTracker) KeyFor(name string) vstore.Key { return t.store.KeyFor(name) }
+
+func (t *hashTracker) Token(name string) string {
+	return wire.DepKey(uint64(t.store.KeyFor(name)))
+}
+
+func (t *hashTracker) Resolve(token string) vstore.Key {
+	if wire.IsNameToken(token) {
+		// A DVV publisher's dot: fold the name into our hashed space.
+		return t.store.KeyFor(token)
+	}
+	k, _ := wire.ParseDepKey(token)
+	return vstore.Key(k)
+}
+
+func (t *hashTracker) Plan(readNames, writeNames []string) (*Plan, error) {
+	readKeys := make([]vstore.Key, len(readNames))
+	for i, n := range readNames {
+		readKeys[i] = t.store.KeyFor(n)
+	}
+	writeKeys := make([]vstore.Key, len(writeNames))
+	for i, n := range writeNames {
+		writeKeys[i] = t.store.KeyFor(n)
+	}
+	versions, plan, err := bumpLocked(t.store, t.unbatched, readKeys, writeKeys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(versions))
+	for k, v := range versions {
+		out[wire.DepKey(uint64(k))] = v
+	}
+	plan.Versions = out
+	return plan, nil
+}
+
+func (t *hashTracker) EncodeDeps(msg *wire.Message, versions map[string]uint64) {
+	if versions == nil {
+		versions = make(map[string]uint64)
+	}
+	msg.Dependencies = versions
+}
+
+func (t *hashTracker) ExportVersions() (map[string]vstore.Counters, error) {
+	snap, err := t.store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]vstore.Counters, len(snap))
+	for k, c := range snap {
+		out[wire.DepKey(uint64(k))] = c
+	}
+	return out, nil
+}
+
+func (t *hashTracker) DescribeKey(k vstore.Key) string {
+	return fmt.Sprintf("hashed key %d", uint64(k))
+}
+
+// dvvTracker keeps exact per-name dots. Names are interned into
+// private version-store keys on first use; the intern table is what
+// makes the dotted vector "dotted" — each name is its own dimension.
+// Interned keys live in the top half of the key space ((1<<63)|seq) so
+// they can never collide with a hash publisher's fixed-cardinality
+// keys adopted verbatim by Resolve on a mixed-policy subscriber.
+type dvvTracker struct {
+	store     *vstore.Store
+	unbatched bool
+
+	mu    sync.RWMutex
+	names map[string]vstore.Key
+	byKey map[vstore.Key]string
+	next  uint64
+}
+
+// dotKeyBase offsets interned keys away from hashed-key space.
+const dotKeyBase = uint64(1) << 63
+
+func (t *dvvTracker) Policy() Policy { return PolicyDVV }
+
+func (t *dvvTracker) intern(name string) vstore.Key {
+	t.mu.RLock()
+	k, ok := t.names[name]
+	t.mu.RUnlock()
+	if ok {
+		return k
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k, ok := t.names[name]; ok {
+		return k
+	}
+	t.next++
+	k = vstore.Key(dotKeyBase | t.next)
+	t.names[name] = k
+	t.byKey[k] = name
+	return k
+}
+
+func (t *dvvTracker) KeyFor(name string) vstore.Key { return t.intern(name) }
+
+func (t *dvvTracker) Token(name string) string { return name }
+
+func (t *dvvTracker) Resolve(token string) vstore.Key {
+	if wire.IsNameToken(token) {
+		return t.intern(token)
+	}
+	// A hash publisher's decimal key: adopt it verbatim; it cannot
+	// collide with the interned dot keys (see dotKeyBase).
+	k, _ := wire.ParseDepKey(token)
+	return vstore.Key(k)
+}
+
+func (t *dvvTracker) Plan(readNames, writeNames []string) (*Plan, error) {
+	readKeys := make([]vstore.Key, len(readNames))
+	for i, n := range readNames {
+		readKeys[i] = t.intern(n)
+	}
+	writeKeys := make([]vstore.Key, len(writeNames))
+	for i, n := range writeNames {
+		writeKeys[i] = t.intern(n)
+	}
+	versions, plan, err := bumpLocked(t.store, t.unbatched, readKeys, writeKeys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(versions))
+	t.mu.RLock()
+	for k, v := range versions {
+		out[t.byKey[k]] = v
+	}
+	t.mu.RUnlock()
+	plan.Versions = out
+	return plan, nil
+}
+
+func (t *dvvTracker) EncodeDeps(msg *wire.Message, versions map[string]uint64) {
+	// The wire format requires a Dependencies map even when all
+	// dependencies travel as dots (old decoders expect the field).
+	msg.Dependencies = make(map[string]uint64)
+	if len(versions) > 0 {
+		msg.Dots = versions
+	}
+}
+
+func (t *dvvTracker) ExportVersions() (map[string]vstore.Counters, error) {
+	snap, err := t.store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]vstore.Counters, len(snap))
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for k, c := range snap {
+		if name, ok := t.byKey[k]; ok {
+			out[name] = c
+		} else {
+			// A counter adopted verbatim from a hash publisher (mixed
+			// fabric): export its decimal token unchanged.
+			out[wire.DepKey(uint64(k))] = c
+		}
+	}
+	return out, nil
+}
+
+func (t *dvvTracker) DescribeKey(k vstore.Key) string {
+	t.mu.RLock()
+	name, ok := t.byKey[k]
+	t.mu.RUnlock()
+	if ok {
+		return fmt.Sprintf("dot %q", name)
+	}
+	return fmt.Sprintf("key %d", uint64(k))
+}

@@ -1,0 +1,137 @@
+package vstore
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// depNames generates n realistic dependency names in the shape the core
+// layer produces ("app/table/id/<n>" plus a few global keys).
+func depNames(n int) []string {
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			names = append(names, fmt.Sprintf("pub/posts/id/%d", i))
+		case 1:
+			names = append(names, fmt.Sprintf("pub/users/id/%d", i))
+		case 2:
+			names = append(names, fmt.Sprintf("app%d/comments/id/%d", i%7, i))
+		default:
+			names = append(names, fmt.Sprintf("pub/sessions/id/s-%d", i))
+		}
+	}
+	return names
+}
+
+// TestKeyForCardinalityOneIsGlobalOrdering pins the degenerate case the
+// package doc calls out: with a 1-entry hash space every dependency name
+// collapses onto the same key, so every write serializes behind every
+// other — global ordering.
+func TestKeyForCardinalityOneIsGlobalOrdering(t *testing.T) {
+	s := New(Config{Shards: 4, Cardinality: 1})
+	for _, name := range depNames(500) {
+		if k := s.KeyFor(name); k != 0 {
+			t.Fatalf("KeyFor(%q) = %d with cardinality 1; want 0", name, k)
+		}
+	}
+}
+
+// TestKeyForRange checks every produced key stays inside the configured
+// space, for a spread of small cardinalities.
+func TestKeyForRange(t *testing.T) {
+	names := depNames(2000)
+	for _, card := range []uint64{1, 2, 3, 4, 16, 64, 256} {
+		s := New(Config{Shards: 4, Cardinality: card})
+		for _, name := range names {
+			if k := uint64(s.KeyFor(name)); k >= card {
+				t.Fatalf("cardinality %d: KeyFor(%q) = %d out of range", card, name, k)
+			}
+		}
+	}
+}
+
+// TestKeyForDeterministicAcrossStores checks the hash depends only on
+// the name and cardinality, never on store identity — publisher and
+// subscriber stores must agree on every key or causality breaks.
+func TestKeyForDeterministicAcrossStores(t *testing.T) {
+	a := New(Config{Shards: 1, Cardinality: 64})
+	b := New(Config{Shards: 8, Cardinality: 64})
+	for _, name := range depNames(300) {
+		if ka, kb := a.KeyFor(name), b.KeyFor(name); ka != kb {
+			t.Fatalf("KeyFor(%q) differs across stores: %d vs %d", name, ka, kb)
+		}
+	}
+}
+
+// TestKeyForDistributionUniformity is the property test for the hash
+// spread: at small cardinalities the buckets must stay close to uniform
+// (a skewed spread would concentrate false dependencies on hot keys and
+// silently serialize the subscriber). A chi-squared-style bound on the
+// per-bucket deviation keeps the test robust to the exact hash choice.
+func TestKeyForDistributionUniformity(t *testing.T) {
+	const n = 20000
+	names := depNames(n)
+	for _, card := range []uint64{2, 4, 8, 16, 64, 256} {
+		s := New(Config{Shards: 4, Cardinality: card})
+		buckets := make([]int, card)
+		for _, name := range names {
+			buckets[uint64(s.KeyFor(name))]++
+		}
+		mean := float64(n) / float64(card)
+		// With a uniform hash the bucket counts are ~binomial; allow
+		// 6 standard deviations plus a small absolute slack so tiny
+		// expected counts don't trip on integer granularity.
+		sd := math.Sqrt(mean * (1 - 1/float64(card)))
+		tol := 6*sd + 8
+		for b, c := range buckets {
+			if math.Abs(float64(c)-mean) > tol {
+				t.Errorf("cardinality %d: bucket %d holds %d of %d names (mean %.1f, tol %.1f)",
+					card, b, c, n, mean, tol)
+			}
+		}
+	}
+}
+
+// TestKeyForUnboundedCollisionFree checks cardinality 0 (the raw 64-bit
+// space) produces no collisions across a realistic name population —
+// this is what the DVV comparison treats as "exact" hashed tracking.
+func TestKeyForUnboundedCollisionFree(t *testing.T) {
+	s := New(Config{Shards: 4, Cardinality: 0})
+	seen := make(map[Key]string, 10000)
+	for _, name := range depNames(10000) {
+		k := s.KeyFor(name)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("raw-space collision: %q and %q both hash to %d", prev, name, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestKeyForQuickProperties drives arbitrary names through a spread of
+// cardinalities: keys stay in range and equal names always produce
+// equal keys.
+func TestKeyForQuickProperties(t *testing.T) {
+	stores := []*Store{
+		New(Config{Shards: 2, Cardinality: 1}),
+		New(Config{Shards: 2, Cardinality: 7}),
+		New(Config{Shards: 2, Cardinality: 256}),
+	}
+	prop := func(name string) bool {
+		for _, s := range stores {
+			k := s.KeyFor(name)
+			if card := s.Config().Cardinality; card > 0 && uint64(k) >= card {
+				return false
+			}
+			if s.KeyFor(name) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,7 +33,9 @@ package vstore
 
 import (
 	"errors"
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +48,50 @@ var ErrDead = errors.New("vstore: store is dead")
 
 // ErrTimeout is returned when WaitAtLeast exceeds its deadline.
 var ErrTimeout = errors.New("vstore: dependency wait timed out")
+
+// WaitReq is one unmet dependency at the moment a wait gave up: the
+// key, the ops counter the wait required, and the counter the store
+// actually held at the last check.
+type WaitReq struct {
+	Key  Key
+	Need uint64
+	Have uint64
+}
+
+// WaitError is the timeout error returned by WaitAtLeast and
+// WaitAtLeastMulti. It names every dependency key still blocking the
+// wait (with required and observed counters) so a causality stall can
+// be diagnosed from a dead-letter record instead of a bare timeout. It
+// unwraps to ErrTimeout, so errors.Is(err, ErrTimeout) keeps matching.
+type WaitError struct {
+	// Unmet lists the blocking keys in ascending key order.
+	Unmet []WaitReq
+}
+
+func (e *WaitError) Error() string {
+	var b strings.Builder
+	b.WriteString("vstore: dependency wait timed out: ")
+	const show = 4
+	for i, r := range e.Unmet {
+		if i == show {
+			fmt.Fprintf(&b, " (+%d more)", len(e.Unmet)-show)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "key %d at %d/%d", uint64(r.Key), r.Have, r.Need)
+	}
+	return b.String()
+}
+
+// Unwrap keeps WaitError compatible with errors.Is(err, ErrTimeout).
+func (e *WaitError) Unwrap() error { return ErrTimeout }
+
+// waitTimeout builds the single-key WaitError.
+func waitTimeout(k Key, need, have uint64) error {
+	return &WaitError{Unmet: []WaitReq{{Key: k, Need: need, Have: have}}}
+}
 
 // Key is a hashed dependency key.
 type Key uint64
@@ -479,7 +525,8 @@ func (s *Store) SetOps(k Key, val uint64) error {
 }
 
 // WaitAtLeast blocks until the ops counter for the key reaches min, the
-// timeout elapses (ErrTimeout), or the store dies (ErrDead). A zero
+// timeout elapses (a *WaitError wrapping ErrTimeout, naming the
+// blocking key and its counters), or the store dies (ErrDead). A zero
 // timeout checks once without blocking; a negative timeout waits
 // forever. This is the subscriber's dependency wait (§4.2), with the
 // configurable give-up recommended in §6.5.
@@ -512,30 +559,31 @@ func (s *Store) WaitAtLeast(k Key, min uint64, timeout time.Duration) error {
 		}
 		if timeout == 0 {
 			sh.deregister(k, ch)
-			return ErrTimeout
+			return waitTimeout(k, min, cur)
 		}
 		var waitFor time.Duration = -1
 		if timeout > 0 {
 			waitFor = time.Until(deadline)
 			if waitFor <= 0 {
 				sh.deregister(k, ch)
-				return ErrTimeout
+				return waitTimeout(k, min, cur)
 			}
 		}
 		if !await(ch, waitFor) {
 			sh.deregister(k, ch)
-			return ErrTimeout
+			return waitTimeout(k, min, cur)
 		}
 	}
 }
 
 // WaitAtLeastMulti blocks until the ops counter of EVERY key in reqs
-// reaches its required minimum, the timeout elapses (ErrTimeout), or
-// the store dies (ErrDead). It is the batched replacement for one
-// WaitAtLeast call per dependency: a single waiter is registered for
-// the whole dependency map, and each check is one pipelined round trip
-// over the shards involved instead of one per key. Zero-minimum entries
-// are satisfied without any round trip. Timeout semantics follow
+// reaches its required minimum, the timeout elapses (a *WaitError
+// wrapping ErrTimeout, naming every still-blocking key), or the store
+// dies (ErrDead). It is the batched replacement for one WaitAtLeast
+// call per dependency: a single waiter is registered for the whole
+// dependency map, and each check is one pipelined round trip over the
+// shards involved instead of one per key. Zero-minimum entries are
+// satisfied without any round trip. Timeout semantics follow
 // WaitAtLeast, applied to the map as a whole (a zero timeout checks
 // once; a negative timeout waits forever).
 func (s *Store) WaitAtLeastMulti(reqs map[Key]uint64, timeout time.Duration) error {
@@ -547,6 +595,17 @@ func (s *Store) WaitAtLeastMulti(reqs map[Key]uint64, timeout time.Duration) err
 	}
 	if len(remaining) == 0 {
 		return s.checkAlive()
+	}
+	// have tracks the last observed ops counter for each outstanding key
+	// so a timeout can report how far short every blocker was.
+	have := make(map[Key]uint64, len(remaining))
+	unmet := func() error {
+		e := &WaitError{Unmet: make([]WaitReq, 0, len(remaining))}
+		for k, need := range remaining {
+			e.Unmet = append(e.Unmet, WaitReq{Key: k, Need: need, Have: have[k]})
+		}
+		sort.Slice(e.Unmet, func(i, j int) bool { return e.Unmet[i].Key < e.Unmet[j].Key })
+		return e
 	}
 	var deadline time.Time
 	if timeout > 0 {
@@ -584,7 +643,13 @@ func (s *Store) WaitAtLeastMulti(reqs map[Key]uint64, timeout time.Duration) err
 		for sh, ks := range byShard {
 			sh.script(0, func(m map[Key]*entry) {
 				for _, k := range ks {
-					if e := m[k]; e != nil && e.ops >= remaining[k] {
+					e := m[k]
+					var cur uint64
+					if e != nil {
+						cur = e.ops
+					}
+					have[k] = cur
+					if cur >= remaining[k] {
 						satisfied = append(satisfied, k)
 					}
 				}
@@ -599,20 +664,20 @@ func (s *Store) WaitAtLeastMulti(reqs map[Key]uint64, timeout time.Duration) err
 		}
 		if timeout == 0 {
 			deregister()
-			return ErrTimeout
+			return unmet()
 		}
 		var waitFor time.Duration = -1
 		if timeout > 0 {
 			waitFor = time.Until(deadline)
 			if waitFor <= 0 {
 				deregister()
-				return ErrTimeout
+				return unmet()
 			}
 		}
 		ok := await(ch, waitFor)
 		deregister()
 		if !ok {
-			return ErrTimeout
+			return unmet()
 		}
 	}
 }

@@ -103,6 +103,20 @@ func goldenMessages() map[string]*Message {
 			Generation:   2,
 			Seq:          4,
 		},
+		"dvv-dots": {
+			App: "pub4",
+			Operations: []Operation{{
+				Operation: OpUpdate, Types: []string{"Post", "Base"}, ID: "7",
+				Attributes: map[string]any{"body": "b"},
+				ObjectDep:  "pub4/posts/id/7",
+			}},
+			Dependencies: map[string]uint64{},
+			Dots:         map[string]uint64{"pub4/posts/id/7": 3, "pub4/users/id/1": 1},
+			External:     map[string]uint64{"pub9/users/id/2": 4},
+			PublishedAt:  time.Date(2026, 8, 7, 1, 2, 3, 0, time.UTC),
+			Generation:   2,
+			Seq:          9,
+		},
 		"nil-and-empty": {
 			App:          "",
 			Operations:   []Operation{{Operation: "", Types: nil, ID: "", Attributes: nil, ObjectDep: ""}, {Types: []string{}}},
@@ -214,6 +228,91 @@ func TestUnmarshalOldFormats(t *testing.T) {
 				t.Fatalf("decoders diverge on %s\n fast: %#v\n  std: %#v", p, fast, std)
 			}
 		})
+	}
+}
+
+// TestCrossFormatDecode pins wire compatibility across the tracker
+// refactor in both directions: a pre-DVV hash-only frame (no "dots"
+// key) must decode under the current codec with Dots nil, and a DVV
+// frame must decode with its dots intact while a hash frame encoded by
+// the current codec stays byte-identical to the old format (no "dots"
+// key emitted when the map is empty).
+func TestCrossFormatDecode(t *testing.T) {
+	// Captured pre-DVV frame shape: hashed decimal keys only.
+	oldFrame := `{"app":"pub3","operations":[{"operation":"update","types":["User"],"id":"100","object_dep":"7341"}],"dependencies":{"7341":42},"published_at":"2014-10-11T07:59:00Z","generation":9,"seq":12}`
+	fast, std := decodeBothWays(t, []byte(oldFrame))
+	if !reflect.DeepEqual(fast, std) {
+		t.Fatalf("decoders diverge on old frame\n fast: %#v\n  std: %#v", fast, std)
+	}
+	if fast.Dots != nil {
+		t.Fatalf("old hash-only frame decoded with non-nil Dots: %#v", fast.Dots)
+	}
+	// Re-encoding the old frame must reproduce it byte for byte: the new
+	// field must not leak into hash-tracker output.
+	re, err := Marshal(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != oldFrame {
+		t.Fatalf("hash frame changed shape under new codec\n got: %s\nwant: %s", re, oldFrame)
+	}
+
+	// A DVV frame decodes under both decoders with dots intact, and a
+	// decoder that predates dots would have skipped the unknown key (the
+	// skip path is what TestUnmarshalOldFormats' unknown-keys case pins).
+	dvvFrame := `{"app":"pub4","operations":[{"operation":"update","types":["Post"],"id":"7","object_dep":"pub4/posts/id/7"}],"dependencies":{},"dots":{"pub4/posts/id/7":3,"pub4/users/id/1":1},"published_at":"2026-08-07T01:02:03Z","generation":2,"seq":9}`
+	fast, std = decodeBothWays(t, []byte(dvvFrame))
+	if !reflect.DeepEqual(fast, std) {
+		t.Fatalf("decoders diverge on DVV frame\n fast: %#v\n  std: %#v", fast, std)
+	}
+	want := map[string]uint64{"pub4/posts/id/7": 3, "pub4/users/id/1": 1}
+	if !reflect.DeepEqual(fast.Dots, want) {
+		t.Fatalf("DVV frame dots = %#v, want %#v", fast.Dots, want)
+	}
+	re, err = Marshal(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != dvvFrame {
+		t.Fatalf("DVV frame not stable under re-encode\n got: %s\nwant: %s", re, dvvFrame)
+	}
+
+	// Pooled decode of a dots frame followed by a hash frame must not
+	// leak dots through the pool reuse.
+	m, err := UnmarshalPooled([]byte(dvvFrame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseMessage(m)
+	m, err = UnmarshalPooled([]byte(oldFrame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dots != nil {
+		t.Fatalf("dots leaked through pool reuse: %#v", m.Dots)
+	}
+	ReleaseMessage(m)
+}
+
+// TestValidateDots checks Validate enforces the token-form split: dot
+// keys must be names (contain '/'), dependency keys must be decimals.
+func TestValidateDots(t *testing.T) {
+	m := &Message{
+		App:        "a",
+		Operations: []Operation{{Operation: OpUpdate, Types: []string{"T"}, ID: "1", ObjectDep: "a/ts/id/1"}},
+		Dots:       map[string]uint64{"a/ts/id/1": 1},
+	}
+	if err := Validate(m); err != nil {
+		t.Fatalf("valid DVV message rejected: %v", err)
+	}
+	m.Dots = map[string]uint64{"1234": 1}
+	if err := Validate(m); err == nil {
+		t.Fatal("Validate accepted a decimal dot key")
+	}
+	m.Dots = nil
+	m.Dependencies = map[string]uint64{"a/ts/id/1": 1}
+	if err := Validate(m); err == nil {
+		t.Fatal("Validate accepted a name-form dependencies key")
 	}
 }
 

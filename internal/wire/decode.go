@@ -345,6 +345,10 @@ func (d *decoder) message(m *Message) error {
 			if err := d.depMap(&m.External); err != nil {
 				return err
 			}
+		case "dots":
+			if err := d.depMap(&m.Dots); err != nil {
+				return err
+			}
 		case "published_at":
 			if err := d.publishedAt(m); err != nil {
 				return err
@@ -387,7 +391,7 @@ func (d *decoder) message(m *Message) error {
 var (
 	messageFields = []string{
 		"app", "operations", "dependencies", "external_dependencies",
-		"published_at", "generation", "global_dep", "seq", "recovered",
+		"dots", "published_at", "generation", "global_dep", "seq", "recovered",
 	}
 	operationFields = []string{"operation", "types", "id", "attributes", "object_dep"}
 )

@@ -116,6 +116,10 @@ func (e *encoder) message(m *Message) error {
 		e.buf = append(e.buf, `,"external_dependencies":`...)
 		e.depMap(m.External)
 	}
+	if len(m.Dots) > 0 {
+		e.buf = append(e.buf, `,"dots":`...)
+		e.depMap(m.Dots)
+	}
 	e.buf = append(e.buf, `,"published_at":`...)
 	if err := e.time(m.PublishedAt); err != nil {
 		return err

@@ -81,6 +81,11 @@ func (m *Message) reset() {
 		depMapPool.Put(m.External)
 		m.External = nil
 	}
+	if m.Dots != nil {
+		clear(m.Dots)
+		depMapPool.Put(m.Dots)
+		m.Dots = nil
+	}
 	m.PublishedAt = time.Time{}
 	m.Generation = 0
 	m.GlobalDep = ""

@@ -65,7 +65,15 @@ type Message struct {
 	Dependencies map[string]uint64 `json:"dependencies"`
 	// External dependencies behave like read dependencies but are not
 	// incremented on either side (decorator cross-app causality, §4.2).
-	External    map[string]uint64 `json:"external_dependencies,omitempty"`
+	External map[string]uint64 `json:"external_dependencies,omitempty"`
+	// Dots carries exact per-name dependency dots when the publisher
+	// runs the dotted-version-vector tracker: keys are full dependency
+	// names (which always contain '/', disjoint from the decimal hashed
+	// keys in Dependencies), values the required versions — the same
+	// wait/apply semantics as Dependencies, but collision-free. Hash
+	// publishers leave it empty, so their frames stay byte-identical to
+	// the pre-DVV format, and old decoders simply ignore the key.
+	Dots        map[string]uint64 `json:"dots,omitempty"`
 	PublishedAt time.Time         `json:"published_at"`
 	Generation  uint64            `json:"generation"`
 	// GlobalDep names the synthetic global-object dependency key when
@@ -221,5 +229,24 @@ func Validate(m *Message) error {
 			return err
 		}
 	}
+	for k := range m.Dots {
+		if !IsNameToken(k) {
+			return fmt.Errorf("wire: dot key %q is not a dependency name", k)
+		}
+	}
 	return nil
+}
+
+// IsNameToken reports whether a dependency token is an exact name (DVV
+// dots) rather than a hashed decimal key. Names always contain '/'
+// (app/table/id/<id> or app/global); hashed keys are pure decimals, so
+// the two token forms never overlap and any subscriber can resolve
+// both regardless of its own tracker policy.
+func IsNameToken(tok string) bool {
+	for i := 0; i < len(tok); i++ {
+		if tok[i] == '/' {
+			return true
+		}
+	}
+	return false
 }

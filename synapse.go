@@ -112,6 +112,14 @@ const (
 // WaitForever disables the dependency-wait timeout (pure causal mode).
 const WaitForever = core.WaitForever
 
+// Dependency-tracking policies (Config.DepTracker): the paper's hashed
+// fixed-cardinality scheme, and exact per-object dotted version
+// vectors. DESIGN.md §2g has the trade-off.
+const (
+	TrackerHash = core.TrackerHash
+	TrackerDVV  = core.TrackerDVV
+)
+
 // Field types.
 const (
 	String     = model.String

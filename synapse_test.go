@@ -179,3 +179,53 @@ func TestPublicAPIDeliveryModeStrings(t *testing.T) {
 		t.Error("mode ordering wrong")
 	}
 }
+
+// TestPublicAPIDVVTracker proves the dotted-version-vector ordering
+// policy is reachable through the facade: both apps configured with
+// TrackerDVV, one causal create replicated end to end.
+func TestPublicAPIDVVTracker(t *testing.T) {
+	fabric := synapse.NewFabric()
+
+	pub, err := synapse.NewApp(fabric, "pub1",
+		synapse.NewDocumentMapper(synapse.MongoDB),
+		synapse.Config{Mode: synapse.Causal, DepTracker: synapse.TrackerDVV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := synapse.NewModel("User", synapse.F("name", synapse.String))
+	if err := pub.Publish(user, synapse.PubSpec{Attrs: []string{"name"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	subMapper := synapse.NewSQLMapper(synapse.Postgres)
+	sub, err := synapse.NewApp(fabric, "sub1", subMapper,
+		synapse.Config{DepTracker: synapse.TrackerDVV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subUser := synapse.NewModel("User", synapse.F("name", synapse.String))
+	if err := sub.Subscribe(subUser, synapse.SubSpec{From: "pub1", Attrs: []string{"name"}}); err != nil {
+		t.Fatal(err)
+	}
+	sub.StartWorkers(2)
+	defer sub.StopWorkers()
+
+	ctl := pub.NewController(pub.NewSession("User", "1"))
+	rec := synapse.NewRecord("User", "1")
+	rec.Set("name", "alice")
+	if _, err := ctl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, err := subMapper.Find("User", "1"); err == nil {
+			if got.String("name") != "alice" {
+				t.Fatalf("replicated record = %+v", got.Attrs)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("replication never arrived")
+}
