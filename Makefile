@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: build, vet,
 # and the full test suite under the race detector.
 
-.PHONY: check test bench bench-hotpath bench-overload bench-causality profile chaos
+.PHONY: check test bench bench-hotpath bench-overload bench-causality bench-tail check-bench scenarios profile chaos
 
 check:
 	./scripts/check.sh
@@ -27,6 +27,23 @@ bench-overload:
 # sweep vs dotted version vectors) and BENCH_causality.json.
 bench-causality:
 	go run ./cmd/synapse-bench -exp causality
+
+# Regenerates the open-loop tail-latency sweep (publish→deliver
+# p50/p99/p999 vs arrival rate, knee detection) and BENCH_tail.json.
+bench-tail:
+	go run ./cmd/synapse-bench -exp tail
+
+# Bench-regression gate: quick-runs every experiment and compares
+# config-invariant metrics (rt counts, allocs/op, convergence, tail
+# p99) against the committed BENCH_*.json baselines. Non-zero exit on
+# any breach; committed baselines are restored afterwards.
+check-bench:
+	./scripts/bench_gate.sh
+
+# The CI scenario suite (check/chaos/overload/causality/tail), quick
+# sweeps — the same commands the workflow matrix runs.
+scenarios:
+	./scripts/scenarios.sh -quick
 
 # Same run with pprof CPU + heap capture into ./profiles/.
 profile:

@@ -7,7 +7,8 @@
 //
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
 //	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|reliability|
-//	                   chaos|overload|hotpath|ablation-hash|causality|all
+//	                   chaos|overload|hotpath|ablation-hash|causality|
+//	                   tail|all
 //	              [-quick] [-cpuprofile] [-memprofile] [-profiledir DIR]
 //
 // fig13rt additionally writes BENCH_fig13.json (round trips per message,
@@ -16,10 +17,12 @@
 // BENCH_overload.json (degradation-ladder composition, queue bounds,
 // stall-quarantine latency under sustained ~2x overload), and hotpath
 // writes BENCH_hotpath.json (message-path allocs/op and throughput,
-// hand-rolled codec vs encoding/json), and causality writes
+// hand-rolled codec vs encoding/json), causality writes
 // BENCH_causality.json (subscriber apply throughput under hashed
-// dependency cardinalities vs dotted version vectors) so future changes
-// have perf and robustness trajectories.
+// dependency cardinalities vs dotted version vectors), and tail writes
+// BENCH_tail.json (open-loop publish→deliver p50/p99/p999 across an
+// arrival-rate sweep, knee detection) so future changes have perf and
+// robustness trajectories.
 //
 // -quick shrinks every sweep for a fast end-to-end pass. -cpuprofile and
 // -memprofile capture pprof profiles of the run into -profiledir
@@ -104,6 +107,7 @@ func main() {
 		{"hotpath", runHotpath},
 		{"ablation-hash", runAblationHash},
 		{"causality", runCausality},
+		{"tail", runTail},
 	}
 
 	found := false
@@ -366,4 +370,29 @@ func runCausality(quick bool) {
 		os.Exit(1)
 	}
 	fmt.Println("wrote BENCH_causality.json")
+}
+
+func runTail(quick bool) {
+	cfg := bench.DefaultTail()
+	if quick {
+		// Keep the 1000 ops/s anchor point (and every capacity knob)
+		// identical to the full sweep so the bench gate can compare
+		// quick-run p99 against the committed baseline; only the sweep
+		// breadth and horizon shrink.
+		cfg.Rates = []float64{250, 1000}
+		cfg.Duration = time.Second
+		cfg.Warmup = 250 * time.Millisecond
+	}
+	r := bench.RunTail(cfg)
+	fmt.Print(bench.FormatTail(r))
+	doc, err := bench.MarshalTail(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_tail.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_tail.json")
 }

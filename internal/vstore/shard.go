@@ -21,21 +21,32 @@ type entry struct {
 // publisher write dependencies) are cooperative and independent of the
 // script mutex.
 type shard struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	data map[Key]*entry
 
 	lockMu sync.Mutex
 	locks  map[Key]chan struct{}
 
 	waitMu  sync.Mutex
-	waiters map[Key][]chan struct{}
+	waiters map[Key][]waiter
+}
+
+// waiter is one registered dependency wait: the channel to signal and
+// the ops value the waiter needs. Wakeups are threshold-aware — an
+// increment only signals waiters whose threshold it reached — so a hot
+// key incremented thousands of times per second does not stampede every
+// blocked subscriber into a spurious re-check round trip each time
+// (the thundering herd zipf-skewed workloads otherwise produce).
+type waiter struct {
+	ch  chan struct{}
+	min uint64
 }
 
 func newShard() *shard {
 	return &shard{
 		data:    make(map[Key]*entry),
 		locks:   make(map[Key]chan struct{}),
-		waiters: make(map[Key][]chan struct{}),
+		waiters: make(map[Key][]waiter),
 	}
 }
 
@@ -49,6 +60,20 @@ func (sh *shard) script(cost time.Duration, fn func(map[Key]*entry)) {
 	sh.mu.Lock()
 	fn(sh.data)
 	sh.mu.Unlock()
+}
+
+// rscript runs a READ-ONLY fn over the shard data under the read lock,
+// so concurrent dependency checks (the hottest subscriber path under
+// zipf skew: many workers probing the same hot keys) never serialize
+// against each other — only against writers. fn must not mutate the
+// map or any entry.
+func (sh *shard) rscript(cost time.Duration, fn func(map[Key]*entry)) {
+	if cost > 0 {
+		timeutil.Wait(cost, false)
+	}
+	sh.mu.RLock()
+	fn(sh.data)
+	sh.mu.RUnlock()
 }
 
 func (sh *shard) flush() {
@@ -85,22 +110,24 @@ func (sh *shard) unlock(k Key) {
 	}
 }
 
-// register adds a waiter channel for the key. The caller must check its
-// condition AFTER registering (and deregister if already satisfied) so
-// that no wakeup can be lost between the check and the registration.
-func (sh *shard) register(k Key) chan struct{} {
+// register adds a waiter for the key, needing ops >= min. The caller
+// must check its condition AFTER registering (and deregister if already
+// satisfied) so that no wakeup can be lost between the check and the
+// registration.
+func (sh *shard) register(k Key, min uint64) chan struct{} {
 	ch := make(chan struct{}, 1)
-	sh.registerCh(k, ch)
+	sh.registerCh(k, min, ch)
 	return ch
 }
 
-// registerCh registers a caller-owned waiter channel for the key. A
-// multi-key waiter registers one channel on every key it waits for
-// (across shards); wakeups are non-blocking sends, so duplicate
-// registrations of the same channel are harmless.
-func (sh *shard) registerCh(k Key, ch chan struct{}) {
+// registerCh registers a caller-owned waiter channel for the key, with
+// the ops threshold the waiter needs. A multi-key waiter registers one
+// channel on every key it waits for (across shards); wakeups are
+// non-blocking sends, so duplicate registrations of the same channel
+// are harmless.
+func (sh *shard) registerCh(k Key, min uint64, ch chan struct{}) {
 	sh.waitMu.Lock()
-	sh.waiters[k] = append(sh.waiters[k], ch)
+	sh.waiters[k] = append(sh.waiters[k], waiter{ch: ch, min: min})
 	sh.waitMu.Unlock()
 }
 
@@ -109,7 +136,7 @@ func (sh *shard) deregister(k Key, ch chan struct{}) {
 	sh.waitMu.Lock()
 	ws := sh.waiters[k]
 	for i, w := range ws {
-		if w == ch {
+		if w.ch == ch {
 			sh.waiters[k] = append(ws[:i], ws[i+1:]...)
 			break
 		}
@@ -138,13 +165,32 @@ func await(ch chan struct{}, timeout time.Duration) bool {
 	}
 }
 
-// wakeKeys signals every waiter registered on the keys.
-func (sh *shard) wakeKeys(keys []Key) {
+// wakeReached signals waiters on keys[i] whose threshold vals[i] (the
+// key's ops counter after the update) satisfies. Waiters still short of
+// their threshold stay registered: waking them would only trigger a
+// futile re-check round trip, and the increment that eventually reaches
+// their threshold will signal them.
+func (sh *shard) wakeReached(keys []Key, vals []uint64) {
 	sh.waitMu.Lock()
 	var toWake []chan struct{}
-	for _, k := range keys {
-		toWake = append(toWake, sh.waiters[k]...)
-		delete(sh.waiters, k)
+	for i, k := range keys {
+		ws := sh.waiters[k]
+		if len(ws) == 0 {
+			continue
+		}
+		kept := ws[:0]
+		for _, w := range ws {
+			if w.min <= vals[i] {
+				toWake = append(toWake, w.ch)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(sh.waiters, k)
+		} else {
+			sh.waiters[k] = kept
+		}
 	}
 	sh.waitMu.Unlock()
 	for _, ch := range toWake {
@@ -155,12 +201,15 @@ func (sh *shard) wakeKeys(keys []Key) {
 	}
 }
 
-// wakeAll signals every waiter (store death, flush).
+// wakeAll signals every waiter regardless of threshold (store death,
+// flush: waiters must re-check liveness, not counters).
 func (sh *shard) wakeAll() {
 	sh.waitMu.Lock()
 	var toWake []chan struct{}
 	for k, ws := range sh.waiters {
-		toWake = append(toWake, ws...)
+		for _, w := range ws {
+			toWake = append(toWake, w.ch)
+		}
 		delete(sh.waiters, k)
 	}
 	sh.waitMu.Unlock()

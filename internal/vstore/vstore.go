@@ -415,6 +415,16 @@ func (s *Store) BumpBatch(readDeps, writeDeps []Key) (*Batch, error) {
 	if err := s.checkAlive(); err != nil {
 		return nil, err
 	}
+	byShard, n := s.groupBumpOps(readDeps, writeDeps)
+	// The whole plan is ONE pipelined round-trip window: the injected
+	// RTT models the network flight to the store, so it is charged
+	// BEFORE the locks are taken — server-side, the script acquires the
+	// locks and bumps the counters back to back. Charging it after
+	// acquisition (as this path once did) held every hot dependency key
+	// locked across the sleep, serializing concurrent publishers to the
+	// same popular object for an extra RTT each and convoying the
+	// publish path under zipf-skewed traffic.
+	s.charge(s.maxShardCost(byShard))
 	all := make([]Key, 0, len(readDeps)+len(writeDeps))
 	all = append(all, writeDeps...)
 	all = append(all, readDeps...)
@@ -425,8 +435,6 @@ func (s *Store) BumpBatch(readDeps, writeDeps []Key) (*Batch, error) {
 		s.unlockOrdered(held)
 		return nil, err
 	}
-	byShard, n := s.groupBumpOps(readDeps, writeDeps)
-	s.charge(s.maxShardCost(byShard))
 	return &Batch{store: s, held: held, Versions: s.runBumpScripts(byShard, n)}, nil
 }
 
@@ -446,7 +454,7 @@ func (b *Batch) Release() {
 func (s *Store) Counters(k Key) Counters {
 	var out Counters
 	s.rt.Add(1)
-	s.shardFor(k).script(0, func(m map[Key]*entry) {
+	s.shardFor(k).rscript(0, func(m map[Key]*entry) {
 		if e := m[k]; e != nil {
 			out = Counters{Ops: e.ops, Version: e.version}
 		}
@@ -458,7 +466,7 @@ func (s *Store) Counters(k Key) Counters {
 func (s *Store) Ops(k Key) uint64 {
 	var out uint64
 	s.rt.Add(1)
-	s.shardFor(k).script(0, func(m map[Key]*entry) {
+	s.shardFor(k).rscript(0, func(m map[Key]*entry) {
 		if e := m[k]; e != nil {
 			out = e.ops
 		}
@@ -487,17 +495,19 @@ func (s *Store) IncrOps(keys []Key) error {
 	}
 	s.charge(cost)
 	for sh, ks := range byShard {
+		vals := make([]uint64, len(ks))
 		sh.script(0, func(m map[Key]*entry) {
-			for _, k := range ks {
+			for i, k := range ks {
 				e := m[k]
 				if e == nil {
 					e = &entry{}
 					m[k] = e
 				}
 				e.ops++
+				vals[i] = e.ops
 			}
 		})
-		sh.wakeKeys(ks)
+		sh.wakeReached(ks, vals)
 	}
 	return nil
 }
@@ -510,6 +520,7 @@ func (s *Store) SetOps(k Key, val uint64) error {
 	}
 	sh := s.shardFor(k)
 	s.charge(s.cfg.scriptCost(1))
+	var cur uint64
 	sh.script(0, func(m map[Key]*entry) {
 		e := m[k]
 		if e == nil {
@@ -519,8 +530,9 @@ func (s *Store) SetOps(k Key, val uint64) error {
 		if val > e.ops {
 			e.ops = val
 		}
+		cur = e.ops
 	})
-	sh.wakeKeys([]Key{k})
+	sh.wakeReached([]Key{k}, []uint64{cur})
 	return nil
 }
 
@@ -543,12 +555,13 @@ func (s *Store) WaitAtLeast(k Key, min uint64, timeout time.Duration) error {
 		if err := s.checkAlive(); err != nil {
 			return err
 		}
-		// Register before checking so a concurrent IncrOps between the
-		// check and the wait cannot be lost.
-		ch := sh.register(k)
+		// Register (with the needed threshold) before checking so a
+		// concurrent IncrOps between the check and the wait cannot be
+		// lost; increments below the threshold won't wake us.
+		ch := sh.register(k, min)
 		var cur uint64
 		s.rt.Add(1)
-		sh.script(0, func(m map[Key]*entry) {
+		sh.rscript(0, func(m map[Key]*entry) {
 			if e := m[k]; e != nil {
 				cur = e.ops
 			}
@@ -617,12 +630,15 @@ func (s *Store) WaitAtLeastMulti(reqs map[Key]uint64, timeout time.Duration) err
 		}
 		// One shared waiter channel, registered on every outstanding key
 		// BEFORE the check so no concurrent IncrOps wakeup can be lost.
+		// Each registration carries that key's threshold: on a hot key
+		// whose counter advances constantly, only the increment that
+		// reaches the threshold wakes this waiter.
 		ch := make(chan struct{}, 1)
 		regd := make([]Key, 0, len(remaining))
 		byShard := make(map[*shard][]Key)
-		for k := range remaining {
+		for k, min := range remaining {
 			sh := s.shardFor(k)
-			sh.registerCh(k, ch)
+			sh.registerCh(k, min, ch)
 			regd = append(regd, k)
 			byShard[sh] = append(byShard[sh], k)
 		}
@@ -641,7 +657,7 @@ func (s *Store) WaitAtLeastMulti(reqs map[Key]uint64, timeout time.Duration) err
 		s.charge(cost)
 		var satisfied []Key
 		for sh, ks := range byShard {
-			sh.script(0, func(m map[Key]*entry) {
+			sh.rscript(0, func(m map[Key]*entry) {
 				for _, k := range ks {
 					e := m[k]
 					var cur uint64
@@ -793,7 +809,7 @@ func (s *Store) Snapshot() (map[Key]Counters, error) {
 	out := make(map[Key]Counters)
 	for _, sh := range s.shards {
 		s.rt.Add(1)
-		sh.script(s.cfg.scriptCost(1), func(m map[Key]*entry) {
+		sh.rscript(s.cfg.scriptCost(1), func(m map[Key]*entry) {
 			for k, e := range m {
 				out[k] = Counters{Ops: e.ops, Version: e.version}
 			}
@@ -806,7 +822,7 @@ func (s *Store) Snapshot() (map[Key]Counters, error) {
 func (s *Store) Entries() int {
 	n := 0
 	for _, sh := range s.shards {
-		sh.script(0, func(m map[Key]*entry) { n += len(m) })
+		sh.rscript(0, func(m map[Key]*entry) { n += len(m) })
 	}
 	return n
 }

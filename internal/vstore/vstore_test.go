@@ -465,3 +465,105 @@ func TestQuickBumpAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestThresholdWakeupsSkipUnsatisfied: a waiter needing ops >= 5 must
+// stay registered (and blocked) through increments 1..4 and wake on the
+// increment that reaches 5. The old behaviour woke every waiter on
+// every increment, forcing a spurious re-check round trip each time.
+func TestThresholdWakeupsSkipUnsatisfied(t *testing.T) {
+	s := New(Config{Shards: 1})
+	k := s.KeyFor("dep")
+	sh := s.shardFor(k)
+
+	done := make(chan error, 1)
+	go func() { done <- s.WaitAtLeast(k, 5, 5*time.Second) }()
+
+	// Wait for the waiter to register.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		sh.waitMu.Lock()
+		n := len(sh.waiters[k])
+		sh.waitMu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for i := 0; i < 4; i++ {
+		if err := s.IncrOps([]Key{k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Below threshold: waiter must still be registered and blocked.
+	sh.waitMu.Lock()
+	n := len(sh.waiters[k])
+	sh.waitMu.Unlock()
+	if n != 1 {
+		t.Fatalf("waiter list has %d entries after sub-threshold increments, want 1", n)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("waiter returned early: %v", err)
+	default:
+	}
+
+	// The increment that reaches the threshold wakes it.
+	if err := s.IncrOps([]Key{k}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken at threshold")
+	}
+}
+
+// TestThresholdWakeupsMulti: a multi-key waiter wakes only when the
+// key still short of its threshold reaches it, not on unrelated
+// increments of already-satisfied keys.
+func TestThresholdWakeupsMulti(t *testing.T) {
+	s := New(Config{Shards: 2})
+	a, b := s.KeyFor("depA"), s.KeyFor("depB")
+	for i := 0; i < 3; i++ { // a=3, satisfied up-front
+		if err := s.IncrOps([]Key{a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.WaitAtLeastMulti(map[Key]uint64{a: 2, b: 2}, 5*time.Second) }()
+
+	// a is satisfied up-front, b is not: hammering a must not complete
+	// the wait.
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 8; i++ {
+		if err := s.IncrOps([]Key{a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("multi-wait returned with b unsatisfied: %v", err)
+	default:
+	}
+	// IncrOps dedups its key list, so two separate calls.
+	for i := 0; i < 2; i++ {
+		if err := s.IncrOps([]Key{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("multi-wait not woken when b reached threshold")
+	}
+}

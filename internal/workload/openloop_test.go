@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func drainAll(g *OpenLoopGen) []TimedOp {
+	var out []TimedOp
+	for {
+		op, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, op)
+	}
+}
+
+// TestOpenLoopDeterministic: same seed and config ⇒ identical op stream
+// (fields, indices, send times) and identical fingerprint, drawn
+// single-threaded vs from many workers.
+func TestOpenLoopDeterministic(t *testing.T) {
+	cfg := OpenLoopConfig{Seed: 11, Users: 64, Rate: 5000, Horizon: 2 * time.Second, Shape: ShapeBurst}
+	a := drainAll(NewOpenLoopGen(cfg))
+	b := drainAll(NewOpenLoopGen(cfg))
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	// Concurrent draw: the union of ops drawn by 8 workers must be the
+	// same stream (per-index identical), and the fingerprint equal.
+	g1 := NewOpenLoopGen(cfg)
+	seq := drainAll(g1)
+	g2 := NewOpenLoopGen(cfg)
+	var mu sync.Mutex
+	byIndex := make(map[int]TimedOp)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				op, ok := g2.Next()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				byIndex[op.Index] = op
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(byIndex) != len(seq) {
+		t.Fatalf("concurrent draw emitted %d ops, want %d", len(byIndex), len(seq))
+	}
+	for i, want := range seq {
+		if got := byIndex[i]; got != want {
+			t.Fatalf("concurrent op %d differs: %+v vs %+v", i, got, want)
+		}
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatalf("fingerprints differ: %x vs %x", g1.Fingerprint(), g2.Fingerprint())
+	}
+	if NewOpenLoopGen(OpenLoopConfig{Seed: 12, Users: 64, Rate: 5000, Horizon: 2 * time.Second, Shape: ShapeBurst}).Fingerprint() == g1.Fingerprint() {
+		// A different seed with no draws has the empty fingerprint;
+		// drain it first for a meaningful comparison.
+		t.Log("note: comparing drained fingerprints below")
+	}
+	g3 := NewOpenLoopGen(OpenLoopConfig{Seed: 12, Users: 64, Rate: 5000, Horizon: 2 * time.Second, Shape: ShapeBurst})
+	drainAll(g3)
+	if g3.Fingerprint() == g1.Fingerprint() {
+		t.Fatal("different seeds produced equal fingerprints")
+	}
+}
+
+// TestOpenLoopMonotoneSendTimes: intended send times are strictly
+// increasing under every shape, including through burst windows, and
+// stay within the horizon.
+func TestOpenLoopMonotoneSendTimes(t *testing.T) {
+	for _, shape := range []RateShape{ShapeFixed, ShapeBurst, ShapeDiurnal} {
+		g := NewOpenLoopGen(OpenLoopConfig{Seed: 3, Users: 32, Rate: 8000, Horizon: 3 * time.Second, Shape: shape})
+		prev := time.Duration(-1)
+		n := 0
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			if op.SendAt <= prev {
+				t.Fatalf("%v: send time not strictly monotone at op %d: %v <= %v", shape, op.Index, op.SendAt, prev)
+			}
+			if op.SendAt > 3*time.Second {
+				t.Fatalf("%v: send time %v beyond horizon", shape, op.SendAt)
+			}
+			prev = op.SendAt
+			n++
+		}
+		if n < 1000 {
+			t.Fatalf("%v: only %d ops generated", shape, n)
+		}
+	}
+}
+
+// TestOpenLoopRateShapes: the realized op count tracks the configured
+// mean rate, bursts generate more ops inside burst windows than
+// outside (per unit time), and the diurnal ramp modulates density.
+func TestOpenLoopRateShapes(t *testing.T) {
+	// Fixed: expect ~rate*horizon ops (Poisson; allow 10%).
+	g := NewOpenLoopGen(OpenLoopConfig{Seed: 5, Users: 8, Rate: 4000, Horizon: 4 * time.Second, Shape: ShapeFixed})
+	n := len(drainAll(g))
+	if want := 16000.0; relDiff(float64(n), want) > 0.10 {
+		t.Fatalf("fixed: %d ops, want ~%v", n, want)
+	}
+
+	// Burst: ops/sec inside burst windows must exceed outside by well
+	// over the Poisson noise floor.
+	cfg := OpenLoopConfig{Seed: 6, Users: 8, Rate: 2000, Horizon: 6 * time.Second, Shape: ShapeBurst,
+		BurstEvery: time.Second, BurstLen: 200 * time.Millisecond, BurstFactor: 5}
+	gb := NewOpenLoopGen(cfg)
+	var inBurst, outBurst int
+	for {
+		op, ok := gb.Next()
+		if !ok {
+			break
+		}
+		if op.SendAt%cfg.BurstEvery < cfg.BurstLen {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	// 20% of the time at 5x rate vs 80% at 1x: per-unit-time densities.
+	inRate := float64(inBurst) / (0.2 * 6)
+	outRate := float64(outBurst) / (0.8 * 6)
+	if inRate < 3*outRate {
+		t.Fatalf("burst density %.0f/s not >> base density %.0f/s", inRate, outRate)
+	}
+}
+
+// TestOpenLoopZipfSkew: comment targets are zipf-skewed — the pinned
+// hot head collectively dominates, the top post beats deep window
+// ranks by a wide margin, and during bursts the hot share rises.
+func TestOpenLoopZipfSkew(t *testing.T) {
+	cfg := OpenLoopConfig{Seed: 7, Users: 64, Rate: 20000, Horizon: 3 * time.Second, Shape: ShapeBurst,
+		HotPosts: 8, ZipfS: 1.2}
+	g := NewOpenLoopGen(cfg)
+	counts := make(map[string]int)
+	var comments, hotHits, burstComments, burstHot int
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != OpComment {
+			continue
+		}
+		comments++
+		counts[op.PostID]++
+		hot := op.PostID[0] == 'p' && postNum(op.PostID) <= cfg.HotPosts
+		if hot {
+			hotHits++
+		}
+		if op.SendAt%g.cfg.BurstEvery < g.cfg.BurstLen {
+			burstComments++
+			if hot {
+				burstHot++
+			}
+		}
+	}
+	if comments < 10000 {
+		t.Fatalf("only %d comments", comments)
+	}
+	hotShare := float64(hotHits) / float64(comments)
+	if hotShare < 0.5 {
+		t.Fatalf("hot set share %.2f, want >= 0.5 under zipf", hotShare)
+	}
+	if counts["p1"] < 20*counts["p100"]+1 {
+		t.Fatalf("rank-0 target p1 (%d) not dominating p100 (%d)", counts["p1"], counts["p100"])
+	}
+	burstShare := float64(burstHot) / float64(burstComments)
+	if burstShare < hotShare {
+		t.Fatalf("burst hot share %.2f not above overall %.2f", burstShare, hotShare)
+	}
+	// Population sanity: many distinct targets still get traffic.
+	if len(counts) < 50 {
+		t.Fatalf("only %d distinct targets", len(counts))
+	}
+}
+
+func postNum(id string) int {
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+// TestSetCommentRatioConcurrent: the setter must be safe against
+// concurrent Next (this raced before the mutex guard).
+func TestSetCommentRatioConcurrent(t *testing.T) {
+	g := NewSocialGen(1, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			g.SetCommentRatio(float64(i%4) * 0.25)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		g.Next()
+	}
+	<-done
+}

@@ -56,8 +56,15 @@ func NewSocialGen(seed int64, users int) *SocialGen {
 	}
 }
 
-// SetCommentRatio overrides the post/comment mix.
-func (g *SocialGen) SetCommentRatio(r float64) { g.commentRatio = r }
+// SetCommentRatio overrides the post/comment mix. It takes the
+// generator mutex: workers read commentRatio inside Next while holding
+// g.mu, so an unguarded write here is a data race under concurrent
+// draw.
+func (g *SocialGen) SetCommentRatio(r float64) {
+	g.mu.Lock()
+	g.commentRatio = r
+	g.mu.Unlock()
+}
 
 // Next draws the next operation. The first operation is always a post
 // (comments need a target).

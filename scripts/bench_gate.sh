@@ -1,0 +1,198 @@
+#!/bin/sh
+# bench_gate.sh — regression gate over the committed BENCH_*.json
+# baselines. Runs the quick bench suite, compares the fresh output
+# against the baselines on config-invariant metrics (round-trip counts,
+# allocs/op, convergence, false-dependency counts, tail p99 at the
+# anchor rate), restores the committed files, and exits non-zero on any
+# breach.
+#
+# Only metrics that do not depend on sweep size are compared, so a
+# -quick run is comparable against full-sweep baselines:
+#
+#   fig13     batched/unbatched round trips per message: EXACT match at
+#             every deps value the quick sweep shares with the baseline.
+#             These are protocol counts, not timings.
+#   hotpath   fast-codec allocs/op (marshal, unmarshal, publish+deliver):
+#             at most the baseline (+0 tolerance — the zero-allocation
+#             hot path must not regress by a single allocation).
+#   chaos     converged == seeds (every seeded fault script converges).
+#   overload  converged == seeds and queue bounds held.
+#   causality dvv false_deps_suspected == 0, and dvv throughput beats
+#             hash at cardinality 1 (the paper's qualitative claim).
+#   tail      p99 at the anchor rate (1000 ops/s, present in quick and
+#             full sweeps with identical capacity knobs) within 3x of
+#             the baseline. Wall-clock latency is noisy in CI, so the
+#             tolerance is generous; the gate catches collapses, not
+#             jitter.
+#
+# Usage:
+#   scripts/bench_gate.sh            run the gate
+#   scripts/bench_gate.sh selftest   prove the gate fails on injected
+#                                    regressions (no bench runs)
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "bench_gate: jq is required" >&2
+    exit 2
+fi
+
+GATED="BENCH_fig13.json BENCH_hotpath.json BENCH_chaos.json BENCH_overload.json BENCH_causality.json BENCH_tail.json"
+
+tmp=$(mktemp -d)
+restore_needed=""
+cleanup() {
+    # Put the committed baselines back even if a bench run overwrote
+    # them and the gate then failed.
+    if [ -n "$restore_needed" ]; then
+        for f in $GATED; do
+            [ -f "$tmp/committed/$f" ] && cp "$tmp/committed/$f" "$f"
+        done
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fails=0
+breach() {
+    echo "BREACH: $*" >&2
+    fails=$((fails + 1))
+}
+
+# compare BASELINE_DIR FRESH_DIR — all gate checks; increments $fails.
+compare() {
+    base=$1
+    fresh=$2
+
+    # fig13: protocol round-trip counts, exact, joined on deps.
+    for deps in $(jq -r '.points[].deps' "$fresh/BENCH_fig13.json"); do
+        for side in batched unbatched; do
+            b=$(jq -r --argjson d "$deps" ".points[] | select(.deps == \$d) | .$side.total_rt_per_msg" "$base/BENCH_fig13.json")
+            n=$(jq -r --argjson d "$deps" ".points[] | select(.deps == \$d) | .$side.total_rt_per_msg" "$fresh/BENCH_fig13.json")
+            if [ -z "$b" ] || [ "$b" = "null" ]; then
+                continue # deps value not in baseline sweep
+            fi
+            [ "$b" = "$n" ] || breach "fig13: $side rt/msg at deps=$deps changed $b -> $n"
+        done
+    done
+
+    # hotpath: the zero-allocation hot path may not gain an alloc.
+    for path in marshal unmarshal publish_deliver; do
+        b=$(jq -r ".result.fast.$path.allocs_per_op" "$base/BENCH_hotpath.json")
+        n=$(jq -r ".result.fast.$path.allocs_per_op" "$fresh/BENCH_hotpath.json")
+        awk -v b="$b" -v n="$n" 'BEGIN { exit (n <= b) ? 0 : 1 }' ||
+            breach "hotpath: fast $path allocs/op regressed $b -> $n"
+    done
+
+    # chaos: every seeded fault script converged.
+    jq -e '.converged == .seeds' "$fresh/BENCH_chaos.json" >/dev/null ||
+        breach "chaos: $(jq -r '"\(.converged)/\(.seeds)"' "$fresh/BENCH_chaos.json") seeds converged"
+
+    # overload: convergence and queue bounds under sustained overload.
+    jq -e '.converged == .seeds and .bounded' "$fresh/BENCH_overload.json" >/dev/null ||
+        breach "overload: convergence or queue bound lost"
+
+    # causality: DVVs must stay exact (no false dependencies) and beat
+    # the degenerate hash tracker.
+    jq -e '[.points[] | select(.tracker == "dvv") | .false_deps_suspected] | length > 0 and all(. == 0)' \
+        "$fresh/BENCH_causality.json" >/dev/null ||
+        breach "causality: dvv tracker reported false dependencies"
+    jq -e '(.points[] | select(.tracker == "dvv") | .throughput_msgs_per_sec) >
+           (.points[] | select(.tracker == "hash" and .cardinality == 1) | .throughput_msgs_per_sec)' \
+        "$fresh/BENCH_causality.json" >/dev/null ||
+        breach "causality: dvv throughput no longer beats hash@cardinality=1"
+
+    # tail: p99 at the shared anchor rate within tolerance.
+    anchor=1000
+    tol=3
+    b=$(jq -r --argjson r "$anchor" '.points[] | select(.rate_ops_per_sec == $r) | .p99_ms' "$base/BENCH_tail.json")
+    n=$(jq -r --argjson r "$anchor" '.points[] | select(.rate_ops_per_sec == $r) | .p99_ms' "$fresh/BENCH_tail.json")
+    if [ -z "$b" ] || [ "$b" = "null" ] || [ -z "$n" ] || [ "$n" = "null" ]; then
+        breach "tail: anchor rate $anchor missing from baseline or fresh run"
+    else
+        awk -v b="$b" -v n="$n" -v tol="$tol" 'BEGIN { exit (n <= tol * b) ? 0 : 1 }' ||
+            breach "tail: p99 at ${anchor} ops/s regressed ${b}ms -> ${n}ms (>${tol}x)"
+    fi
+}
+
+mkdir -p "$tmp/committed" "$tmp/fresh"
+for f in $GATED; do
+    if [ ! -f "$f" ]; then
+        echo "bench_gate: missing committed baseline $f" >&2
+        exit 2
+    fi
+    cp "$f" "$tmp/committed/$f"
+done
+
+if [ "${1:-}" = "selftest" ]; then
+    # Prove the gate trips on injected regressions without running any
+    # benches: perturb copies of the committed baselines and require a
+    # breach for each perturbation, plus a clean pass unperturbed.
+    echo "== bench_gate selftest =="
+    cp "$tmp/committed/"* "$tmp/fresh/"
+    compare "$tmp/committed" "$tmp/fresh"
+    [ "$fails" -eq 0 ] || {
+        echo "selftest: unperturbed baselines failed the gate" >&2
+        exit 1
+    }
+
+    expect_breach() {
+        desc=$1
+        fails=0
+        compare "$tmp/committed" "$tmp/fresh"
+        if [ "$fails" -eq 0 ]; then
+            echo "selftest: gate MISSED injected regression: $desc" >&2
+            exit 1
+        fi
+        echo "selftest: gate caught: $desc"
+        cp "$tmp/committed/"* "$tmp/fresh/" # reset for the next case
+    }
+
+    jq '.points[0].batched.total_rt_per_msg += 1' "$tmp/committed/BENCH_fig13.json" >"$tmp/fresh/BENCH_fig13.json"
+    expect_breach "fig13 batched +1 round trip"
+
+    jq '.result.fast.unmarshal.allocs_per_op += 5' "$tmp/committed/BENCH_hotpath.json" >"$tmp/fresh/BENCH_hotpath.json"
+    expect_breach "hotpath +5 allocs/op"
+
+    jq '.converged -= 1' "$tmp/committed/BENCH_chaos.json" >"$tmp/fresh/BENCH_chaos.json"
+    expect_breach "chaos seed failed to converge"
+
+    jq '(.points[] | select(.tracker == "dvv") | .false_deps_suspected) = 7' \
+        "$tmp/committed/BENCH_causality.json" >"$tmp/fresh/BENCH_causality.json"
+    expect_breach "causality dvv false dependencies"
+
+    jq '(.points[] | select(.rate_ops_per_sec == 1000) | .p99_ms) *= 10' \
+        "$tmp/committed/BENCH_tail.json" >"$tmp/fresh/BENCH_tail.json"
+    expect_breach "tail p99 10x collapse at anchor rate"
+
+    echo "selftest OK: gate trips on every injected regression"
+    exit 0
+fi
+
+echo "== bench_gate: quick bench suite =="
+restore_needed=1
+for exp in fig13rt hotpath chaos overload causality tail; do
+    go run ./cmd/synapse-bench -exp "$exp" -quick || {
+        echo "bench_gate: $exp run failed" >&2
+        exit 1
+    }
+done
+for f in $GATED; do
+    cp "$f" "$tmp/fresh/$f"
+done
+# Fresh output captured; put the committed baselines back now so a
+# failing gate never leaves quick-run files in the tree.
+for f in $GATED; do
+    cp "$tmp/committed/$f" "$f"
+done
+restore_needed=""
+
+echo "== bench_gate: comparing against committed baselines =="
+compare "$tmp/committed" "$tmp/fresh"
+if [ "$fails" -gt 0 ]; then
+    echo "bench_gate: $fails breach(es) against committed baselines" >&2
+    echo "(if intentional, regenerate the baselines: make bench bench-hotpath bench-overload bench-causality bench-tail and synapse-bench -exp chaos)" >&2
+    exit 1
+fi
+echo "bench_gate OK: all baselines within tolerance"

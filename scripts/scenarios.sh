@@ -1,0 +1,114 @@
+#!/bin/sh
+# scenarios.sh — the CI scenario suite as runnable shell functions, so
+# the workflow matrix, `make scenarios`, and a developer terminal all
+# execute the exact same commands. Each scenario bundles the race tests
+# that guard a subsystem with the bench smoke that regenerates its
+# BENCH_*.json, and fails the run (non-zero exit) on any breach.
+#
+# Usage:
+#   scripts/scenarios.sh [-quick] [scenario ...]
+#
+# With no scenario arguments every scenario runs. -quick shrinks the
+# bench sweeps (passing -quick to synapse-bench and -short to the long
+# seeded tests) — this is what the CI matrix runs; omit it locally for
+# the full sweeps.
+set -u
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+SHORT=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -quick | --quick)
+        QUICK="-quick"
+        SHORT="-short"
+        shift
+        ;;
+    -*)
+        echo "usage: scripts/scenarios.sh [-quick] [scenario ...]" >&2
+        exit 2
+        ;;
+    *)
+        break
+        ;;
+    esac
+done
+
+# Build + vet + gofmt + full race suite with the coverage floor, then
+# the round-trip/reliability/hotpath bench smokes and the alloc
+# microbenches. This is the "does the repo hold together" scenario.
+scenario_check() {
+    make check &&
+        go run ./cmd/synapse-bench -exp fig13rt $QUICK &&
+        go run ./cmd/synapse-bench -exp reliability $QUICK &&
+        go run ./cmd/synapse-bench -exp hotpath $QUICK &&
+        go test ./internal/wire/ ./internal/broker/ -run '^$' \
+            -bench 'BenchmarkMarshal|BenchmarkUnmarshal|FrontInsert' \
+            -benchtime 10x -benchmem
+}
+
+# Seeded fault scripts (partitions, broker crash/restarts, store
+# deaths) and the crash property tests, under the race detector.
+scenario_chaos() {
+    go test -race $SHORT ./internal/chaos/ ./internal/netsim/ &&
+        go test -race $SHORT -run 'TestBroker|TestCrash|TestDeadLetter|TestJournal' \
+            ./internal/broker/ ./internal/core/ &&
+        go run ./cmd/synapse-bench -exp chaos $QUICK
+}
+
+# Sustained ~2x overload: degradation ladder, watermark backpressure,
+# stall quarantine, drain/decommission.
+scenario_overload() {
+    go test -race $SHORT -run 'TestOverload' ./internal/chaos/ &&
+        go test -race $SHORT -run 'TestPublish|TestStall|TestDrain|TestDecommission' \
+            ./internal/core/ &&
+        go run ./cmd/synapse-bench -exp overload $QUICK
+}
+
+# Pluggable dependency trackers: DVV end-to-end, mixed hash/DVV
+# fabrics, false-dependency accounting.
+scenario_causality() {
+    go test -race ./internal/deptrack/ &&
+        go test -race -run 'TestDVV|TestMixedTracker|TestDepTimeout|TestFalseDep|TestTrueDependency|TestCausalitySmoke' \
+            ./internal/core/ ./internal/bench/ &&
+        go run ./cmd/synapse-bench -exp causality $QUICK
+}
+
+# Open-loop tail latency: the seeded workload generator and HDR
+# recorder under the race detector, the threshold-wakeup vstore tests,
+# then the tail sweep itself.
+scenario_tail() {
+    go test -race ./internal/workload/ ./internal/hdr/ ./internal/vstore/ &&
+        go run ./cmd/synapse-bench -exp tail $QUICK
+}
+
+ALL="check chaos overload causality tail"
+run_list="$*"
+if [ -z "$run_list" ]; then
+    run_list="$ALL"
+fi
+
+failed=""
+for sc in $run_list; do
+    case " $ALL " in
+    *" $sc "*) ;;
+    *)
+        echo "unknown scenario: $sc (have: $ALL)" >&2
+        exit 2
+        ;;
+    esac
+    echo "==== scenario: $sc ===="
+    if "scenario_$sc"; then
+        echo "==== scenario $sc: PASS ===="
+    else
+        echo "==== scenario $sc: FAIL ====" >&2
+        failed="$failed $sc"
+    fi
+done
+
+if [ -n "$failed" ]; then
+    echo "FAILED scenarios:$failed" >&2
+    exit 1
+fi
+echo "all scenarios passed:$run_list"
