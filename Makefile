@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: build, vet,
 # and the full test suite under the race detector.
 
-.PHONY: check test bench bench-hotpath bench-overload bench-causality bench-tail check-bench scenarios profile chaos
+.PHONY: check test bench bench-hotpath bench-overload bench-causality bench-tail bench-cluster check-bench scenarios profile chaos
 
 check:
 	./scripts/check.sh
@@ -33,6 +33,12 @@ bench-causality:
 bench-tail:
 	go run ./cmd/synapse-bench -exp tail
 
+# Regenerates the sharded-broker cluster experiment (throughput scaling
+# at 1/2/4 shards, failover unavailability window, zero-lost verdict)
+# and BENCH_cluster.json.
+bench-cluster:
+	go run ./cmd/synapse-bench -exp cluster
+
 # Bench-regression gate: quick-runs every experiment and compares
 # config-invariant metrics (rt counts, allocs/op, convergence, tail
 # p99) against the committed BENCH_*.json baselines. Non-zero exit on
@@ -40,8 +46,8 @@ bench-tail:
 check-bench:
 	./scripts/bench_gate.sh
 
-# The CI scenario suite (check/chaos/overload/causality/tail), quick
-# sweeps — the same commands the workflow matrix runs.
+# The CI scenario suite (check/chaos/overload/causality/tail/cluster),
+# quick sweeps — the same commands the workflow matrix runs.
 scenarios:
 	./scripts/scenarios.sh -quick
 

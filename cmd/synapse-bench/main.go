@@ -8,7 +8,7 @@
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
 //	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|reliability|
 //	                   chaos|overload|hotpath|ablation-hash|causality|
-//	                   tail|all
+//	                   tail|cluster|all
 //	              [-quick] [-cpuprofile] [-memprofile] [-profiledir DIR]
 //
 // fig13rt additionally writes BENCH_fig13.json (round trips per message,
@@ -21,8 +21,10 @@
 // BENCH_causality.json (subscriber apply throughput under hashed
 // dependency cardinalities vs dotted version vectors), and tail writes
 // BENCH_tail.json (open-loop publish→deliver p50/p99/p999 across an
-// arrival-rate sweep, knee detection) so future changes have perf and
-// robustness trajectories.
+// arrival-rate sweep, knee detection), and cluster writes
+// BENCH_cluster.json (sharded-broker throughput scaling at 1/2/4
+// shards, crash-to-promotion unavailability window, zero-lost verdict)
+// so future changes have perf and robustness trajectories.
 //
 // -quick shrinks every sweep for a fast end-to-end pass. -cpuprofile and
 // -memprofile capture pprof profiles of the run into -profiledir
@@ -108,6 +110,7 @@ func main() {
 		{"ablation-hash", runAblationHash},
 		{"causality", runCausality},
 		{"tail", runTail},
+		{"cluster", runCluster},
 	}
 
 	found := false
@@ -395,4 +398,32 @@ func runTail(quick bool) {
 		os.Exit(1)
 	}
 	fmt.Println("wrote BENCH_tail.json")
+}
+
+func runCluster(quick bool) {
+	cfg := bench.DefaultCluster()
+	if quick {
+		// QuickCluster keeps every capacity knob (service time,
+		// publishers, shard counts, lease TTL) identical to the default
+		// so the gate-compared metrics — scaling_4x, the failover
+		// window, zero_lost — stay config-invariant; only breadth
+		// (messages per publisher, chaos seeds) shrinks.
+		cfg = bench.QuickCluster()
+	}
+	r, err := bench.RunCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatCluster(r))
+	doc, err := bench.MarshalCluster(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_cluster.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_cluster.json")
 }

@@ -100,6 +100,7 @@ type Broker struct {
 	faults    *faultinject.Registry
 	published int64
 	down      bool
+	fenced    bool   // permanently down: a promoted replica superseded this instance
 	seq       uint64 // message-id source for the queue log
 	log       *queueLog
 }
@@ -147,7 +148,7 @@ func (b *Broker) Crash() {
 func (b *Broker) Restart() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if !b.down {
+	if !b.down || b.fenced {
 		return
 	}
 	st := b.log.replay()
@@ -159,6 +160,12 @@ func (b *Broker) Restart() {
 		q.maxAttempts = rq.maxAttempts
 		q.dead = rq.dead
 		q.deadLettered = rq.deadCount
+		// Cumulative observability counters survive the restart the same
+		// way the dead-letter total does: the log carries them (opRedeliver
+		// entries plus the opQueueStats snapshot line), so post-restart
+		// Stats never silently reset under the bench gate.
+		q.redeliveredTotal = rq.redelivered
+		q.maxDepthSeen = rq.maxDepth
 		var redo, fresh []*item
 		for _, id := range rq.order {
 			m := rq.msgs[id]
@@ -204,6 +211,35 @@ func (b *Broker) Down() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.down
+}
+
+// Fence takes the broker down permanently: every operation fails with
+// ErrBrokerDown, every queue handle is woken defunct, and Restart
+// refuses to revive it. A cluster fences a superseded primary so that,
+// after a partition heals, its stale state — messages a promoted
+// replica has since acked away — can never be served or double-
+// delivered again (the generation number its lease lost is the fence).
+func (b *Broker) Fence() {
+	b.mu.Lock()
+	if b.fenced {
+		b.mu.Unlock()
+		return
+	}
+	b.fenced = true
+	b.mu.Unlock()
+	b.Crash()
+	// Crash returns early when already down; mark down unconditionally so
+	// a crash-then-fence sequence still pins the broker down forever.
+	b.mu.Lock()
+	b.down = true
+	b.mu.Unlock()
+}
+
+// Fenced reports whether the broker has been permanently superseded.
+func (b *Broker) Fenced() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fenced
 }
 
 // LogSize reports the queue-log entry count (tests, compaction).
@@ -424,6 +460,11 @@ type Queue struct {
 	maxAttempts  int
 	setAside     []*item
 	deadLettered int64 // total messages ever set aside
+
+	// redeliveredTotal counts deliveries of messages already handed out
+	// before (crash redeliveries, nack requeues, spill handbacks). Like
+	// deadLettered it is cumulative and survives Restart via the log.
+	redeliveredTotal int64
 
 	// Overload control. Watermarks, age bound, and the credit window are
 	// volatile consumer tuning — deliberately NOT in the queue log; the
@@ -709,6 +750,9 @@ func (q *Queue) takeLocked() Delivery {
 		// this message redeliverable.
 		it.delivered = true
 		q.log.append(logEntry{op: opDeliver, queue: q.name, id: it.id})
+	} else {
+		q.redeliveredTotal++
+		q.log.append(logEntry{op: opRedeliver, queue: q.name, id: it.id})
 	}
 	return Delivery{Payload: it.payload, Tag: tag, Redelivered: it.redelivered, Exchange: it.exchange, Attempts: it.fails}
 }
@@ -874,6 +918,13 @@ func (q *Queue) DeadLettered() int64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.deadLettered
+}
+
+// Redelivered reports the total repeat deliveries ever handed out.
+func (q *Queue) Redelivered() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.redeliveredTotal
 }
 
 // Len reports pending (undelivered) messages.

@@ -32,7 +32,9 @@ const (
 	opDeadLetter
 	opReplayDL
 	opDecommission
-	opDeadCount // synthesized at compaction: cumulative dead-letter total
+	opDeadCount  // synthesized at compaction: cumulative dead-letter total
+	opRedeliver  // a delivered-before message was handed out again
+	opQueueStats // synthesized at compaction: cumulative redeliveries + max depth
 )
 
 type logEntry struct {
@@ -61,6 +63,13 @@ type queueLog struct {
 	// live backlog alone exceeds the threshold — quadratic in backlog.
 	// Doubling keeps the amortized cost per append O(1) at any depth.
 	compacted int
+	// seq counts entries ever appended (monotonic across compactions) —
+	// the replication cursor space. snapBase is the seq value at the
+	// last compaction: the entry appended at seq s >= snapBase lives at
+	// index compacted + (s - snapBase); history below snapBase has been
+	// rewritten into the snapshot prefix and can only be shipped whole.
+	seq      uint64
+	snapBase uint64
 }
 
 func newQueueLog() *queueLog { return &queueLog{} }
@@ -74,9 +83,41 @@ func (l *queueLog) append(e logEntry) {
 	if n := len(l.entries); n >= compactEvery && n >= 2*l.compacted {
 		l.compactLocked()
 		l.compacted = len(l.entries)
+		l.snapBase = l.seq
 	}
 	l.entries = append(l.entries, e)
+	l.seq++
 	l.mu.Unlock()
+}
+
+// shipSince returns copies of the entries appended at or after cursor
+// `since` plus the next cursor. ok is false when compaction has
+// rewritten history past `since`: the follower's incremental basis is
+// gone and it must restart from snapshot().
+func (l *queueLog) shipSince(since uint64) (recs []logEntry, next uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if since < l.snapBase || since > l.seq {
+		return nil, l.seq, false
+	}
+	idx := l.compacted + int(since-l.snapBase)
+	if idx < len(l.entries) {
+		recs = append(recs, l.entries[idx:]...)
+	}
+	return recs, l.seq, true
+}
+
+// snapshot returns a copy of the full current log — the compacted
+// prefix plus the live tail — and the cursor to continue shipping from.
+// This is the DBLog-style join: the snapshot is the already-maintained
+// compacted state, captured under a brief lock without ever pausing
+// appends, and the follower interleaves it with the live tail it ships
+// afterwards.
+func (l *queueLog) snapshot() (recs []logEntry, next uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs = append(recs, l.entries...)
+	return recs, l.seq
 }
 
 // size reports the current entry count (tests).
@@ -102,8 +143,19 @@ type replayQueue struct {
 	maxAttempts int
 	dead        bool
 	deadCount   int64
+	redelivered int64    // cumulative redeliveries handed out
+	maxDepth    int      // deepest pending+unacked the log describes
+	depth       int      // live (non-parked) messages while folding entries
 	order       []uint64 // enqueue order of live message ids
 	msgs        map[uint64]*replayMsg
+}
+
+// noteDepthDelta adjusts the folding depth and tracks its high water.
+func (q *replayQueue) noteDepthDelta(d int) {
+	q.depth += d
+	if q.depth > q.maxDepth {
+		q.maxDepth = q.depth
+	}
 }
 
 type replayState struct {
@@ -174,11 +226,18 @@ func (l *queueLog) replayLocked() *replayState {
 			}
 			q.msgs[e.id] = m
 			q.order = append(q.order, e.id)
+			if !e.deadLettered {
+				q.noteDepthDelta(1)
+			}
 		case opDeliver:
 			if q := st.queues[e.queue]; q != nil {
 				if m := q.msgs[e.id]; m != nil {
 					m.delivered = true
 				}
+			}
+		case opRedeliver:
+			if q := st.queues[e.queue]; q != nil {
+				q.redelivered++
 			}
 		case opFail:
 			if q := st.queues[e.queue]; q != nil {
@@ -188,13 +247,17 @@ func (l *queueLog) replayLocked() *replayState {
 			}
 		case opAck:
 			if q := st.queues[e.queue]; q != nil {
+				if m := q.msgs[e.id]; m != nil && !m.deadLettered {
+					q.noteDepthDelta(-1)
+				}
 				delete(q.msgs, e.id)
 			}
 		case opDeadLetter:
 			if q := st.queues[e.queue]; q != nil {
 				q.deadCount++
-				if m := q.msgs[e.id]; m != nil {
+				if m := q.msgs[e.id]; m != nil && !m.deadLettered {
 					m.deadLettered = true
+					q.noteDepthDelta(-1)
 				}
 			}
 		case opReplayDL:
@@ -203,6 +266,7 @@ func (l *queueLog) replayLocked() *replayState {
 					if m.deadLettered {
 						m.deadLettered = false
 						m.fails = 0
+						q.noteDepthDelta(1)
 					}
 				}
 			}
@@ -211,10 +275,18 @@ func (l *queueLog) replayLocked() *replayState {
 				q.dead = true
 				q.msgs = make(map[uint64]*replayMsg)
 				q.order = nil
+				q.depth = 0
 			}
 		case opDeadCount:
 			if q := st.queues[e.queue]; q != nil {
 				q.deadCount = e.n64
+			}
+		case opQueueStats:
+			if q := st.queues[e.queue]; q != nil {
+				q.redelivered = e.n64
+				if e.n > q.maxDepth {
+					q.maxDepth = e.n
+				}
 			}
 		}
 	}
@@ -243,6 +315,9 @@ func (l *queueLog) compactLocked() {
 		}
 		if q.deadCount > 0 {
 			out = append(out, logEntry{op: opDeadCount, queue: name, n64: q.deadCount})
+		}
+		if q.redelivered > 0 || q.maxDepth > 0 {
+			out = append(out, logEntry{op: opQueueStats, queue: name, n64: q.redelivered, n: q.maxDepth})
 		}
 		if q.dead {
 			out = append(out, logEntry{op: opDecommission, queue: name})

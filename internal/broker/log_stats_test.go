@@ -1,0 +1,196 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStatsSurviveRestart (satellite fix): Redelivered and MaxDepthSeen
+// are cumulative observability counters; like the dead-letter total
+// they must ride the log through crash/restart instead of silently
+// resetting under the bench gate.
+func TestStatsSurviveRestart(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("q", 0)
+	_ = b.Bind("q", "ex")
+	for i := 0; i < 8; i++ {
+		_ = b.Publish("ex", []byte(fmt.Sprintf("m%d", i)))
+	}
+	// Three redeliveries: nack-requeue three messages and take them again.
+	for i := 0; i < 3; i++ {
+		d, _ := q.Get()
+		_ = q.Nack(d.Tag, true)
+		d, _ = q.Get()
+		_ = q.Ack(d.Tag)
+	}
+	wantRedeliv, wantDepth := q.Redelivered(), q.MaxDepthSeen()
+	if wantRedeliv != 3 {
+		t.Fatalf("pre-crash Redelivered = %d, want 3", wantRedeliv)
+	}
+	if wantDepth != 8 {
+		t.Fatalf("pre-crash MaxDepthSeen = %d, want 8", wantDepth)
+	}
+
+	b.Crash()
+	b.Restart()
+	q, _ = b.Queue("q")
+	if got := q.Redelivered(); got != wantRedeliv {
+		t.Fatalf("Redelivered after restart = %d, want %d", got, wantRedeliv)
+	}
+	if got := q.MaxDepthSeen(); got != wantDepth {
+		t.Fatalf("MaxDepthSeen after restart = %d, want %d", got, wantDepth)
+	}
+}
+
+// TestStatsSurviveCompactionAndRestart: the counters must also survive
+// the log rewriting itself — compaction folds them into opQueueStats
+// lines the same way it preserves opDeadCount.
+func TestStatsSurviveCompactionAndRestart(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("q", 0)
+	_ = b.Bind("q", "ex")
+	// One early redelivery, then enough acked churn to compact the log
+	// several times over.
+	_ = b.Publish("ex", []byte("early"))
+	d, _ := q.Get()
+	_ = q.Nack(d.Tag, true)
+	d, _ = q.Get()
+	_ = q.Ack(d.Tag)
+	for i := 0; i < 2*compactEvery; i++ {
+		_ = b.Publish("ex", []byte("churn"))
+		d, _ := q.Get()
+		_ = q.Ack(d.Tag)
+	}
+	if b.LogSize() > compactEvery+8 {
+		t.Fatalf("log never compacted: %d entries", b.LogSize())
+	}
+	wantRedeliv, wantDepth := q.Redelivered(), q.MaxDepthSeen()
+	if wantRedeliv < 1 {
+		t.Fatalf("pre-crash Redelivered = %d, want >= 1", wantRedeliv)
+	}
+
+	b.Crash()
+	b.Restart()
+	q, _ = b.Queue("q")
+	if got := q.Redelivered(); got != wantRedeliv {
+		t.Fatalf("Redelivered after compacted restart = %d, want %d", got, wantRedeliv)
+	}
+	if got := q.MaxDepthSeen(); got != wantDepth {
+		t.Fatalf("MaxDepthSeen after compacted restart = %d, want %d", got, wantDepth)
+	}
+	// And the counters replicate: a promoted follower reports them too.
+	r := FromReplica(func() []ReplRecord { recs, _ := b.SnapshotLog(); return recs }())
+	rq, _ := r.Queue("q")
+	if got := rq.Redelivered(); got != wantRedeliv {
+		t.Fatalf("replica Redelivered = %d, want %d", got, wantRedeliv)
+	}
+}
+
+// TestCompactionInterleavedWithDecommission (satellite): the op
+// sequence the cluster log-shipper replicates mid-compaction — a queue
+// decommissions, the log compacts around it, and the tombstone must
+// survive both the rewrite and a restart.
+func TestCompactionInterleavedWithDecommission(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("victim", 4)
+	_ = b.Bind("victim", "vex")
+	churn, _ := b.DeclareQueue("churn", 0)
+	_ = b.Bind("churn", "cex")
+
+	// Overflow the victim: maxLen 4 means the 5th pending message kills it.
+	for i := 0; i < 5; i++ {
+		_ = b.Publish("vex", []byte("overflow"))
+	}
+	if !q.Dead() {
+		t.Fatal("victim not decommissioned at overflow")
+	}
+	// Compact with the tombstone in the log.
+	for i := 0; i < 2*compactEvery; i++ {
+		_ = b.Publish("cex", []byte("c"))
+		d, _ := churn.Get()
+		_ = churn.Ack(d.Tag)
+	}
+	if b.LogSize() > compactEvery+8 {
+		t.Fatalf("log never compacted: %d entries", b.LogSize())
+	}
+	b.Crash()
+	b.Restart()
+	q, ok := b.Queue("victim")
+	if !ok {
+		t.Fatal("decommissioned queue vanished from restart (must survive as tombstone)")
+	}
+	if !q.Dead() {
+		t.Fatal("decommission lost across compaction + restart")
+	}
+	// The shipped form carries the tombstone too.
+	recs, _ := b.SnapshotLog()
+	rq, ok := FromReplica(recs).Queue("victim")
+	if !ok || !rq.Dead() {
+		t.Fatal("decommission lost across replication")
+	}
+	// Recovery path still works: delete and re-declare.
+	b.DeleteQueue("victim")
+	q2, err := b.DeclareQueue("victim", 4)
+	if err != nil || q2.Dead() {
+		t.Fatalf("re-declare after decommission: dead=%v err=%v", q2.Dead(), err)
+	}
+}
+
+// TestCompactionInterleavedWithDeadLetterReplay (satellite): parked
+// messages and their replay must survive compactions landing between
+// the park, the replay, and the restart.
+func TestCompactionInterleavedWithDeadLetterReplay(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("q", 0)
+	_ = b.Bind("q", "ex")
+	q.SetMaxAttempts(2)
+
+	// Park a poison message.
+	_ = b.Publish("ex", []byte("poison"))
+	for i := 0; i < 2; i++ {
+		d, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = q.NackError(d.Tag)
+	}
+	if q.DeadLetterCount() != 1 {
+		t.Fatalf("dead letters = %d, want 1", q.DeadLetterCount())
+	}
+	// Compact with the park in place.
+	for i := 0; i < 2*compactEvery; i++ {
+		_ = b.Publish("ex", []byte("c"))
+		d, _ := q.Get()
+		_ = q.Ack(d.Tag)
+	}
+	b.Crash()
+	b.Restart()
+	q, _ = b.Queue("q")
+	if q.DeadLetterCount() != 1 || q.DeadLettered() != 1 {
+		t.Fatalf("park lost: count=%d total=%d", q.DeadLetterCount(), q.DeadLettered())
+	}
+	// Replay, then compact again: the replayed message is live with a
+	// reset failure budget, and the cumulative total still reads 1.
+	if n := q.ReplayDeadLetters(); n != 1 {
+		t.Fatalf("ReplayDeadLetters = %d, want 1", n)
+	}
+	for i := 0; i < 2*compactEvery; i++ {
+		_ = b.Publish("ex", []byte("c"))
+		d, _ := q.Get()
+		if string(d.Payload) == "poison" {
+			// Interleaved replay delivery: process it this time.
+			_ = q.Ack(d.Tag)
+			continue
+		}
+		_ = q.Ack(d.Tag)
+	}
+	b.Crash()
+	b.Restart()
+	q, _ = b.Queue("q")
+	if q.DeadLetterCount() != 0 {
+		t.Fatalf("replayed park reappeared: %d", q.DeadLetterCount())
+	}
+	if q.DeadLettered() != 1 {
+		t.Fatalf("cumulative dead-letter total = %d, want 1", q.DeadLettered())
+	}
+}

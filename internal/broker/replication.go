@@ -1,0 +1,125 @@
+package broker
+
+// Log shipping: the primitives a broker cluster uses to keep a warm
+// follower per shard. The primary's queue log is already the complete
+// durable state (Restart rebuilds everything from it), so replication
+// is just shipping that log: the follower pulls batches of records
+// after its cursor, and on promotion constructs a live broker from
+// them exactly the way Restart would — pending messages in publish
+// order, delivered-but-unacked messages re-flagged Redelivered, dead-
+// letter parks and cumulative counters intact.
+//
+// Catch-up follows the DBLog watermark pattern (PAPERS.md): a joining
+// or lagging follower takes SnapshotLog — the already-maintained
+// compacted state plus live tail, captured under a brief lock without
+// pausing the primary — and continues shipping the live log from the
+// returned cursor. ShipLog reports ok=false when compaction has
+// rewritten history past the follower's cursor, which is the signal to
+// restart from snapshot.
+
+// ReplRecord is one queue-log record in shippable (exported) form.
+type ReplRecord struct {
+	Op           uint8
+	Queue        string
+	Exchange     string
+	ID           uint64
+	Payload      []byte
+	N            int
+	N64          int64
+	Delivered    bool
+	DeadLettered bool
+}
+
+func toRecords(entries []logEntry) []ReplRecord {
+	recs := make([]ReplRecord, len(entries))
+	for i, e := range entries {
+		recs[i] = ReplRecord{
+			Op: uint8(e.op), Queue: e.queue, Exchange: e.exchange,
+			ID: e.id, Payload: e.payload, N: e.n, N64: e.n64,
+			Delivered: e.delivered, DeadLettered: e.deadLettered,
+		}
+	}
+	return recs
+}
+
+func fromRecords(recs []ReplRecord) []logEntry {
+	entries := make([]logEntry, len(recs))
+	for i, r := range recs {
+		entries[i] = logEntry{
+			op: logOp(r.Op), queue: r.Queue, exchange: r.Exchange,
+			id: r.ID, payload: r.Payload, n: r.N, n64: r.N64,
+			delivered: r.Delivered, deadLettered: r.DeadLettered,
+		}
+	}
+	return entries
+}
+
+// LogSeq reports the log's current append cursor — the total records
+// ever appended, monotonic across compactions.
+func (b *Broker) LogSeq() uint64 {
+	b.log.mu.Lock()
+	defer b.log.mu.Unlock()
+	return b.log.seq
+}
+
+// ShipLog returns the records appended at or after cursor since, plus
+// the cursor to resume from. ok=false means compaction has rewritten
+// history past since and the follower must restart from SnapshotLog.
+// A crashed broker ships nothing (the caller sees the crash via Down
+// and drives failover instead).
+func (b *Broker) ShipLog(since uint64) (recs []ReplRecord, next uint64, ok bool) {
+	if b.Down() {
+		return nil, since, false
+	}
+	entries, next, ok := b.log.shipSince(since)
+	if !ok {
+		return nil, next, false
+	}
+	return toRecords(entries), next, true
+}
+
+// SnapshotLog returns the full current log — compacted prefix plus
+// live tail — and the cursor to continue shipping from. The capture is
+// a brief lock, never a pause: appends proceed the moment it returns.
+func (b *Broker) SnapshotLog() (recs []ReplRecord, next uint64) {
+	entries, next := b.log.snapshot()
+	return toRecords(entries), next
+}
+
+// FromReplica constructs a live broker from shipped log records: the
+// promotion step. The new broker replays the records exactly like
+// Restart — delivered-but-unacked messages come back at the front of
+// their queues flagged Redelivered (their acks, if any, died with the
+// old primary) — and is immediately serving. Its own log restarts a
+// fresh cursor space seeded with the records, so the new primary can
+// be shipped from in turn.
+func FromReplica(recs []ReplRecord) *Broker {
+	b := New()
+	entries := fromRecords(recs)
+	b.log.entries = append(b.log.entries, entries...)
+	b.log.seq = uint64(len(entries))
+	// Message-id allocation must clear every id the records mention, or
+	// fresh publishes on the promoted broker would collide with
+	// replicated messages in the queue log.
+	for i := range entries {
+		if entries[i].id > b.seq {
+			b.seq = entries[i].id
+		}
+	}
+	b.down = true
+	b.Restart()
+	return b
+}
+
+// CompactReplica rewrites shipped records as the minimal set that
+// reproduces their replayed state — the follower-side compaction. A
+// follower applies it periodically so its buffered log is bounded by
+// the primary's live state, not by traffic history. The result is only
+// for buffering and eventual FromReplica: record positions change, so
+// it must never be mixed with a ship cursor taken before the call.
+func CompactReplica(recs []ReplRecord) []ReplRecord {
+	l := newQueueLog()
+	l.entries = fromRecords(recs)
+	l.compactLocked()
+	return toRecords(l.entries)
+}

@@ -1,0 +1,204 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestReplicationRoundTrip: a broker built from shipped log records
+// must be behaviourally identical to the primary restarting from its
+// own log — pending messages in publish order, the delivered-but-
+// unacked message back at the front flagged Redelivered, dead-letter
+// parks and bindings intact, and fresh publishes non-colliding.
+func TestReplicationRoundTrip(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("q", 0)
+	if err := b.Bind("q", "ex"); err != nil {
+		t.Fatal(err)
+	}
+	q.SetMaxAttempts(1)
+	for i := 0; i < 6; i++ {
+		if err := b.Publish("ex", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, _ := q.Get() // m0: processed
+	_ = q.Ack(d.Tag)
+	if _, err := q.Get(); err != nil { // m1: in flight, never acked
+		t.Fatal(err)
+	}
+	d, _ = q.Get() // m2: poison, parks immediately (maxAttempts 1)
+	if dead, err := q.NackError(d.Tag); err != nil || !dead {
+		t.Fatalf("NackError = (%v, %v), want parked", dead, err)
+	}
+
+	recs, next := b.SnapshotLog()
+	if next != b.LogSeq() {
+		t.Fatalf("snapshot cursor %d != LogSeq %d", next, b.LogSeq())
+	}
+	r := FromReplica(recs)
+	rq, ok := r.Queue("q")
+	if !ok {
+		t.Fatal("replica lost the queue")
+	}
+	if rq.Len() != 4 {
+		t.Fatalf("replica pending = %d, want 4 (m1 redelivered + m3..m5)", rq.Len())
+	}
+	if n := rq.DeadLetterCount(); n != 1 {
+		t.Fatalf("replica dead letters = %d, want 1", n)
+	}
+	// m1's delivery died with the primary: it must come back first,
+	// flagged Redelivered.
+	d, err := rq.Get()
+	if err != nil || string(d.Payload) != "m1" || !d.Redelivered {
+		t.Fatalf("first replica delivery = %q (redelivered=%v, err=%v), want m1 redelivered", d.Payload, d.Redelivered, err)
+	}
+	_ = rq.Ack(d.Tag)
+	for _, want := range []string{"m3", "m4", "m5"} {
+		d, err := rq.Get()
+		if err != nil || string(d.Payload) != want {
+			t.Fatalf("replica delivery = %q/%v, want %q", d.Payload, err, want)
+		}
+		_ = rq.Ack(d.Tag)
+	}
+	// Bindings survived the ship, and fresh ids cannot collide with
+	// replicated ones.
+	if err := r.Publish("ex", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	d, err = rq.Get()
+	if err != nil || string(d.Payload) != "fresh" {
+		t.Fatalf("post-promotion publish = %q/%v", d.Payload, err)
+	}
+}
+
+// TestShipLogIncrementalAndSnapshotFallback walks the follower
+// protocol: snapshot once, tail the live log by cursor, and when
+// compaction invalidates the cursor, fall back to a fresh snapshot.
+func TestShipLogIncrementalAndSnapshotFallback(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("q", 0)
+	_ = b.Bind("q", "ex")
+
+	// Follower joins: snapshot plus cursor.
+	buf, cursor := b.SnapshotLog()
+
+	for i := 0; i < 5; i++ {
+		_ = b.Publish("ex", []byte(fmt.Sprintf("live%d", i)))
+	}
+	recs, next, ok := b.ShipLog(cursor)
+	if !ok || len(recs) != 5 {
+		t.Fatalf("ShipLog = %d recs, ok=%v, want 5 live entries", len(recs), ok)
+	}
+	buf, cursor = append(buf, recs...), next
+
+	// Shipping from an up-to-date cursor is an empty, valid batch.
+	if recs, _, ok := b.ShipLog(cursor); !ok || len(recs) != 0 {
+		t.Fatalf("up-to-date ship = %d recs, ok=%v", len(recs), ok)
+	}
+	// A cursor from the future is rejected, not silently served.
+	if _, _, ok := b.ShipLog(cursor + 1); ok {
+		t.Fatal("ShipLog accepted a cursor past the log end")
+	}
+
+	// Churn enough acked traffic to force a compaction, stranding the
+	// follower's cursor below snapBase.
+	for i := 0; i < compactEvery; i++ {
+		_ = b.Publish("ex", []byte("churn"))
+		d, _ := q.Get()
+		_ = q.Ack(d.Tag)
+	}
+	if _, _, ok := b.ShipLog(cursor); ok {
+		t.Fatal("ShipLog honored a cursor compaction rewrote away")
+	}
+	// DBLog-style refetch: restart from snapshot, then tail as before.
+	buf, cursor = b.SnapshotLog()
+	_ = b.Publish("ex", []byte("tail"))
+	recs, cursor, ok = b.ShipLog(cursor)
+	if !ok {
+		t.Fatal("post-snapshot tail ship failed")
+	}
+	buf = append(buf, recs...)
+
+	// The follower's buffer must now reproduce the primary's live state:
+	// the churn loop kept depth at 5 (each iteration consumed the head
+	// and published one), plus the post-snapshot tail message.
+	r := FromReplica(buf)
+	rq, _ := r.Queue("q")
+	if got, want := rq.Len(), q.Len(); got != want || want != 6 {
+		t.Fatalf("replica pending = %d, primary = %d, want 6", got, want)
+	}
+}
+
+// TestCompactReplicaBoundsBufferAndPreservesState: follower-side
+// compaction must shrink an ack-heavy buffer and still build the same
+// broker.
+func TestCompactReplicaBoundsBufferAndPreservesState(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("q", 0)
+	_ = b.Bind("q", "ex")
+	for i := 0; i < 500; i++ {
+		_ = b.Publish("ex", []byte("acked"))
+		d, _ := q.Get()
+		_ = q.Ack(d.Tag)
+	}
+	_ = b.Publish("ex", []byte("keep0"))
+	_ = b.Publish("ex", []byte("keep1"))
+
+	recs, _ := b.SnapshotLog()
+	small := CompactReplica(recs)
+	if len(small) >= len(recs)/10 {
+		t.Fatalf("CompactReplica left %d of %d records", len(small), len(recs))
+	}
+	r := FromReplica(small)
+	rq, _ := r.Queue("q")
+	if rq.Len() != 2 {
+		t.Fatalf("compacted replica pending = %d, want 2", rq.Len())
+	}
+	for _, want := range []string{"keep0", "keep1"} {
+		d, err := rq.Get()
+		if err != nil || string(d.Payload) != want {
+			t.Fatalf("compacted replica delivery = %q/%v, want %q", d.Payload, err, want)
+		}
+		_ = rq.Ack(d.Tag)
+	}
+}
+
+// TestFencePermanentlyDown: a fenced broker is dead forever — Restart
+// must refuse to revive the superseded primary's stale state.
+func TestFencePermanentlyDown(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("q", 0)
+	_ = b.Bind("q", "ex")
+	_ = b.Publish("ex", []byte("stale"))
+
+	b.Fence()
+	if !b.Down() || !b.Fenced() {
+		t.Fatal("fenced broker not down")
+	}
+	if err := b.Publish("ex", []byte("x")); !errors.Is(err, ErrBrokerDown) {
+		t.Fatalf("publish on fenced broker: %v", err)
+	}
+	if _, err := q.Get(); !errors.Is(err, ErrBrokerDown) {
+		t.Fatalf("queue handle on fenced broker: %v", err)
+	}
+	b.Restart()
+	if !b.Down() {
+		t.Fatal("Restart revived a fenced broker")
+	}
+
+	// Crash-then-fence (partitioned primary fenced while down) pins too.
+	b2 := New()
+	_, _ = b2.DeclareQueue("q", 0)
+	b2.Crash()
+	b2.Fence()
+	b2.Restart()
+	if !b2.Down() {
+		t.Fatal("Restart revived a crashed-then-fenced broker")
+	}
+	// ShipLog from a fenced broker fails closed.
+	if _, _, ok := b.ShipLog(0); ok {
+		t.Fatal("fenced broker shipped log records")
+	}
+}

@@ -563,7 +563,7 @@ func (a *App) Subscribe(d *model.Descriptor, spec SubSpec) error {
 	}
 	// Ensure the queue exists and is bound to the origin's exchange.
 	a.ensureQueue()
-	return a.fabric.Broker.Bind(a.queueName(), spec.From)
+	return a.fabric.bus().Bind(a.queueName(), spec.From)
 }
 
 func (a *App) queueName() string { return a.name }
@@ -574,7 +574,7 @@ func (a *App) ensureQueue() {
 	if a.queue == nil || a.queue.Dead() {
 		// DeclareQueue fails while the broker is crashed; keep the old
 		// handle (the worker loop reattaches after the restart).
-		if q, err := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); err == nil {
+		if q, err := a.fabric.bus().DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); err == nil {
 			a.tuneQueue(q)
 			a.queue = q
 		}

@@ -41,7 +41,7 @@ func (a *App) Bootstrap(from string, models ...string) error {
 		return fmt.Errorf("%w: %s from %s", ErrNotSubscribed, a.name, from)
 	}
 	a.ensureQueue()
-	if err := a.fabric.Broker.Bind(a.queueName(), from); err != nil {
+	if err := a.fabric.bus().Bind(a.queueName(), from); err != nil {
 		return err
 	}
 
@@ -242,8 +242,8 @@ func (a *App) RecoverQueue() error {
 	if q != nil && !q.Dead() {
 		return nil // another worker already recovered
 	}
-	a.fabric.Broker.DeleteQueue(a.queueName())
-	nq, err := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+	a.fabric.bus().DeleteQueue(a.queueName())
+	nq, err := a.fabric.bus().DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
 	if err != nil {
 		// Broker crashed mid-recovery; the worker loop reattaches after
 		// the restart and retries.
@@ -254,7 +254,7 @@ func (a *App) RecoverQueue() error {
 	a.queue = nq
 	a.mu.Unlock()
 	for _, origin := range a.subscribedOrigins() {
-		if err := a.fabric.Broker.Bind(a.queueName(), origin); err != nil {
+		if err := a.fabric.bus().Bind(a.queueName(), origin); err != nil {
 			return err
 		}
 	}

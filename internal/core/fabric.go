@@ -11,6 +11,22 @@ import (
 	"synapse/internal/netsim"
 )
 
+// Bus is the messaging surface apps publish and consume through: the
+// single in-process broker by default, or a sharded broker cluster
+// front-end (internal/broker/cluster) — anything that routes exchanges
+// to durable queues with broker semantics (ErrBrokerDown while
+// unavailable, defunct handles after a restart, at-least-once
+// redelivery).
+type Bus interface {
+	Publish(exchange string, payload []byte) error
+	DeclareQueue(name string, maxLen int) (*broker.Queue, error)
+	Queue(name string) (*broker.Queue, bool)
+	DeleteQueue(name string)
+	Bind(queueName, exchange string) error
+	ExchangePressure(exchange string) broker.Pressure
+	Down() bool
+}
+
 // Fabric is the shared infrastructure of a Synapse ecosystem: the
 // reliable message broker, the generation coordinator, and the registry
 // of apps and their published models. One Fabric corresponds to one
@@ -18,6 +34,11 @@ import (
 type Fabric struct {
 	Broker *broker.Broker
 	Coord  *coord.Coordinator
+	// Bus, when non-nil, replaces Broker as the messaging surface the
+	// apps use — install a broker cluster here (before creating apps)
+	// and publishers/subscribers address it transparently; Broker stays
+	// as the default single-node bus and for tests that reach into it.
+	Bus Bus
 	// Net, when non-nil, is the simulated network every cross-service
 	// call (broker publish/consume/ack, version-store round trips,
 	// coordinator calls) is routed through — per-link latency, drops,
@@ -46,6 +67,15 @@ func NewFabric() *Fabric {
 		modes:     make(map[string]DeliveryMode),
 		factories: make(map[string]model.FactorySet),
 	}
+}
+
+// bus returns the messaging surface apps talk to: the installed Bus,
+// or the default single-node broker.
+func (f *Fabric) bus() Bus {
+	if f.Bus != nil {
+		return f.Bus
+	}
+	return f.Broker
 }
 
 func (f *Fabric) registerApp(a *App) error {

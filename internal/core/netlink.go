@@ -133,7 +133,7 @@ func (a *App) brokerOp(op func() error) error {
 // resilient broker caller.
 func (a *App) sendMessage(payload []byte) error {
 	return a.brokerOp(func() error {
-		return a.fabric.Broker.Publish(a.name, payload)
+		return a.fabric.bus().Publish(a.name, payload)
 	})
 }
 
@@ -262,7 +262,7 @@ func (a *App) flushPendingAcks() {
 			})
 		}
 		if err != nil && isTransportErr(err) {
-			if errors.Is(err, broker.ErrBrokerDown) && !a.fabric.Broker.Down() {
+			if errors.Is(err, broker.ErrBrokerDown) && !a.fabric.bus().Down() {
 				// The broker is back but this queue handle died with the
 				// crash — its tags are gone for good. Drop the ack: the
 				// restarted broker redelivers the message and the version
@@ -288,7 +288,13 @@ func (a *App) PendingAcks() int {
 // awaitBrokerUp blocks until the broker reports up (or the worker is
 // stopped, returning false).
 func (a *App) awaitBrokerUp(stop <-chan struct{}) bool {
-	for a.fabric.Broker.Down() {
+	// One beat unconditionally: on a sharded bus a single shard can be
+	// mid-failover while the bus as a whole reports up, so the reattach
+	// retry loop must not spin hot until the promotion lands.
+	if !a.pauseRetry(stop, 2*time.Millisecond) {
+		return false
+	}
+	for a.fabric.bus().Down() {
 		if !a.pauseRetry(stop, 2*time.Millisecond) {
 			return false
 		}
@@ -306,14 +312,14 @@ func (a *App) awaitBrokerUp(stop <-chan struct{}) bool {
 func (a *App) reattachQueue() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if q, ok := a.fabric.Broker.Queue(a.queueName()); ok {
+	if q, ok := a.fabric.bus().Queue(a.queueName()); ok {
 		a.tuneQueue(q)
 		a.queue = q
 		return
 	}
 	// The restarted broker has no such queue (it was never durably
 	// declared — e.g. the crash raced the declaration): redeclare.
-	if q, err := a.fabric.Broker.DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); err == nil {
+	if q, err := a.fabric.bus().DeclareQueue(a.queueName(), a.cfg.QueueMaxLen); err == nil {
 		a.tuneQueue(q)
 		a.queue = q
 	}

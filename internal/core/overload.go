@@ -65,13 +65,13 @@ func (a *App) admitPublish(c *Controller, journaled bool) admitDecision {
 // a drowning subscriber keeps degrading rather than resuming the flood,
 // and vice versa recovers on the next successful probe.
 func (a *App) exchangePressure() broker.Pressure {
-	if a.fabric.Broker.Down() {
+	if a.fabric.bus().Down() {
 		return broker.Pressure(a.lastPressure.Load())
 	}
 	if err := a.netCall(EndpointBroker); err != nil {
 		return broker.Pressure(a.lastPressure.Load())
 	}
-	p := a.fabric.Broker.ExchangePressure(a.name)
+	p := a.fabric.bus().ExchangePressure(a.name)
 	a.lastPressure.Store(int32(p))
 	return p
 }

@@ -24,6 +24,11 @@
 #             the baseline. Wall-clock latency is noisy in CI, so the
 #             tolerance is generous; the gate catches collapses, not
 #             jitter.
+#   cluster   zero_lost true (failover drain recovered every message and
+#             every chaos seed converged with zero regressions), and
+#             throughput at 4 shards at least 1.6x the 1-shard rate
+#             (capacity knobs are identical in quick and full runs, so
+#             the ratio is config-invariant).
 #
 # Usage:
 #   scripts/bench_gate.sh            run the gate
@@ -38,7 +43,7 @@ if ! command -v jq >/dev/null 2>&1; then
     exit 2
 fi
 
-GATED="BENCH_fig13.json BENCH_hotpath.json BENCH_chaos.json BENCH_overload.json BENCH_causality.json BENCH_tail.json"
+GATED="BENCH_fig13.json BENCH_hotpath.json BENCH_chaos.json BENCH_overload.json BENCH_causality.json BENCH_tail.json BENCH_cluster.json"
 
 tmp=$(mktemp -d)
 restore_needed=""
@@ -114,6 +119,18 @@ compare() {
         awk -v b="$b" -v n="$n" -v tol="$tol" 'BEGIN { exit (n <= tol * b) ? 0 : 1 }' ||
             breach "tail: p99 at ${anchor} ops/s regressed ${b}ms -> ${n}ms (>${tol}x)"
     fi
+
+    # cluster: the zero-lost invariant and the sharding payoff.
+    jq -e '.zero_lost' "$fresh/BENCH_cluster.json" >/dev/null ||
+        breach "cluster: zero-lost invariant broken (failover drain or chaos convergence)"
+    jq -e '.chaos.converged == .chaos.seeds and .chaos.regressions == 0' \
+        "$fresh/BENCH_cluster.json" >/dev/null ||
+        breach "cluster: $(jq -r '"\(.chaos.converged)/\(.chaos.seeds) seeds converged, \(.chaos.regressions) regressions"' "$fresh/BENCH_cluster.json")"
+    jq -e '.scaling_4x >= 1.6' "$fresh/BENCH_cluster.json" >/dev/null ||
+        breach "cluster: 4-shard scaling $(jq -r '.scaling_4x' "$fresh/BENCH_cluster.json")x below the 1.6x floor"
+    jq -e '.failover.unavail_ms > 0 and .failover.unavail_ms < 500' \
+        "$fresh/BENCH_cluster.json" >/dev/null ||
+        breach "cluster: failover window $(jq -r '.failover.unavail_ms' "$fresh/BENCH_cluster.json")ms outside (0, 500)"
 }
 
 mkdir -p "$tmp/committed" "$tmp/fresh"
@@ -166,13 +183,22 @@ if [ "${1:-}" = "selftest" ]; then
         "$tmp/committed/BENCH_tail.json" >"$tmp/fresh/BENCH_tail.json"
     expect_breach "tail p99 10x collapse at anchor rate"
 
+    jq '.zero_lost = false' "$tmp/committed/BENCH_cluster.json" >"$tmp/fresh/BENCH_cluster.json"
+    expect_breach "cluster zero-lost invariant broken"
+
+    jq '.scaling_4x = 1.1' "$tmp/committed/BENCH_cluster.json" >"$tmp/fresh/BENCH_cluster.json"
+    expect_breach "cluster 4-shard scaling collapse"
+
+    jq '.failover.unavail_ms = 2000' "$tmp/committed/BENCH_cluster.json" >"$tmp/fresh/BENCH_cluster.json"
+    expect_breach "cluster failover window blowout"
+
     echo "selftest OK: gate trips on every injected regression"
     exit 0
 fi
 
 echo "== bench_gate: quick bench suite =="
 restore_needed=1
-for exp in fig13rt hotpath chaos overload causality tail; do
+for exp in fig13rt hotpath chaos overload causality tail cluster; do
     go run ./cmd/synapse-bench -exp "$exp" -quick || {
         echo "bench_gate: $exp run failed" >&2
         exit 1
@@ -192,7 +218,7 @@ echo "== bench_gate: comparing against committed baselines =="
 compare "$tmp/committed" "$tmp/fresh"
 if [ "$fails" -gt 0 ]; then
     echo "bench_gate: $fails breach(es) against committed baselines" >&2
-    echo "(if intentional, regenerate the baselines: make bench bench-hotpath bench-overload bench-causality bench-tail and synapse-bench -exp chaos)" >&2
+    echo "(if intentional, regenerate the baselines: make bench bench-hotpath bench-overload bench-causality bench-tail bench-cluster and synapse-bench -exp chaos)" >&2
     exit 1
 fi
 echo "bench_gate OK: all baselines within tolerance"

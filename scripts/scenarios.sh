@@ -83,7 +83,18 @@ scenario_tail() {
         go run ./cmd/synapse-bench -exp tail $QUICK
 }
 
-ALL="check chaos overload causality tail"
+# Sharded broker cluster: coord lease elections, log-shipped replica
+# queues, promotion/fencing, and the cluster chaos scripts, then the
+# scaling + failover bench.
+scenario_cluster() {
+    go test -race $SHORT ./internal/broker/cluster/ ./internal/coord/ &&
+        go test -race $SHORT -run 'TestReplication|TestShipLog|TestCompactReplica|TestFence|TestStats|TestCompactionInterleaved' \
+            ./internal/broker/ &&
+        go test -race $SHORT -run 'TestClusterChaos' ./internal/chaos/ &&
+        go run ./cmd/synapse-bench -exp cluster $QUICK
+}
+
+ALL="check chaos overload causality tail cluster"
 run_list="$*"
 if [ -z "$run_list" ]; then
     run_list="$ALL"
