@@ -380,9 +380,11 @@ func runTail(quick bool) {
 	if quick {
 		// Keep the 1000 ops/s anchor point (and every capacity knob)
 		// identical to the full sweep so the bench gate can compare
-		// quick-run p99 against the committed baseline; only the sweep
-		// breadth and horizon shrink.
-		cfg.Rates = []float64{250, 1000}
+		// quick-run p99 against the committed baseline, and keep the
+		// saturating top rate so delivered_capacity (and the serial
+		// ablation the capacity gate ratios against) is still measured;
+		// only the sweep breadth and horizon shrink.
+		cfg.Rates = []float64{250, 1000, 5600}
 		cfg.Duration = time.Second
 		cfg.Warmup = 250 * time.Millisecond
 	}

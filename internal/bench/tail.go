@@ -36,10 +36,21 @@ type TailConfig struct {
 	// bursts are exactly what exposes vstore lock contention).
 	Shape workload.RateShape
 
-	Users      int
-	Shards     int
-	PubWorkers int
-	SubWorkers int
+	Users int
+	// ActiveSessions / SessionMean enable session arrival/churn in the
+	// generator: ~ActiveSessions users browse concurrently, each for a
+	// seeded exponential lifetime with mean SessionMean, with arrivals
+	// drawn from the whole Users population — large-population key
+	// shapes without a proportional live set. 0 keeps the legacy
+	// uniform draw (the committed-baseline workload).
+	ActiveSessions int
+	SessionMean    time.Duration
+	Shards         int
+	PubWorkers     int
+	SubWorkers     int
+	// PipelineDepth is the subscriber's per-worker in-flight pipeline
+	// bound (0 = the core default; 1 = the serial apply ablation).
+	PipelineDepth int
 	// Callback is the subscriber's per-message application work.
 	Callback time.Duration
 	// VStoreRTT is the injected version-store round trip; it is what
@@ -71,7 +82,7 @@ type TailConfig struct {
 func DefaultTail() TailConfig {
 	return TailConfig{
 		Seed:         1,
-		Rates:        []float64{250, 500, 1000, 1500, 2000, 2400},
+		Rates:        []float64{250, 500, 1000, 1500, 2000, 2400, 3200, 4000, 4800, 5600},
 		Duration:     2500 * time.Millisecond,
 		Warmup:       500 * time.Millisecond,
 		Shape:        workload.ShapeBurst,
@@ -126,12 +137,25 @@ type TailPoint struct {
 	MaxSendLagMs    float64 `json:"max_send_lag_ms"`
 	DepWaitsBlocked int64   `json:"dep_waits_blocked"`
 	QueueMaxDepth   int     `json:"queue_max_depth"`
+	// PipelineDepth echoes the subscriber's in-flight bound for the
+	// point; PipelineFillMean/Max and FlushBatchMean/Max summarize the
+	// occupancy and group-commit histograms — where the saved round
+	// trips went.
+	PipelineDepth    int     `json:"pipeline_depth"`
+	PipelineFillMean float64 `json:"pipeline_fill_mean"`
+	PipelineFillMax  int64   `json:"pipeline_fill_max"`
+	Flushes          int64   `json:"flushes"`
+	FlushBatchMean   float64 `json:"flush_batch_mean"`
+	FlushBatchMax    int64   `json:"flush_batch_max"`
 	// Stages breaks the subscriber pipeline down per stage (decode,
-	// barrier, dep-wait, apply, ack) from the App.Stats timers.
+	// barrier, dep-wait, apply, flush, ack) from the App.Stats timers.
+	// Under the overlapped pipeline the per-message stage times are
+	// wall-clock per stage, not additive.
 	Stages map[string]TailStage `json:"stages"`
 }
 
-// TailResult is the whole sweep plus the detected knee.
+// TailResult is the whole sweep plus the detected knee and the
+// delivered-capacity summary.
 type TailResult struct {
 	Seed   int64       `json:"seed"`
 	Points []TailPoint `json:"points"`
@@ -139,13 +163,29 @@ type TailResult struct {
 	// the lowest rate's p99 (0 when no rate did).
 	KneeRate   float64 `json:"knee_rate_ops_per_sec"`
 	KneeFactor float64 `json:"knee_factor"`
+	// DeliveredCapacity is the highest sustained delivery rate any
+	// swept point achieved — the fabric's measured msg/s ceiling.
+	DeliveredCapacity float64 `json:"delivered_capacity_msgs_per_sec"`
+	// SerialCapacity re-measures the top swept rate with PipelineDepth
+	// 1 (the pre-pipeline serial apply path); PipelineSpeedup is
+	// DeliveredCapacity over it. The bench gate holds the speedup
+	// floor, so the pipeline's win over the serial ceiling is
+	// re-proven, not assumed, on every gated run.
+	SerialCapacity  float64    `json:"serial_capacity_msgs_per_sec"`
+	PipelineSpeedup float64    `json:"pipeline_speedup"`
+	SerialPoint     *TailPoint `json:"serial_ablation_point,omitempty"`
 }
 
-// RunTail sweeps the arrival rates, each on a fresh fabric.
+// RunTail sweeps the arrival rates, each on a fresh fabric, then runs
+// the serial-apply ablation at the top rate for the capacity ratio.
 func RunTail(cfg TailConfig) TailResult {
 	res := TailResult{Seed: cfg.Seed, KneeFactor: cfg.KneeFactor}
 	for _, rate := range cfg.Rates {
-		res.Points = append(res.Points, runTailPoint(cfg, rate))
+		p := runTailPoint(cfg, rate)
+		if p.AchievedRate > res.DeliveredCapacity {
+			res.DeliveredCapacity = p.AchievedRate
+		}
+		res.Points = append(res.Points, p)
 	}
 	if len(res.Points) > 0 {
 		base := res.Points[0].P99Ms
@@ -154,6 +194,16 @@ func RunTail(cfg TailConfig) TailResult {
 				res.KneeRate = p.Rate
 				break
 			}
+		}
+	}
+	if n := len(cfg.Rates); n > 0 && cfg.PipelineDepth != 1 {
+		serial := cfg
+		serial.PipelineDepth = 1
+		sp := runTailPoint(serial, cfg.Rates[n-1])
+		res.SerialPoint = &sp
+		res.SerialCapacity = sp.AchievedRate
+		if res.SerialCapacity > 0 {
+			res.PipelineSpeedup = res.DeliveredCapacity / res.SerialCapacity
 		}
 	}
 	return res
@@ -167,9 +217,10 @@ func runTailPoint(cfg TailConfig, rate float64) TailPoint {
 		VStoreRTT:    cfg.VStoreRTT,
 	})
 	sub := mustApp(f, "sub", NewMapper(MongoDB, storage.Profile{}), core.Config{
-		Mode:         core.Causal,
-		VStoreShards: cfg.Shards,
-		VStoreRTT:    cfg.VStoreRTT,
+		Mode:          core.Causal,
+		VStoreShards:  cfg.Shards,
+		VStoreRTT:     cfg.VStoreRTT,
+		PipelineDepth: cfg.PipelineDepth,
 	})
 
 	post, comment := tailModels()
@@ -203,17 +254,19 @@ func runTailPoint(cfg TailConfig, rate float64) TailPoint {
 	defer sub.StopWorkers()
 
 	gen := workload.NewOpenLoopGen(workload.OpenLoopConfig{
-		Seed:        cfg.Seed,
-		Users:       cfg.Users,
-		Rate:        rate,
-		Horizon:     cfg.Duration,
-		Shape:       cfg.Shape,
-		HotPosts:    cfg.HotPosts,
-		ZipfS:       cfg.ZipfS,
-		BurstEvery:  cfg.BurstEvery,
-		BurstLen:    cfg.BurstLen,
-		BurstFactor: cfg.BurstFactor,
-		HotFraction: cfg.HotFraction,
+		Seed:           cfg.Seed,
+		Users:          cfg.Users,
+		Rate:           rate,
+		Horizon:        cfg.Duration,
+		Shape:          cfg.Shape,
+		HotPosts:       cfg.HotPosts,
+		ZipfS:          cfg.ZipfS,
+		BurstEvery:     cfg.BurstEvery,
+		BurstLen:       cfg.BurstLen,
+		BurstFactor:    cfg.BurstFactor,
+		HotFraction:    cfg.HotFraction,
+		ActiveSessions: cfg.ActiveSessions,
+		SessionMean:    cfg.SessionMean,
 	})
 
 	var sessions sync.Map // userID -> *core.Session
@@ -273,24 +326,34 @@ func runTailPoint(cfg TailConfig, rate float64) TailPoint {
 	delivered := sub.Processed.Count() - startProcessed
 	st := sub.Stats()
 
+	depth := cfg.PipelineDepth
+	if depth == 0 {
+		depth = 4 // echo the core default (see core.Config.withDefaults)
+	}
 	p := TailPoint{
-		Rate:            rate,
-		Shape:           cfg.Shape.String(),
-		Fingerprint:     fmt.Sprintf("%016x", gen.Fingerprint()),
-		Sent:            sent,
-		Delivered:       delivered,
-		Samples:         rec.Count(),
-		AchievedRate:    float64(delivered) / elapsed.Seconds(),
-		P50Ms:           nsToMs(rec.Quantile(0.50)),
-		P90Ms:           nsToMs(rec.Quantile(0.90)),
-		P99Ms:           nsToMs(rec.Quantile(0.99)),
-		P999Ms:          nsToMs(rec.Quantile(0.999)),
-		MaxMs:           nsToMs(rec.Max()),
-		MeanMs:          rec.Mean() / 1e6,
-		MaxSendLagMs:    float64(maxLag.Load()) / 1e6,
-		DepWaitsBlocked: st.DepWaitsBlocked,
-		QueueMaxDepth:   st.QueueMaxDepth,
-		Stages:          map[string]TailStage{},
+		Rate:             rate,
+		Shape:            cfg.Shape.String(),
+		Fingerprint:      fmt.Sprintf("%016x", gen.Fingerprint()),
+		Sent:             sent,
+		Delivered:        delivered,
+		Samples:          rec.Count(),
+		AchievedRate:     float64(delivered) / elapsed.Seconds(),
+		P50Ms:            nsToMs(rec.Quantile(0.50)),
+		P90Ms:            nsToMs(rec.Quantile(0.90)),
+		P99Ms:            nsToMs(rec.Quantile(0.99)),
+		P999Ms:           nsToMs(rec.Quantile(0.999)),
+		MaxMs:            nsToMs(rec.Max()),
+		MeanMs:           rec.Mean() / 1e6,
+		MaxSendLagMs:     float64(maxLag.Load()) / 1e6,
+		DepWaitsBlocked:  st.DepWaitsBlocked,
+		QueueMaxDepth:    st.QueueMaxDepth,
+		PipelineDepth:    depth,
+		PipelineFillMean: st.PipelineFillMean,
+		PipelineFillMax:  st.PipelineFillMax,
+		Flushes:          st.Flushes,
+		FlushBatchMean:   st.FlushBatchMean,
+		FlushBatchMax:    st.FlushBatchMax,
+		Stages:           map[string]TailStage{},
 	}
 	for name, ss := range st.Stages {
 		p.Stages[name] = TailStage{
@@ -346,6 +409,11 @@ func FormatTail(r TailResult) string {
 	} else {
 		fmt.Fprintf(&b, "knee: p99 never exceeded %gx the lowest-rate p99 within the sweep\n", r.KneeFactor)
 	}
+	fmt.Fprintf(&b, "delivered capacity: %.0f msg/s", r.DeliveredCapacity)
+	if r.SerialCapacity > 0 {
+		fmt.Fprintf(&b, " (serial ablation %.0f msg/s, pipeline speedup %.2fx)", r.SerialCapacity, r.PipelineSpeedup)
+	}
+	fmt.Fprintln(&b)
 	return b.String()
 }
 
@@ -357,7 +425,7 @@ func MarshalTail(r TailResult) ([]byte, error) {
 		TailResult
 	}{
 		Experiment:  "tail",
-		Description: "open-loop rate sweep over the zipf/burst social mix: publish→deliver p50/p99/p999 measured from INTENDED send times (no coordinated omission), per-stage breakdown, knee where p99 departs; workload_fingerprint is deterministic per seed+config — latencies are wall-clock measurements",
+		Description: "open-loop rate sweep over the zipf/burst social mix: publish→deliver p50/p99/p999 measured from INTENDED send times (no coordinated omission), per-stage breakdown, knee where p99 departs, delivered_capacity = best sustained delivery rate with pipeline occupancy / group-commit batch histograms, plus a PipelineDepth=1 serial ablation at the top rate; workload_fingerprint is deterministic per seed+config — latencies are wall-clock measurements",
 		TailResult:  r,
 	}
 	return json.MarshalIndent(doc, "", "  ")

@@ -782,6 +782,45 @@ func (q *Queue) Ack(tag uint64) error {
 	return nil
 }
 
+// AckMulti acknowledges a batch of deliveries in one broker call: one
+// lock acquisition, a log append per tag, one pressure note, and one
+// credit broadcast — the coalesced-ack half of the subscriber's
+// group-commit flush. Every valid tag in the batch is acked even when
+// others are stale; the error (ErrBadTag, or ErrDecommissioned on a
+// dead queue) reports only that some tags were unknown, which a
+// crash/redelivery race makes benign for the caller.
+func (q *Queue) AckMulti(tags []uint64) error {
+	if len(tags) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.downErr != nil {
+		return q.downErr
+	}
+	missing := false
+	for _, tag := range tags {
+		it, ok := q.unacked[tag]
+		if !ok {
+			missing = true
+			continue
+		}
+		delete(q.unacked, tag)
+		q.log.append(logEntry{op: opAck, queue: q.name, id: it.id})
+	}
+	q.notePressureLocked()
+	if q.credits > 0 {
+		q.cond.Broadcast()
+	}
+	if missing {
+		if q.dead {
+			return ErrDecommissioned
+		}
+		return ErrBadTag
+	}
+	return nil
+}
+
 // Nack returns a delivery to the queue. With requeue, the message goes
 // to the front (preserving order as far as possible) marked redelivered;
 // without, it is dropped.

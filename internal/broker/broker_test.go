@@ -511,3 +511,58 @@ func TestDecommissionCountsUnacked(t *testing.T) {
 		t.Fatal("overflow hidden by unacked prefetch batch")
 	}
 }
+
+func TestAckMulti(t *testing.T) {
+	b := New()
+	q, _ := b.DeclareQueue("s", 0)
+	_ = b.Bind("s", "p")
+	for i := 0; i < 6; i++ {
+		b.Publish("p", []byte(fmt.Sprintf("m%d", i)))
+	}
+	batch, err := q.GetBatch(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := make([]uint64, 0, len(batch))
+	for _, d := range batch {
+		tags = append(tags, d.Tag)
+	}
+
+	// A batch containing one stale tag still acks every valid tag and
+	// reports the staleness as ErrBadTag.
+	if err := q.AckMulti(append(tags[:4:4], 9999)); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("AckMulti with stale tag = %v, want ErrBadTag", err)
+	}
+	if got := q.Unacked(); got != 2 {
+		t.Fatalf("Unacked after partial AckMulti = %d, want 2", got)
+	}
+	if err := q.AckMulti(tags[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 || q.Unacked() != 0 {
+		t.Errorf("Len=%d Unacked=%d after AckMulti drain", q.Len(), q.Unacked())
+	}
+	if err := q.AckMulti(nil); err != nil {
+		t.Errorf("empty AckMulti = %v", err)
+	}
+
+	// The batched acks must be as durable as single acks: after a
+	// crash/restart log replay, none of the acked messages reappear.
+	b.Publish("p", []byte("tail"))
+	b.Crash()
+	b.Restart()
+	q2, ok := b.Queue("s")
+	if !ok {
+		t.Fatal("queue lost across restart")
+	}
+	if got := q2.Len(); got != 1 {
+		t.Fatalf("Len after restart = %d, want 1 (only the unacked tail)", got)
+	}
+	d, err := q2.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d.Payload) != "tail" {
+		t.Fatalf("replayed %q, want tail", d.Payload)
+	}
+}

@@ -249,3 +249,64 @@ func TestPublishDuringFailoverFailsBrokerDown(t *testing.T) {
 		t.Fatal("one crashed shard reported whole-cluster down")
 	}
 }
+
+// TestAckMultiSurvivesFailover proves the coalesced-ack path is as
+// durable on a sharded cluster as single acks: AckMulti's per-tag log
+// entries ship to the follower, so a promoted follower does not
+// redeliver the batch-acked messages.
+func TestAckMultiSurvivesFailover(t *testing.T) {
+	c := New(Config{Shards: 2, Coord: coord.New(), ShipInterval: time.Millisecond})
+	defer c.Close()
+	name := pickQueue(c, 0, "q")
+	if _, err := c.DeclareQueue(name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(name, "ex"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := c.Publish("ex", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, _ := c.Queue(name)
+	batch, err := q.GetBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := make([]uint64, 0, len(batch))
+	for _, d := range batch {
+		tags = append(tags, d.Tag)
+	}
+	if err := q.AckMulti(tags); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower catch-up", func() bool {
+		s := c.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.cursor == s.primary.LogSeq()
+	})
+
+	c.CrashShard(0)
+	waitFor(t, "failover", func() bool { return c.Failovers() == 1 && !c.ShardDown(0) })
+
+	q2, ok := c.Queue(name)
+	if !ok {
+		t.Fatal("queue missing after promotion")
+	}
+	// Only the two never-delivered messages remain; none of the four
+	// batch-acked ones come back.
+	for _, want := range []string{"m4", "m5"} {
+		d, err := q2.Get()
+		if err != nil || string(d.Payload) != want {
+			t.Fatalf("post-failover delivery = %q/%v, want %q", d.Payload, err, want)
+		}
+		if err := q2.AckMulti([]uint64{d.Tag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q2.Len() != 0 || q2.Unacked() != 0 {
+		t.Fatalf("Len=%d Unacked=%d after drain", q2.Len(), q2.Unacked())
+	}
+}

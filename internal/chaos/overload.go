@@ -173,10 +173,18 @@ func RunOverload(cfg OverloadConfig) (OverloadResult, error) {
 	}
 	sub, err := core.NewApp(f, "overload-sql",
 		activerecord.New(reldb.New(reldb.Postgres)), core.Config{
-			Mode:                 core.Causal,
-			DepTimeout:           20 * time.Millisecond,
-			Workers:              2,
-			Prefetch:             4,
+			Mode:       core.Causal,
+			DepTimeout: 20 * time.Millisecond,
+			Workers:    2,
+			Prefetch:   4,
+			// The scenario's premise is a consumer whose capacity sits
+			// ~2x below the offered rate (2 workers x 8ms applies =
+			// ~250 msg/s). Pipeline depth is a capacity knob — at the
+			// default 4 the overlapped applies drain faster than the
+			// writer and the degradation ladder never engages — so this
+			// harness pins the serial path; the pipelined apply gets its
+			// chaos coverage from the crash/partition runs.
+			PipelineDepth:        1,
 			QueueMaxLen:          cfg.HardBound,
 			QueueHighWatermark:   cfg.HighWatermark,
 			QueueLowWatermark:    cfg.HighWatermark / 2,

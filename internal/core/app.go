@@ -143,6 +143,14 @@ type App struct {
 	stopCh    chan struct{}
 	workersWG sync.WaitGroup
 
+	// Group-commit flusher state (see subscribe.go): completed pipeline
+	// deliveries queue their counter increments and broker acks here;
+	// whichever worker wins the flushing flag drains the queue in
+	// IncrOpsMulti + AckMulti batches.
+	flushMu  sync.Mutex
+	flushQ   []flushEntry
+	flushing atomic.Bool
+
 	// applyLocks are striped per-object locks making a version claim and
 	// its DB write atomic (see applyStripe in subscribe.go).
 	applyLocks [64]sync.Mutex
@@ -158,6 +166,13 @@ type App struct {
 	// blocked (the StageDepWait timer averages over every message, most
 	// of which wait 0).
 	DepWaitBlocked *metrics.Histogram
+	// PipelineFill samples the number of in-flight pipeline slots each
+	// time a worker dispatches a delivery (occupancy; samples are counts,
+	// not durations). FlushBatchSize samples the entries merged per
+	// group-commit flush — together they show where the per-message
+	// round trips went once the apply stage overlapped.
+	PipelineFill   *metrics.Histogram
+	FlushBatchSize *metrics.Histogram
 }
 
 // depWriterStripe is one stripe of the last-writer fingerprint table.
@@ -208,8 +223,10 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 		rng:             rand.New(rand.NewSource(seedFor(name, "overload"))),
 		PublishLatency:  metrics.NewHistogram(),
 		Processed:       metrics.NewMeter(),
-		Stages:          metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageAck),
+		Stages:          metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageFlush, StageAck),
 		DepWaitBlocked:  metrics.NewHistogram(),
+		PipelineFill:    metrics.NewHistogram(),
+		FlushBatchSize:  metrics.NewHistogram(),
 	}
 	if err := f.registerApp(a); err != nil {
 		return nil, err
@@ -231,14 +248,23 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 
 func genCounterName(app string) string { return "generation/" + app }
 
-// Stage names for App.Stages, the per-message subscriber pipeline
-// timers: payload decode, generation barrier (§4.4), dependency wait
-// (§4.2), version claim + DB apply + counter increment, and broker ack.
+// Stage names for App.Stages, the subscriber pipeline timers: payload
+// decode, generation barrier (§4.4), dependency wait (§4.2), version
+// claim + DB apply (§4.2), group-commit flush, and broker ack. With the
+// pipelined apply (Config.PipelineDepth > 1) the stages overlap across
+// messages: decode/barrier/dep-wait/apply are still observed once per
+// message (concurrently, so their totals can exceed wall clock), while
+// flush and ack are observed once per group-commit flush — the counter
+// increments and acks of every message completing in a flush window
+// share one IncrOpsMulti and one AckMulti round trip. On the serial
+// path (depth 1) apply includes the per-message IncrOps and ack is
+// per-message, as before.
 const (
 	StageDecode  = "decode"
 	StageBarrier = "barrier"
 	StageDepWait = "dep-wait"
 	StageApply   = "apply"
+	StageFlush   = "flush"
 	StageAck     = "ack"
 )
 
@@ -308,6 +334,16 @@ type Stats struct {
 	QueueDepth     int
 	QueueMaxDepth  int
 	QueuePressured bool
+	// PipelineFillMean/Max summarize in-flight pipeline occupancy (slots
+	// busy when a worker dispatched a delivery; ≥ 1 by construction).
+	// Flushes counts group-commit flushes; FlushBatchMean/Max summarize
+	// how many completed messages merged per flush — Processed/Flushes
+	// is the ack+incr round-trip amortization factor.
+	PipelineFillMean float64
+	PipelineFillMax  int64
+	Flushes          int64
+	FlushBatchMean   float64
+	FlushBatchMax    int64
 	// Stages summarizes the subscriber pipeline timers by stage name.
 	Stages map[string]metrics.StageStat
 }
@@ -333,6 +369,12 @@ func (a *App) Stats() Stats {
 	}
 	st.DepWaitBlockedMean = a.DepWaitBlocked.Mean()
 	st.DepWaitBlockedMax = a.DepWaitBlocked.Max()
+	// Occupancy and flush-size histograms store counts as raw samples.
+	st.PipelineFillMean = float64(a.PipelineFill.Mean())
+	st.PipelineFillMax = int64(a.PipelineFill.Max())
+	st.Flushes = int64(a.FlushBatchSize.Count())
+	st.FlushBatchMean = float64(a.FlushBatchSize.Mean())
+	st.FlushBatchMax = int64(a.FlushBatchSize.Max())
 	a.lastDepTimeoutMu.Lock()
 	st.LastDepTimeout = a.lastDepTimeout
 	a.lastDepTimeoutMu.Unlock()
@@ -590,7 +632,16 @@ func (a *App) tuneQueue(q *broker.Queue) {
 	q.SetMaxAttempts(a.cfg.MaxDeliveryAttempts)
 	q.SetWatermarks(a.cfg.QueueHighWatermark, a.cfg.QueueLowWatermark)
 	q.SetAgeWatermark(a.cfg.QueueAgeWatermark)
-	q.SetCredits(a.cfg.CreditWindow)
+	// Every in-flight pipeline slot holds an unacked delivery until its
+	// group-commit flush lands, so a credit window smaller than the
+	// pool's slot count would starve the pipeline it is supposed to
+	// pace: clamp it to the configured concurrency (the window still
+	// bounds the un-flushed backlog beyond that).
+	cw := a.cfg.CreditWindow
+	if min := a.cfg.Workers * a.cfg.PipelineDepth; cw > 0 && cw < min {
+		cw = min
+	}
+	q.SetCredits(cw)
 }
 
 // Queue returns the app's subscriber queue (nil when it subscribes to

@@ -118,6 +118,16 @@ type Config struct {
 	// runnable frontier in one worker, and the spill-on-block/starvation
 	// handoffs only bound — not eliminate — the head-of-line cost.
 	Prefetch int
+	// PipelineDepth bounds how many deliveries one subscriber worker may
+	// have in flight at once (default 4; 1 restores the serial apply
+	// path). With depth k, the decode, dependency wait, and version
+	// claims of messages N+1..N+k proceed while message N's callback
+	// runs; messages sharing an apply stripe are dispatched in order
+	// (never concurrently), and completed messages group-commit their
+	// counter increments and broker acks through the per-queue flusher
+	// (one IncrOpsMulti + one AckMulti round trip per flush window).
+	// Ignored (serial) under VStoreUnbatched.
+	PipelineDepth int
 	// VStoreUnbatched routes publish/subscribe through the legacy per-key
 	// version-store calls (LockWrites/Bump, per-dep WaitAtLeast,
 	// per-claim ApplyIfNewer) instead of the batched round-trip plans.
@@ -221,6 +231,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Prefetch <= 0 {
 		c.Prefetch = 4
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 4
+	}
+	if c.PipelineDepth < 1 {
+		c.PipelineDepth = 1
 	}
 	if c.DepTimeout == 0 {
 		c.DepTimeout = WaitForever

@@ -447,3 +447,100 @@ func TestManyAppsOneFabricSmoke(t *testing.T) {
 		return true
 	})
 }
+
+// TestCrashBetweenIncrFlushAndAckFlush kills a pipelined subscriber in
+// the group-commit window the ack-after-increment ordering exists for:
+// a flush's counter increments have landed, its coalesced acks have
+// not. The broker still holds every delivery unacked, so a restart
+// redelivers all of them; the per-object version guard must discard
+// the duplicate applies as stale — each record mutates exactly once —
+// and replication must keep working afterwards.
+func TestCrashBetweenIncrFlushAndAckFlush(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{Mode: Causal})
+	mustPublish(t, pub, userDesc(), "name")
+	sub, subMapper := newDocApp(t, f, "sub", Config{PipelineDepth: 4})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name"}, Mode: Causal})
+
+	var mu sync.Mutex
+	applied := map[string]int{}
+	count := func(ctx *model.CallbackCtx) error {
+		mu.Lock()
+		applied[ctx.Record.ID]++
+		mu.Unlock()
+		return nil
+	}
+	ud, _ := sub.Descriptor("User")
+	ud.Callbacks.On(model.AfterCreate, count)
+	ud.Callbacks.On(model.AfterUpdate, count)
+
+	// "Die" at every ack flush: increments land, acks never follow.
+	// (Fail, not Crash: flushes run on worker goroutines, where a panic
+	// would be unrecoverable.)
+	sub.Faults().ArmN(FaultBeforeAckFlush, 0, -1,
+		faultinject.Fail(fmt.Errorf("simulated crash before ack flush")))
+
+	sub.StartWorkers(2)
+	defer sub.StopWorkers()
+
+	const writes = 6
+	ctl := pub.NewController(nil)
+	for i := 0; i < writes; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%d", i))
+		rec.Set("name", fmt.Sprintf("name%d", i))
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Everything applies and increments; nothing acks.
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(applied) == writes
+	})
+	q := sub.Queue()
+	waitFor(t, 10*time.Second, func() bool {
+		return q.Unacked() == writes && q.Len() == 0
+	})
+	if hits := sub.Faults().Hits(FaultBeforeAckFlush); hits == 0 {
+		t.Fatal("ack-flush fault never fired")
+	}
+
+	// Crash-restart the broker: the log replays the publishes and, with
+	// no acks on it, every delivery returns to the queue front flagged
+	// Redelivered. The "restarted" subscriber (fault disarmed) rides
+	// ErrBrokerDown, reattaches, and re-processes the lot.
+	sub.Faults().Disarm(FaultBeforeAckFlush)
+	f.Broker.Crash()
+	f.Broker.Restart()
+
+	waitFor(t, 10*time.Second, func() bool {
+		nq := sub.Queue()
+		return nq != nil && !nq.Dead() && nq.Len() == 0 && nq.Unacked() == 0 &&
+			sub.PendingAcks() == 0
+	})
+	if got := sub.Stats().Redelivered; got < writes {
+		t.Errorf("Redelivered = %d, want >= %d (every unacked delivery replays)", got, writes)
+	}
+	// The version guard discarded every duplicate apply.
+	mu.Lock()
+	for id, n := range applied {
+		if n != 1 {
+			t.Errorf("record %s applied %d times, want exactly 1 (stale redelivery leaked through the guard)", id, n)
+		}
+	}
+	mu.Unlock()
+
+	// Replication stays live past the re-incremented counters: a fresh
+	// update still claims and applies.
+	patch := model.NewRecord("User", "u0")
+	patch.Set("name", "after-crash")
+	if _, err := pub.NewController(nil).Update(patch); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		got, err := subMapper.Find("User", "u0")
+		return err == nil && got.String("name") == "after-crash"
+	})
+}

@@ -208,6 +208,25 @@ func (a *App) ackDelivery(q *broker.Queue, tag uint64) {
 	}
 }
 
+// ackMultiDelivery acknowledges a coalesced batch of deliveries in one
+// broker call (the pipelined flusher's ack path). A transport failure
+// parks every tag individually — the per-tag retry path already knows
+// how to drop tags that died with a broker restart. Logical errors
+// (ErrBadTag for a tag that raced a crash-redelivery, or a
+// decommissioned queue) are absorbed: the broker either already
+// redelivered the message or set the whole queue aside, and in both
+// cases the version guard / recovery path owns what happens next.
+func (a *App) ackMultiDelivery(q *broker.Queue, tags []uint64) {
+	if len(tags) == 0 {
+		return
+	}
+	if err := a.brokerOp(func() error { return q.AckMulti(tags) }); err != nil && isTransportErr(err) {
+		for _, tag := range tags {
+			a.parkAck(pendingAck{q: q, tag: tag, kind: ackAck})
+		}
+	}
+}
+
 // nackDelivery hands one delivery back (spill, shutdown) through the
 // network, parking on transport failure.
 func (a *App) nackDelivery(q *broker.Queue, tag uint64) {

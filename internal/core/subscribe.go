@@ -214,7 +214,12 @@ func (a *App) workerLoop(stop <-chan struct{}) {
 			}
 			continue
 		}
-		batch, err := q.GetBatch(a.cfg.Prefetch)
+		prefetch := a.cfg.Prefetch
+		if a.pipelined() && prefetch < a.cfg.PipelineDepth {
+			// A pipeline can't fill past what the worker holds.
+			prefetch = a.cfg.PipelineDepth
+		}
+		batch, err := q.GetBatch(prefetch)
 		switch {
 		case err == nil:
 		case errors.Is(err, broker.ErrCanceled):
@@ -236,8 +241,19 @@ func (a *App) workerLoop(stop <-chan struct{}) {
 		default: // closed
 			return
 		}
-		a.processBatch(q, batch, stop)
+		if a.pipelined() {
+			a.processBatchPipelined(q, batch, stop)
+		} else {
+			a.processBatch(q, batch, stop)
+		}
 	}
+}
+
+// pipelined reports whether subscriber workers run the overlapped apply
+// pipeline. VStoreUnbatched forces the serial path: the legacy per-key
+// calls exist to measure the unpipelined, unbatched baseline.
+func (a *App) pipelined() bool {
+	return a.cfg.PipelineDepth > 1 && !a.cfg.VStoreUnbatched
 }
 
 // processBatch works through one prefetched batch of deliveries, acking
@@ -321,6 +337,345 @@ func (a *App) processBatch(q *broker.Queue, batch []broker.Delivery, stop <-chan
 	}
 }
 
+// processBatchPipelined is processBatch with a bounded in-flight
+// pipeline (Config.PipelineDepth > 1): up to depth deliveries from the
+// prefetched batch run concurrently in this worker, so the decode,
+// dependency wait, version claims, and callback of messages N+1..N+k
+// overlap message N's 2ms-class callback instead of queueing behind
+// it. Order is preserved exactly where it matters:
+//
+//   - Conflicts serialize: each message folds its operations' apply
+//     stripes into a 64-bit mask (applyMask); a message is dispatched
+//     only when its mask is disjoint from every in-flight message's,
+//     so two updates to the same guarded object never race within the
+//     worker and dispatch in queue order. Cross-worker ordering is,
+//     as before, the job of the dependency waits and the per-object
+//     version guard.
+//   - Completion is group-committed: a finished message does not
+//     increment counters or ack inline — it queues both on the
+//     per-queue flusher (flushCommits), which merges every message
+//     completing in a flush window into ONE IncrOpsMulti round trip
+//     followed by ONE AckMulti call. Acks flush strictly after the
+//     increments land, so a crash between the two redelivers the
+//     messages and the version guard discards the re-applies as stale
+//     (the crash-redelivery invariant, unchanged).
+//   - The spill rules of processBatch carry over: the undispatched
+//     tail is handed back to idle workers when an in-flight dependency
+//     wait blocks or the pool starves, and on failure or stop the
+//     failed deliveries are nacked after the tail so the queue front
+//     reads [failed..., rest...].
+func (a *App) processBatchPipelined(q *broker.Queue, batch []broker.Delivery, stop <-chan struct{}) {
+	depth := a.cfg.PipelineDepth
+	type result struct {
+		d    broker.Delivery
+		mask uint64
+		err  error
+	}
+	results := make(chan result, len(batch))
+	blockedCh := make(chan struct{}, 1)
+	noteBlocked := func() {
+		select {
+		case blockedCh <- struct{}{}:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	var (
+		next         int
+		inflight     int
+		inflightMask uint64
+		stopping     bool
+		spilled      bool
+		failures     []broker.Delivery
+		maxAttempts  int
+		pending      *wire.Message // decoded but blocked on a stripe conflict
+		pendingMask  uint64
+	)
+	// spillTail nacks every undispatched delivery back to the queue in
+	// reverse order (Nack pushes front, so reversal restores FIFO order)
+	// and stops further dispatch.
+	spillTail := func() {
+		if !spilled {
+			spilled = true
+			for j := len(batch) - 1; j >= next; j-- {
+				a.nackDelivery(q, batch[j].Tag)
+			}
+			next = len(batch)
+			if pending != nil {
+				wire.ReleaseMessage(pending)
+				pending = nil
+			}
+		}
+	}
+	for {
+		// Dispatch while there is capacity and nothing diverted the batch.
+		for !stopping && !spilled && len(failures) == 0 && next < len(batch) && inflight < depth {
+			select {
+			case <-stop:
+				stopping = true
+			default:
+			}
+			if stopping {
+				break
+			}
+			d := batch[next]
+			if pending == nil {
+				if d.Redelivered {
+					a.redelivered.Inc()
+				}
+				decodeStart := time.Now()
+				msg, derr := wire.UnmarshalPooled(d.Payload)
+				a.Stages.Observe(StageDecode, time.Since(decodeStart))
+				if derr != nil {
+					// Poison message: ack (coalesced) and drop it rather
+					// than loop forever.
+					a.enqueueFlush(flushEntry{q: q, tag: d.Tag})
+					a.flushCommits()
+					next++
+					continue
+				}
+				pending = msg
+				pendingMask = a.applyMask(msg)
+			}
+			if pendingMask&inflightMask != 0 {
+				break // shared apply stripe: wait for the earlier message
+			}
+			msg, mask := pending, pendingMask
+			pending = nil
+			next++
+			inflight++
+			inflightMask |= mask
+			a.PipelineFill.Observe(time.Duration(inflight))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				incr, err := a.consumeDecodedGuarded(d, msg, stop, noteBlocked)
+				if err == nil {
+					a.enqueueFlush(flushEntry{q: q, tag: d.Tag, incr: incr})
+				}
+				results <- result{d: d, mask: mask, err: err}
+				if err == nil {
+					a.flushCommits()
+				}
+			}()
+			// Spill on starvation: a batch of slow applies must not hold
+			// work this worker cannot start while the pool sits idle.
+			if next < len(batch) && q.Starving() {
+				spillTail()
+			}
+		}
+		if inflight == 0 {
+			break
+		}
+		select {
+		case r := <-results:
+			inflight--
+			inflightMask &^= r.mask
+			if r.err != nil {
+				failures = append(failures, r.d)
+				if r.d.Attempts > maxAttempts {
+					maxAttempts = r.d.Attempts
+				}
+			}
+		case <-blockedCh:
+			// An in-flight dependency wait blocked: hand the undispatched
+			// tail to idle workers (spill-on-block); the pipeline itself
+			// keeps running — later independent messages may be exactly
+			// what the blocked wait needs.
+			spillTail()
+		case <-stop:
+			stopping = true
+		}
+	}
+	wg.Wait() // group commits of completed messages have landed
+	if pending != nil {
+		wire.ReleaseMessage(pending)
+		pending = nil
+	}
+	if stopping || len(failures) > 0 {
+		spillTail()
+	}
+	if len(failures) > 0 {
+		// Fail to the front, after the tail: the failure-counting nacks
+		// push last so the queue front reads [failed..., rest...].
+		alive := false
+		for _, d := range failures {
+			if !a.nackErrorDelivery(q, d.Tag) {
+				alive = true
+				a.retries.Inc()
+			}
+		}
+		if alive {
+			a.retryBackoff(maxAttempts, stop)
+		}
+	}
+}
+
+// applyMask folds the apply stripes of every operation object in the
+// message into a 64-bit conflict mask (64 stripes, one bit each). Two
+// messages with disjoint masks cannot touch the same guarded object,
+// so they may run concurrently in the pipeline; overlapping masks
+// dispatch strictly in queue order.
+func (a *App) applyMask(msg *wire.Message) uint64 {
+	var mask uint64
+	for i := range msg.Operations {
+		mask |= 1 << uint(a.applyStripe(msg.Operations[i].ObjectDep))
+	}
+	return mask
+}
+
+// flushEntry is one completed delivery awaiting group commit: its
+// broker tag, the queue handle it was delivered on, and the counter
+// increments its message deferred (nil for weak-mode, stale-generation,
+// bootstrap-covered, and poison deliveries — those only coalesce acks).
+type flushEntry struct {
+	q    *broker.Queue
+	tag  uint64
+	incr []vstore.Key
+}
+
+// flushBatchCap bounds the entries merged into one group commit, so a
+// deep backlog cannot grow a single IncrOpsMulti/AckMulti call without
+// bound (the flush loop just takes another turn).
+const flushBatchCap = 256
+
+// FaultBeforeAckFlush fires in the group-commit flusher after a batch's
+// counter increments land and before its coalesced acks flush — the
+// crash-redelivery window the ack-after-increment ordering exists for.
+const FaultBeforeAckFlush = "subscribe/before-ack-flush"
+
+func (a *App) enqueueFlush(e flushEntry) {
+	a.flushMu.Lock()
+	a.flushQ = append(a.flushQ, e)
+	a.flushMu.Unlock()
+}
+
+// flushCommits drains the group-commit queue. Whichever goroutine wins
+// the flushing flag becomes the flusher and loops until the queue is
+// empty; losers return immediately — their entries are guaranteed to
+// be taken by the active flusher (it re-checks the queue after
+// releasing the flag, closing the lost-wakeup window). There is no
+// timer: the flush's own round trip is the batching window, so an idle
+// queue pays zero added latency and a busy one batches naturally —
+// every message completing during flush N rides in flush N+1.
+func (a *App) flushCommits() {
+	for {
+		if !a.flushing.CompareAndSwap(false, true) {
+			return
+		}
+		for {
+			a.flushMu.Lock()
+			pend := a.flushQ
+			if len(pend) == 0 {
+				a.flushMu.Unlock()
+				break
+			}
+			var entries []flushEntry
+			if len(pend) > flushBatchCap {
+				entries = pend[:flushBatchCap:flushBatchCap]
+				a.flushQ = pend[flushBatchCap:]
+			} else {
+				entries = pend
+				a.flushQ = nil
+			}
+			a.flushMu.Unlock()
+			a.flushBatch(entries)
+		}
+		a.flushing.Store(false)
+		a.flushMu.Lock()
+		again := len(a.flushQ) > 0
+		a.flushMu.Unlock()
+		if !again {
+			return
+		}
+		// Entries landed between the last drain check and the flag
+		// release; their enqueuers lost the CAS, so take another turn.
+	}
+}
+
+// flushBatch lands one group commit: every entry's counter increments
+// in ONE IncrOpsMulti round trip, then every entry's broker ack in ONE
+// AckMulti call. The order is the invariant: acks flush only after
+// their increments land, so a crash between the two leaves the
+// messages unacked, the broker redelivers them, and the per-object
+// version guard discards the duplicate applies as stale. A key bumped
+// by k messages in the window advances by k — within one message keys
+// are deduped (IncrOps semantics, done at defer time).
+func (a *App) flushBatch(entries []flushEntry) {
+	flushStart := time.Now()
+	a.FlushBatchSize.Observe(time.Duration(len(entries)))
+	var counts map[vstore.Key]uint64
+	for _, e := range entries {
+		for _, k := range e.incr {
+			if counts == nil {
+				counts = make(map[vstore.Key]uint64, len(entries))
+			}
+			counts[k]++
+		}
+	}
+	if len(counts) > 0 {
+		if err := a.store.IncrOpsMulti(counts); err != nil {
+			// The store mutates nothing on a failed round trip (liveness
+			// and transport are checked before any state), so no
+			// increment landed. Entries carrying increments must NOT be
+			// acked — hand them back as failed attempts: redelivery
+			// re-applies them idempotently and retries the increments.
+			// Increment-free entries still ack below.
+			kept := entries[:0]
+			for _, e := range entries {
+				if len(e.incr) > 0 {
+					a.nackErrorDelivery(e.q, e.tag)
+					continue
+				}
+				kept = append(kept, e)
+			}
+			entries = kept
+		}
+	}
+	if len(entries) > 0 {
+		if err := a.faults.Fire(FaultBeforeAckFlush); err != nil {
+			// Armed crash window: the increments above landed, the acks
+			// below never flush — a subscriber dying between the two
+			// group-commit round trips. Every entry stays unacked on the
+			// broker, so a restart redelivers all of them; the per-object
+			// version guard discards the duplicate applies as stale.
+			// (Tests arm Fail here, not Crash: a flush runs on a worker
+			// goroutine, where a panic would be unrecoverable.)
+			return
+		}
+		ackStart := time.Now()
+		if oneQueue(entries) {
+			tags := make([]uint64, len(entries))
+			for i, e := range entries {
+				tags[i] = e.tag
+			}
+			a.ackMultiDelivery(entries[0].q, tags)
+		} else {
+			// A batch straddling a queue reattach: one AckMulti per handle.
+			byQ := make(map[*broker.Queue][]uint64)
+			for _, e := range entries {
+				byQ[e.q] = append(byQ[e.q], e.tag)
+			}
+			for q, tags := range byQ {
+				a.ackMultiDelivery(q, tags)
+			}
+		}
+		a.Stages.Observe(StageAck, time.Since(ackStart))
+	}
+	a.Stages.Observe(StageFlush, time.Since(flushStart))
+}
+
+// oneQueue reports whether every entry rides the same queue handle
+// (the overwhelmingly common case — avoids a map allocation per flush).
+func oneQueue(entries []flushEntry) bool {
+	for i := 1; i < len(entries); i++ {
+		if entries[i].q != entries[0].q {
+			return false
+		}
+	}
+	return true
+}
+
 // retryBackoff sleeps before a failed message's redelivery attempt:
 // exponential from Config.RetryBackoffBase, doubling per prior failure,
 // capped at Config.RetryBackoffMax, interruptible by worker stop.
@@ -364,22 +719,7 @@ func (a *App) consumeGuarded(d broker.Delivery, stop <-chan struct{}, onBlock fu
 	if a.cfg.ApplyTimeout <= 0 {
 		return a.consume(d.Payload, stop, onBlock)
 	}
-	budget := a.cfg.ApplyTimeout
-	for i := 0; i < d.Attempts && budget < a.cfg.ApplyTimeoutMax; i++ {
-		budget *= 2
-	}
-	if budget > a.cfg.ApplyTimeoutMax {
-		budget = a.cfg.ApplyTimeoutMax
-	}
-	// A bounded causal dependency wait is not a stall: with a finite
-	// DepTimeout the delivery may legitimately sit that long before its
-	// apply even starts, so the watchdog arms after that allowance on
-	// top of the apply budget. Under WaitForever no allowance is added —
-	// there the watchdog is exactly what bounds an otherwise unbounded
-	// wait (the wait observes the cancel channel and exits cleanly).
-	if a.cfg.DepTimeout > 0 && a.cfg.DepTimeout != WaitForever {
-		budget += a.cfg.DepTimeout
-	}
+	budget := a.stallBudget(d.Attempts)
 	cancel := make(chan struct{})
 	done := make(chan error, 1)
 	go func() { done <- a.consume(d.Payload, cancel, onBlock) }()
@@ -412,6 +752,91 @@ func (a *App) consumeGuarded(d broker.Delivery, stop <-chan struct{}, onBlock fu
 	return reason
 }
 
+// stallBudget is the watchdog time budget for a delivery with the given
+// prior failed attempts: ApplyTimeout doubled per attempt (capped at
+// ApplyTimeoutMax), plus the finite DepTimeout allowance — a bounded
+// causal dependency wait is not a stall, so the watchdog arms after
+// that allowance on top of the apply budget. Under WaitForever no
+// allowance is added: there the watchdog is exactly what bounds an
+// otherwise unbounded wait (the wait observes the cancel channel and
+// exits cleanly).
+func (a *App) stallBudget(attempts int) time.Duration {
+	budget := a.cfg.ApplyTimeout
+	for i := 0; i < attempts && budget < a.cfg.ApplyTimeoutMax; i++ {
+		budget *= 2
+	}
+	if budget > a.cfg.ApplyTimeoutMax {
+		budget = a.cfg.ApplyTimeoutMax
+	}
+	if a.cfg.DepTimeout > 0 && a.cfg.DepTimeout != WaitForever {
+		budget += a.cfg.DepTimeout
+	}
+	return budget
+}
+
+// consumeDecoded processes one already-decoded message for the
+// pipelined path, returning the deferred counter-increment keys for
+// the group-commit flusher. It takes ownership of msg and releases it
+// back to the decode pool.
+func (a *App) consumeDecoded(msg *wire.Message, cancel <-chan struct{}, onBlock func()) ([]vstore.Key, error) {
+	incr, err := a.processMessageDefer(msg, cancel, onBlock, true)
+	wire.ReleaseMessage(msg)
+	if errors.Is(err, errStaleGeneration) {
+		return nil, nil
+	}
+	return incr, err
+}
+
+// consumeDecodedGuarded is consumeGuarded for the pipelined path: the
+// same escalating stall watchdog, operating on a pre-decoded message
+// and surfacing the deferred increments. An abandoned straggler's
+// increments are simply dropped along with its ack — the redelivered
+// attempt re-applies and re-increments, which the version guard and
+// at-least-once counting semantics absorb.
+func (a *App) consumeDecodedGuarded(d broker.Delivery, msg *wire.Message, stop <-chan struct{}, onBlock func()) ([]vstore.Key, error) {
+	if a.cfg.ApplyTimeout <= 0 {
+		return a.consumeDecoded(msg, stop, onBlock)
+	}
+	budget := a.stallBudget(d.Attempts)
+	cancel := make(chan struct{})
+	type outcome struct {
+		incr []vstore.Key
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		incr, err := a.consumeDecoded(msg, cancel, onBlock)
+		done <- outcome{incr, err}
+	}()
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	var reason error
+	select {
+	case out := <-done:
+		return out.incr, out.err
+	case <-stop:
+		reason = errWaitInterrupted
+	case <-t.C:
+		reason = errStalled
+	}
+	close(cancel)
+	grace := budget / 4
+	if grace < time.Millisecond {
+		grace = time.Millisecond
+	}
+	g := time.NewTimer(grace)
+	defer g.Stop()
+	select {
+	case out := <-done:
+		return out.incr, out.err
+	case <-g.C:
+	}
+	if errors.Is(reason, errStalled) {
+		a.stalled.Inc()
+	}
+	return nil, reason
+}
+
 // consume decodes and processes one message payload. onBlock (may be
 // nil) is called at most once, just before the dependency wait first
 // blocks — the worker's chance to hand the rest of its prefetched batch
@@ -442,25 +867,36 @@ func (a *App) ProcessMessage(msg *wire.Message) error {
 }
 
 func (a *App) processMessage(msg *wire.Message, cancel <-chan struct{}, onBlock func()) error {
+	_, err := a.processMessageDefer(msg, cancel, onBlock, false)
+	return err
+}
+
+// processMessageDefer is processMessage with the group-commit split:
+// with deferIncr set, a causal message's counter increments are NOT
+// applied inline — the due keys are returned for the caller to hand to
+// the per-queue flusher, which merges them across messages into one
+// IncrOpsMulti round trip. The returned keys are resolved values with
+// no reference into msg, so they outlive ReleaseMessage.
+func (a *App) processMessageDefer(msg *wire.Message, cancel <-chan struct{}, onBlock func(), deferIncr bool) ([]vstore.Key, error) {
 	origin := msg.App
 	barrierStart := time.Now()
 	err := a.enterGeneration(origin, msg.Generation)
 	a.Stages.Observe(StageBarrier, time.Since(barrierStart))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer a.exitGeneration(origin, msg.Generation)
 
 	mode := a.originMode(origin)
 	if a.Bootstrapping() {
-		return a.processBootstrapMessage(msg)
+		return nil, a.processBootstrapMessage(msg)
 	}
 
 	switch mode {
 	case Weak:
-		return a.processWeak(msg)
+		return nil, a.processWeak(msg)
 	default:
-		return a.processCausal(msg, mode, cancel, onBlock)
+		return a.processCausal(msg, mode, cancel, onBlock, deferIncr)
 	}
 }
 
@@ -530,15 +966,17 @@ func (a *App) originMode(origin string) DeliveryMode {
 // The hot path runs batched: one WaitAtLeastMulti waiter for the whole
 // dependency map, one ApplyBatch claim window for all operations, one
 // IncrOps window — three round-trip plans per message instead of one
-// round trip per dependency key.
-func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan struct{}, onBlock func()) error {
+// round trip per dependency key. With deferIncr the third plan is
+// lifted out entirely: the due increment keys are returned (deduped)
+// for the group-commit flusher, which merges them across messages.
+func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan struct{}, onBlock func(), deferIncr bool) ([]vstore.Key, error) {
 	if a.cfg.VStoreUnbatched {
-		return a.processCausalUnbatched(msg, mode, cancel)
+		return nil, a.processCausalUnbatched(msg, mode, cancel)
 	}
 	timeout := a.cfg.DepTimeout
 	deps, err := msg.Deps()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var globalKey vstore.Key
 	skipGlobal := mode < Global && msg.GlobalDep != ""
@@ -589,7 +1027,7 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 		a.DepWaitBlocked.Observe(waited)
 	}
 	if werr != nil && !errors.Is(werr, vstore.ErrTimeout) {
-		return werr
+		return nil, werr
 	}
 	// On ErrTimeout: §6.5 — give up waiting for late or lost messages and
 	// process anyway, trading consistency for availability; the per-object
@@ -602,7 +1040,7 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 
 	applyStart := time.Now()
 	if err := a.applyOpsBatched(msg); err != nil {
-		return err
+		return nil, err
 	}
 	a.recordDepWriters(msg)
 	// The bootstrap Seq boundary outlives Bootstrapping(): a message
@@ -610,15 +1048,40 @@ func (a *App) processCausal(msg *wire.Message, mode DeliveryMode, cancel <-chan 
 	// already, and re-incrementing (e.g. backlog prefetched during the
 	// bootstrap but processed after it) would push this store's counters
 	// past the publisher's, making every later guarded apply look stale.
+	var deferred []vstore.Key
 	if msg.Seq > a.bootSeqFor(msg.App) {
-		if err := a.store.IncrOps(incr); err != nil {
-			return err
+		if deferIncr {
+			// Group commit: the flusher counts each message's DISTINCT
+			// keys once (IncrOps semantics), so dedup here, where the
+			// per-message set is small and hot in cache.
+			deferred = dedupKeys(incr)
+		} else if err := a.store.IncrOps(incr); err != nil {
+			return nil, err
 		}
 	}
 	a.Stages.Observe(StageApply, time.Since(applyStart))
 	a.Processed.Add(1)
 	a.recordApplied(msg)
-	return nil
+	return deferred, nil
+}
+
+// dedupKeys returns keys with duplicates removed (order preserved);
+// small-n quadratic scan, cheaper than a map for per-message key sets.
+func dedupKeys(keys []vstore.Key) []vstore.Key {
+	out := keys[:0:len(keys)]
+	for _, k := range keys {
+		dup := false
+		for _, seen := range out {
+			if seen == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // processCausalUnbatched is the legacy per-key subscriber path: one

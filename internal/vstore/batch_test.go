@@ -366,3 +366,70 @@ func TestRoundTripAccounting(t *testing.T) {
 		t.Errorf("ApplyBatch = %d round trips, want 1", got)
 	}
 }
+
+// TestIncrOpsMulti checks the cross-message group-commit plan: applying
+// many messages' increments through one IncrOpsMulti call must leave
+// every counter exactly where the equivalent serial IncrOps calls
+// would, cost one round-trip window, and wake threshold waiters on the
+// final post-increment values.
+func TestIncrOpsMulti(t *testing.T) {
+	serial := newStore()
+	multi := newStore()
+
+	// Three "messages" with overlapping key sets: k0 bumped by all
+	// three, k1 by two, k2 by one.
+	k0, k1, k2 := Key(10), Key(11), Key(12)
+	msgs := [][]Key{{k0, k1, k2}, {k0, k1}, {k0}}
+	for _, m := range msgs {
+		if err := serial.IncrOps(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	counts := map[Key]uint64{}
+	for _, m := range msgs {
+		for _, k := range m {
+			counts[k]++
+		}
+	}
+	rt0 := multi.RoundTrips()
+	if err := multi.IncrOpsMulti(counts); err != nil {
+		t.Fatal(err)
+	}
+	if got := multi.RoundTrips() - rt0; got != 1 {
+		t.Fatalf("IncrOpsMulti round trips = %d, want 1", got)
+	}
+	for _, k := range []Key{k0, k1, k2} {
+		s, m := serial.Counters(k), multi.Counters(k)
+		if s.Ops != m.Ops {
+			t.Errorf("key %d: multi ops %d != serial ops %d", k, m.Ops, s.Ops)
+		}
+	}
+	if got := multi.Counters(k0).Ops; got != 3 {
+		t.Errorf("k0 ops = %d, want 3", got)
+	}
+
+	// A threshold waiter at the merged final value must wake from the
+	// single flush (wakeReached must see post-increment values).
+	done := make(chan error, 1)
+	go func() { done <- multi.WaitAtLeast(k1, 4, 5*time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := multi.IncrOpsMulti(map[Key]uint64{k1: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter at merged threshold: %v", err)
+	}
+
+	// Empty and zero-count flushes are free (no round trip, no error).
+	rt0 = multi.RoundTrips()
+	if err := multi.IncrOpsMulti(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := multi.IncrOpsMulti(map[Key]uint64{k2: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := multi.RoundTrips() - rt0; got != 0 {
+		t.Fatalf("empty IncrOpsMulti charged %d round trips, want 0", got)
+	}
+}

@@ -512,6 +512,60 @@ func (s *Store) IncrOps(keys []Key) error {
 	return nil
 }
 
+// IncrOpsMulti applies many messages' worth of counter increments in
+// one pipelined round-trip window. counts maps each key to the number
+// of completed messages that bumped it, so a key shared by k messages
+// advances by k — unlike IncrOps, which dedups within a single
+// message's key set. This is the cross-message group-commit plan
+// behind the subscriber's apply pipeline: equivalent to one IncrOps
+// call per message, but charged a single window, with waiters woken on
+// the final post-increment values (threshold-aware waiters only fire
+// once their target version is actually reached).
+func (s *Store) IncrOpsMulti(counts map[Key]uint64) error {
+	keys := make([]Key, 0, len(counts))
+	for k, n := range counts {
+		if n > 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	if err := s.checkAlive(); err != nil {
+		return err
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	byShard := make(map[*shard][]Key)
+	for _, k := range keys {
+		sh := s.shardFor(k)
+		byShard[sh] = append(byShard[sh], k)
+	}
+	// One pipelined round trip: charge the slowest shard's cost once.
+	var cost time.Duration
+	for _, ks := range byShard {
+		if c := s.cfg.scriptCost(len(ks)); c > cost {
+			cost = c
+		}
+	}
+	s.charge(cost)
+	for sh, ks := range byShard {
+		vals := make([]uint64, len(ks))
+		sh.script(0, func(m map[Key]*entry) {
+			for i, k := range ks {
+				e := m[k]
+				if e == nil {
+					e = &entry{}
+					m[k] = e
+				}
+				e.ops += counts[k]
+				vals[i] = e.ops
+			}
+		})
+		sh.wakeReached(ks, vals)
+	}
+	return nil
+}
+
 // SetOps raises the ops counter for a key to at least val (bulk version
 // load during bootstrap; max-merge so late loads cannot regress).
 func (s *Store) SetOps(k Key, val uint64) error {

@@ -458,7 +458,7 @@ func (d *decoder) stringField(dst *string) error {
 	if err != nil {
 		return err
 	}
-	*dst = string(s)
+	*dst = internString(s)
 	return nil
 }
 
@@ -556,13 +556,13 @@ func (d *decoder) depMap(dst *map[string]uint64) error {
 		if null, err := d.tryNull(); err != nil {
 			return err
 		} else if null {
-			m[string(key)] = 0
+			m[internString(key)] = 0
 		} else {
 			v, err := d.uint64Value()
 			if err != nil {
 				return err
 			}
-			m[string(key)] = v
+			m[internString(key)] = v
 		}
 		b, err := d.next()
 		if err != nil {
@@ -762,7 +762,7 @@ func (d *decoder) typeChain(op *Operation) error {
 			if err != nil {
 				return err
 			}
-			types = append(types, string(s))
+			types = append(types, internString(s))
 		}
 		b, err := d.next()
 		if err != nil {
@@ -803,7 +803,7 @@ func (d *decoder) anyValue(depth int) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return string(s), nil
+		return internStringAny(s), nil
 	case '{':
 		m := make(map[string]any)
 		if err := d.anyObjectInto(m, depth); err != nil {
@@ -812,7 +812,9 @@ func (d *decoder) anyValue(depth int) (any, error) {
 		return m, nil
 	case '[':
 		d.pos++
-		out := []any{}
+		// Most real-world attribute arrays are tiny; starting at capacity
+		// 4 turns the 0->1->2->4 append-growth triple into one allocation.
+		out := make([]any, 0, 4)
 		if b, err := d.next(); err != nil {
 			return nil, err
 		} else if b == ']' {
@@ -842,11 +844,11 @@ func (d *decoder) anyValue(depth int) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, err := strconv.ParseFloat(string(tok), 64)
+		v, err := internNumberAny(tok)
 		if err != nil {
 			return nil, d.errf("number %q out of range", tok)
 		}
-		return f, nil
+		return v, nil
 	}
 }
 
@@ -873,7 +875,7 @@ func (d *decoder) anyObjectInto(m map[string]any, depth int) error {
 		if err := d.expect(':'); err != nil {
 			return err
 		}
-		k := string(key)
+		k := internString(key)
 		v, err := d.anyValue(depth + 1)
 		if err != nil {
 			return err

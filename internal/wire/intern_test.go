@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestInternString(t *testing.T) {
+	// Canonical copy, detached from the input buffer.
+	buf := []byte("object/u1")
+	s1 := internString(buf)
+	buf[0] = 'X'
+	if s1 != "object/u1" {
+		t.Fatalf("interned string mutated with its source buffer: %q", s1)
+	}
+	// A second lookup returns the cached copy without allocating.
+	if n := testing.AllocsPerRun(100, func() {
+		if internString([]byte("object/u1")) != "object/u1" {
+			t.Fatal("intern mismatch")
+		}
+	}); n != 0 {
+		t.Errorf("interned hit allocates %v times, want 0", n)
+	}
+	// Oversized tokens bypass the table but still round-trip.
+	big := make([]byte, internMaxLen+1)
+	for i := range big {
+		big[i] = 'a'
+	}
+	if got := internString(big); got != string(big) {
+		t.Errorf("oversized intern = %q", got)
+	}
+}
+
+func TestInternBoxesSkipAllocation(t *testing.T) {
+	internStringAny([]byte("status-ok")) // warm
+	if n := testing.AllocsPerRun(100, func() {
+		v := internStringAny([]byte("status-ok"))
+		if v.(string) != "status-ok" {
+			t.Fatal("boxed intern mismatch")
+		}
+	}); n != 0 {
+		t.Errorf("boxed string hit allocates %v times, want 0", n)
+	}
+	if _, err := internNumberAny([]byte("42.5")); err != nil { // warm
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		v, err := internNumberAny([]byte("42.5"))
+		if err != nil || v.(float64) != 42.5 {
+			t.Fatal("boxed number mismatch")
+		}
+	}); n != 0 {
+		t.Errorf("boxed number hit allocates %v times, want 0", n)
+	}
+	// Collision overwrite: a different token landing in the same slot
+	// still decodes correctly (it just evicts).
+	if _, err := internNumberAny([]byte("bogus")); err == nil {
+		t.Error("invalid number interned without error")
+	}
+}
+
+// TestUnmarshalPooledAllocBudget is the alloc regression gate the
+// bench_gate.sh hotpath floor mirrors: at steady state (warm pool, warm
+// intern tables) decoding the representative message must stay within
+// a small fixed allocation budget — the remaining allocations are the
+// per-message `[]any` array backings and their interface headers, not
+// per-token string copies.
+func TestUnmarshalPooledAllocBudget(t *testing.T) {
+	payload, err := json.Marshal(sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the decode pool and intern tables.
+	for i := 0; i < 4; i++ {
+		m, err := UnmarshalPooled(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseMessage(m)
+	}
+	n := testing.AllocsPerRun(50, func() {
+		m, err := UnmarshalPooled(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseMessage(m)
+	})
+	const budget = 12
+	if n > budget {
+		t.Errorf("UnmarshalPooled = %v allocs/op at steady state, want <= %d", n, budget)
+	}
+}

@@ -95,6 +95,21 @@ type OpenLoopConfig struct {
 	// 8s / 0.5).
 	DiurnalPeriod time.Duration
 	DiurnalAmp    float64
+
+	// ActiveSessions enables session arrival/churn: instead of every op
+	// drawing its user uniformly from the whole population, the
+	// generator keeps ~ActiveSessions concurrent user sessions alive;
+	// each op is issued by a uniformly chosen ACTIVE session, sessions
+	// end after a seeded exponential lifetime, and a fresh arrival
+	// (uniform over the Users population) replaces each departure. Ops
+	// therefore cluster per user over a session's span and the issuing
+	// set churns through the population — the §6.3 user-session shape —
+	// while the stream stays fully deterministic per seed. 0 (the
+	// default) disables churn: every op draws uniformly from Users.
+	ActiveSessions int
+	// SessionMean is the mean exponential session lifetime under
+	// ActiveSessions (default 2s of stream time).
+	SessionMean time.Duration
 }
 
 // withDefaults fills the zero fields.
@@ -129,6 +144,15 @@ func (c OpenLoopConfig) withDefaults() OpenLoopConfig {
 	if c.DiurnalAmp == 0 {
 		c.DiurnalAmp = 0.5
 	}
+	if c.ActiveSessions < 0 {
+		c.ActiveSessions = 0
+	}
+	if c.ActiveSessions > c.Users {
+		c.ActiveSessions = c.Users
+	}
+	if c.SessionMean <= 0 {
+		c.SessionMean = 2 * time.Second
+	}
 	return c
 }
 
@@ -158,6 +182,16 @@ type OpenLoopGen struct {
 	zipfN    uint64
 	zipfHot  *rand.Zipf // over hot only (burst bias)
 	fp       uint64     // running FNV-1a over the emitted stream
+
+	sessions      []session // active user sessions (churn mode)
+	sessionsEnded int       // completed session lifetimes
+}
+
+// session is one live user session: who is browsing and when their
+// seeded exponential lifetime runs out (in stream time).
+type session struct {
+	user string
+	end  time.Duration
 }
 
 // NewOpenLoopGen builds the generator. The first operation is always a
@@ -231,9 +265,37 @@ func (g *OpenLoopGen) Next() (TimedOp, bool) {
 	return op, true
 }
 
+// issuingUser picks the user for the op at intended time t: a uniform
+// draw over the whole population, or — with session churn on — over the
+// currently active sessions. Caller holds g.mu.
+func (g *OpenLoopGen) issuingUser(t time.Duration) string {
+	if g.cfg.ActiveSessions == 0 {
+		return fmt.Sprintf("u%d", g.rng.Intn(g.cfg.Users))
+	}
+	// Expire dead sessions, then admit arrivals back up to the target.
+	// Both loops draw only from g.rng, so the session timeline — who is
+	// active at every instant — is part of the deterministic stream.
+	live := g.sessions[:0]
+	for _, s := range g.sessions {
+		if s.end > t {
+			live = append(live, s)
+		} else {
+			g.sessionsEnded++
+		}
+	}
+	g.sessions = live
+	for len(g.sessions) < g.cfg.ActiveSessions {
+		g.sessions = append(g.sessions, session{
+			user: fmt.Sprintf("u%d", g.rng.Intn(g.cfg.Users)),
+			end:  t + time.Duration(g.rng.ExpFloat64()*float64(g.cfg.SessionMean)),
+		})
+	}
+	return g.sessions[g.rng.Intn(len(g.sessions))].user
+}
+
 // drawSocial picks the social op at intended time t. Caller holds g.mu.
 func (g *OpenLoopGen) drawSocial(t time.Duration) SocialOp {
-	user := fmt.Sprintf("u%d", g.rng.Intn(g.cfg.Users))
+	user := g.issuingUser(t)
 	total := len(g.hot) + len(g.window)
 	if total == 0 || g.rng.Float64() >= g.cfg.CommentRatio {
 		g.nextPost++
@@ -315,6 +377,33 @@ func (g *OpenLoopGen) Emitted() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.index
+}
+
+// SessionsEnded reports how many user sessions have completed their
+// lifetime so far (0 unless ActiveSessions churn is enabled).
+func (g *OpenLoopGen) SessionsEnded() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sessionsEnded
+}
+
+// ActiveUsers returns the distinct users with a live session at the
+// time of the last drawn op (nil unless ActiveSessions churn is on).
+func (g *OpenLoopGen) ActiveUsers() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.sessions) == 0 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(g.sessions))
+	out := make([]string, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		if _, dup := seen[s.user]; !dup {
+			seen[s.user] = struct{}{}
+			out = append(out, s.user)
+		}
+	}
+	return out
 }
 
 // HotSet returns a copy of the pinned hot post ids (for reports).

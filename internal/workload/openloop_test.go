@@ -232,3 +232,85 @@ func TestSetCommentRatioConcurrent(t *testing.T) {
 	}
 	<-done
 }
+
+// TestOpenLoopSessionChurn: with ActiveSessions on, every op is issued
+// by a currently-live session, the active set stays at the configured
+// size, sessions expire and are replaced (churn reaches well past the
+// initial cohort), and the whole thing — being part of the seeded
+// stream — is deterministic.
+func TestOpenLoopSessionChurn(t *testing.T) {
+	cfg := OpenLoopConfig{
+		Seed: 7, Users: 500, Rate: 2000, Horizon: 4 * time.Second,
+		ActiveSessions: 16, SessionMean: 100 * time.Millisecond,
+	}
+	g := NewOpenLoopGen(cfg)
+	ops := drainAll(g)
+	if len(ops) == 0 {
+		t.Fatal("empty stream")
+	}
+
+	users := make(map[string]struct{})
+	for _, op := range ops {
+		users[op.UserID] = struct{}{}
+	}
+	// ~40 lifetimes over the horizon x 16 slots: far more distinct users
+	// than one session cohort could supply.
+	if len(users) <= cfg.ActiveSessions {
+		t.Fatalf("only %d distinct users issued ops; churn never replaced the initial %d sessions",
+			len(users), cfg.ActiveSessions)
+	}
+	if g.SessionsEnded() < 10*cfg.ActiveSessions {
+		t.Errorf("SessionsEnded = %d, want >= %d (mean lifetime is 1/40th of the horizon)",
+			g.SessionsEnded(), 10*cfg.ActiveSessions)
+	}
+	if got := len(g.ActiveUsers()); got == 0 || got > cfg.ActiveSessions {
+		t.Errorf("ActiveUsers at end = %d, want in (0, %d]", got, cfg.ActiveSessions)
+	}
+
+	// Sessions concentrate ops: with 16 of 500 users live at a time, the
+	// busiest user must far exceed the uniform-draw expectation.
+	counts := make(map[string]int)
+	for _, op := range ops {
+		counts[op.UserID]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	uniform := len(ops) / cfg.Users
+	if max < 4*uniform {
+		t.Errorf("busiest user issued %d ops; uniform expectation is ~%d — sessions are not clustering ops", max, uniform)
+	}
+
+	// Deterministic: identical config replays the identical stream.
+	b := drainAll(NewOpenLoopGen(cfg))
+	if len(b) != len(ops) {
+		t.Fatalf("replay length %d != %d", len(b), len(ops))
+	}
+	for i := range ops {
+		if ops[i] != b[i] {
+			t.Fatalf("op %d differs on replay: %+v vs %+v", i, ops[i], b[i])
+		}
+	}
+}
+
+// TestOpenLoopSessionChurnDisabled: ActiveSessions=0 keeps the legacy
+// uniform user draw — over a long stream essentially the whole
+// population issues ops.
+func TestOpenLoopSessionChurnDisabled(t *testing.T) {
+	cfg := OpenLoopConfig{Seed: 3, Users: 50, Rate: 3000, Horizon: 2 * time.Second}
+	g := NewOpenLoopGen(cfg)
+	ops := drainAll(g)
+	users := make(map[string]struct{})
+	for _, op := range ops {
+		users[op.UserID] = struct{}{}
+	}
+	if len(users) < cfg.Users*9/10 {
+		t.Errorf("uniform draw covered %d/%d users", len(users), cfg.Users)
+	}
+	if g.SessionsEnded() != 0 || g.ActiveUsers() != nil {
+		t.Errorf("churn state active while disabled: ended=%d active=%v", g.SessionsEnded(), g.ActiveUsers())
+	}
+}

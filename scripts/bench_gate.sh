@@ -14,7 +14,9 @@
 #             These are protocol counts, not timings.
 #   hotpath   fast-codec allocs/op (marshal, unmarshal, publish+deliver):
 #             at most the baseline (+0 tolerance — the zero-allocation
-#             hot path must not regress by a single allocation).
+#             hot path must not regress by a single allocation), plus an
+#             absolute ceiling of 12 allocs/op on fast unmarshal that
+#             even a freshly regenerated (worse) baseline cannot evade.
 #   chaos     converged == seeds (every seeded fault script converges).
 #   overload  converged == seeds and queue bounds held.
 #   causality dvv false_deps_suspected == 0, and dvv throughput beats
@@ -23,7 +25,11 @@
 #             full sweeps with identical capacity knobs) within 3x of
 #             the baseline. Wall-clock latency is noisy in CI, so the
 #             tolerance is generous; the gate catches collapses, not
-#             jitter.
+#             jitter. Delivered capacity (best sustained delivery rate,
+#             measured at the shared saturating top rate) must clear
+#             1.6x the committed serial-apply ceiling — the pipelined
+#             apply's win is re-proven on every run — and must not fall
+#             below 0.6x the committed capacity.
 #   cluster   zero_lost true (failover drain recovered every message and
 #             every chaos seed converged with zero regressions), and
 #             throughput at 4 shards at least 1.6x the 1-shard rate
@@ -89,6 +95,13 @@ compare() {
         awk -v b="$b" -v n="$n" 'BEGIN { exit (n <= b) ? 0 : 1 }' ||
             breach "hotpath: fast $path allocs/op regressed $b -> $n"
     done
+    # hotpath: absolute decode budget, independent of the baseline — a
+    # regenerated baseline cannot launder an unmarshal alloc regression
+    # past this ceiling.
+    alloc_cap=12
+    n=$(jq -r '.result.fast.unmarshal.allocs_per_op' "$fresh/BENCH_hotpath.json")
+    awk -v n="$n" -v cap="$alloc_cap" 'BEGIN { exit (n <= cap) ? 0 : 1 }' ||
+        breach "hotpath: fast unmarshal $n allocs/op above the absolute cap of $alloc_cap"
 
     # chaos: every seeded fault script converged.
     jq -e '.converged == .seeds' "$fresh/BENCH_chaos.json" >/dev/null ||
@@ -118,6 +131,23 @@ compare() {
     else
         awk -v b="$b" -v n="$n" -v tol="$tol" 'BEGIN { exit (n <= tol * b) ? 0 : 1 }' ||
             breach "tail: p99 at ${anchor} ops/s regressed ${b}ms -> ${n}ms (>${tol}x)"
+    fi
+
+    # tail: the pipelined apply's delivered capacity must clear 1.6x the
+    # committed serial-apply ceiling and stay within 0.6x of the
+    # committed capacity (both measured at the shared saturating rate,
+    # so quick and full runs are comparable).
+    bs=$(jq -r '.serial_capacity_msgs_per_sec' "$base/BENCH_tail.json")
+    bc=$(jq -r '.delivered_capacity_msgs_per_sec' "$base/BENCH_tail.json")
+    nc=$(jq -r '.delivered_capacity_msgs_per_sec' "$fresh/BENCH_tail.json")
+    if [ -z "$bs" ] || [ "$bs" = "null" ] || [ -z "$bc" ] || [ "$bc" = "null" ] ||
+        [ -z "$nc" ] || [ "$nc" = "null" ]; then
+        breach "tail: capacity fields missing from baseline or fresh run"
+    else
+        awk -v n="$nc" -v s="$bs" 'BEGIN { exit (n >= 1.6 * s) ? 0 : 1 }' ||
+            breach "tail: delivered capacity ${nc} msg/s below 1.6x the committed serial ceiling (${bs} msg/s)"
+        awk -v n="$nc" -v b="$bc" 'BEGIN { exit (n >= 0.6 * b) ? 0 : 1 }' ||
+            breach "tail: delivered capacity collapsed ${bc} -> ${nc} msg/s (below 0.6x baseline)"
     fi
 
     # cluster: the zero-lost invariant and the sharding payoff.
@@ -182,6 +212,32 @@ if [ "${1:-}" = "selftest" ]; then
     jq '(.points[] | select(.rate_ops_per_sec == 1000) | .p99_ms) *= 10' \
         "$tmp/committed/BENCH_tail.json" >"$tmp/fresh/BENCH_tail.json"
     expect_breach "tail p99 10x collapse at anchor rate"
+
+    # Fresh capacity dropped to 1.5x the serial ceiling: below the 1.6x
+    # pipeline-win floor even if the regression guard would tolerate it.
+    jq '.delivered_capacity_msgs_per_sec = (.serial_capacity_msgs_per_sec * 1.5)' \
+        "$tmp/committed/BENCH_tail.json" >"$tmp/fresh/BENCH_tail.json"
+    expect_breach "tail delivered capacity under 1.6x the serial ceiling"
+
+    jq '.delivered_capacity_msgs_per_sec *= 0.3' \
+        "$tmp/committed/BENCH_tail.json" >"$tmp/fresh/BENCH_tail.json"
+    expect_breach "tail delivered capacity 0.3x collapse"
+
+    # Absolute unmarshal alloc cap: regenerate BOTH sides at 13
+    # allocs/op — the relative check passes, the cap must still trip.
+    mkdir -p "$tmp/pbase"
+    cp "$tmp/committed/"* "$tmp/pbase/"
+    jq '.result.fast.unmarshal.allocs_per_op = 13' \
+        "$tmp/committed/BENCH_hotpath.json" >"$tmp/pbase/BENCH_hotpath.json"
+    cp "$tmp/pbase/BENCH_hotpath.json" "$tmp/fresh/BENCH_hotpath.json"
+    fails=0
+    compare "$tmp/pbase" "$tmp/fresh"
+    if [ "$fails" -eq 0 ]; then
+        echo "selftest: gate MISSED injected regression: unmarshal alloc cap with relaundered baseline" >&2
+        exit 1
+    fi
+    echo "selftest: gate caught: unmarshal alloc cap with relaundered baseline"
+    cp "$tmp/committed/"* "$tmp/fresh/"
 
     jq '.zero_lost = false' "$tmp/committed/BENCH_cluster.json" >"$tmp/fresh/BENCH_cluster.json"
     expect_breach "cluster zero-lost invariant broken"

@@ -167,6 +167,11 @@ const (
 	FaultBeforeJournalAck = core.FaultBeforeJournalAck
 	FaultJournalDrain     = core.FaultJournalDrain
 	FaultApply            = core.FaultApply
+	// FaultBeforeAckFlush fires between a group-commit flush's counter
+	// increments and its broker acks — the crash window whose
+	// redeliveries the version guard must absorb (arm with FailWith;
+	// the flusher treats any injected error as the crash).
+	FaultBeforeAckFlush = core.FaultBeforeAckFlush
 )
 
 // Crash returns a Fault that models process death at the site (a
