@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: build, vet,
 # and the full test suite under the race detector.
 
-.PHONY: check test bench bench-hotpath bench-overload bench-causality bench-tail bench-cluster check-bench scenarios profile chaos
+.PHONY: check test bench bench-hotpath bench-overload bench-causality bench-tail bench-cluster bench-bootstrap check-bench scenarios profile chaos
 
 check:
 	./scripts/check.sh
@@ -39,6 +39,12 @@ bench-tail:
 bench-cluster:
 	go run ./cmd/synapse-bench -exp cluster
 
+# Regenerates the chunked live bootstrap experiment (join time vs
+# publisher size under sustained write load, max publish stall,
+# crash-resume from the journaled chunk cursor) and BENCH_bootstrap.json.
+bench-bootstrap:
+	go run ./cmd/synapse-bench -exp bootstrap
+
 # Bench-regression gate: quick-runs every experiment and compares
 # config-invariant metrics (rt counts, allocs/op, convergence, tail
 # p99) against the committed BENCH_*.json baselines. Non-zero exit on
@@ -46,8 +52,8 @@ bench-cluster:
 check-bench:
 	./scripts/bench_gate.sh
 
-# The CI scenario suite (check/chaos/overload/causality/tail/cluster),
-# quick sweeps — the same commands the workflow matrix runs.
+# The CI scenario suite (check/chaos/overload/causality/tail/cluster/
+# bootstrap), quick sweeps — the same commands the workflow matrix runs.
 scenarios:
 	./scripts/scenarios.sh -quick
 

@@ -8,7 +8,7 @@
 //	synapse-bench -exp table1|table3|fig8|fig9a|fig9b|fig12a|fig12b|
 //	                   fig13a|fig13b|fig13c|fig13rt|lostmsg|reliability|
 //	                   chaos|overload|hotpath|ablation-hash|causality|
-//	                   tail|cluster|all
+//	                   tail|cluster|bootstrap|all
 //	              [-quick] [-cpuprofile] [-memprofile] [-profiledir DIR]
 //
 // fig13rt additionally writes BENCH_fig13.json (round trips per message,
@@ -23,8 +23,11 @@
 // BENCH_tail.json (open-loop publish→deliver p50/p99/p999 across an
 // arrival-rate sweep, knee detection), and cluster writes
 // BENCH_cluster.json (sharded-broker throughput scaling at 1/2/4
-// shards, crash-to-promotion unavailability window, zero-lost verdict)
-// so future changes have perf and robustness trajectories.
+// shards, crash-to-promotion unavailability window, zero-lost verdict),
+// and bootstrap writes BENCH_bootstrap.json (chunked live join time vs
+// publisher size under sustained write load, max publish stall,
+// crash-resume cost from the journaled chunk cursor) so future changes
+// have perf and robustness trajectories.
 //
 // -quick shrinks every sweep for a fast end-to-end pass. -cpuprofile and
 // -memprofile capture pprof profiles of the run into -profiledir
@@ -111,6 +114,7 @@ func main() {
 		{"causality", runCausality},
 		{"tail", runTail},
 		{"cluster", runCluster},
+		{"bootstrap", runBootstrap},
 	}
 
 	found := false
@@ -310,8 +314,16 @@ func runOverload(quick bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// The recovery section's round-trip metric is a protocol count, so
+	// quick and full runs measure the identical configuration.
+	recovery, err := bench.RunOverloadRecovery(2000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Print(bench.FormatOverload(results))
-	doc, err := bench.MarshalOverload(results)
+	fmt.Print(bench.FormatOverloadRecovery(recovery))
+	doc, err := bench.MarshalOverload(results, recovery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -428,4 +440,32 @@ func runCluster(quick bool) {
 		os.Exit(1)
 	}
 	fmt.Println("wrote BENCH_cluster.json")
+}
+
+func runBootstrap(quick bool) {
+	cfg := bench.DefaultBootstrap()
+	if quick {
+		// The gate-compared metrics (exact convergence, stall bound,
+		// resumed walk < full walk) are config-invariant; quick only
+		// shrinks the populations and the resume section.
+		cfg.Sizes = []int{2_000, 20_000}
+		cfg.ResumeSize = 4_000
+		cfg.SettleTimeout = 30 * time.Second
+	}
+	r, err := bench.RunBootstrapBench(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatBootstrap(r))
+	doc, err := bench.MarshalBootstrap(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_bootstrap.json", doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_bootstrap.json")
 }

@@ -7,6 +7,9 @@ import (
 	"time"
 
 	"synapse/internal/chaos"
+	"synapse/internal/core"
+	"synapse/internal/model"
+	"synapse/internal/storage"
 )
 
 // ---------------------------------------------------------------------
@@ -52,6 +55,81 @@ func RunOverloadBench(cfg OverloadBenchConfig) ([]chaos.OverloadResult, error) {
 	return results, nil
 }
 
+// OverloadRecovery measures the §4.4 decommission cliff's recovery
+// cost: a subscriber whose bounded queue overflowed re-syncs through
+// RecoverQueue, which now routes through the chunked live bootstrap.
+// RTPerObject is the deterministic cost metric — subscriber
+// version-store round-trip windows per recovered object (one bulk
+// SetOpsMulti window for the version snapshot plus one batched claim
+// window per chunk, instead of the old per-counter and per-row calls).
+type OverloadRecovery struct {
+	Objects     int     `json:"objects"`
+	RTPerObject float64 `json:"rt_per_object"`
+	RecoveryMs  float64 `json:"recovery_ms"`
+	Chunks      int64   `json:"chunks"`
+	Converged   bool    `json:"converged"`
+}
+
+const recoveryModel = "Item"
+
+// RunOverloadRecovery overflows a bounded subscriber queue into
+// decommission, then measures the recovery's round-trip cost per
+// object.
+func RunOverloadRecovery(objects int) (OverloadRecovery, error) {
+	r := OverloadRecovery{Objects: objects}
+	desc := func() *model.Descriptor {
+		return model.NewDescriptor(recoveryModel,
+			model.Field{Name: "v", Type: model.Int},
+		)
+	}
+	f := core.NewFabric()
+	pub := mustApp(f, "pub", NewMapper(MongoDB, storage.Profile{}), core.Config{Mode: core.Causal})
+	if err := pub.Publish(desc(), core.PubSpec{Attrs: []string{"v"}}); err != nil {
+		return r, err
+	}
+	sub := mustApp(f, "sub", NewMapper(RethinkDB, storage.Profile{}), core.Config{
+		Mode:        core.Causal,
+		QueueMaxLen: 64,
+	})
+	if err := sub.Subscribe(desc(), core.SubSpec{From: "pub", Attrs: []string{"v"}}); err != nil {
+		return r, err
+	}
+
+	// The subscriber is not consuming; the publisher's creates overflow
+	// its bounded queue into the decommission cliff.
+	ctl := pub.NewController(nil)
+	for i := 0; i < objects; i++ {
+		rec := model.NewRecord(recoveryModel, fmt.Sprintf("it-%06d", i))
+		rec.Set("v", int64(i))
+		if _, err := ctl.Create(rec); err != nil {
+			return r, err
+		}
+	}
+	if q := sub.Queue(); q == nil || !q.Dead() {
+		return r, fmt.Errorf("queue survived %d publishes at maxLen 64", objects)
+	}
+
+	rt0 := sub.Store().RoundTrips()
+	start := time.Now()
+	if err := sub.RecoverQueue(); err != nil {
+		return r, err
+	}
+	r.RecoveryMs = float64(time.Since(start).Microseconds()) / 1000
+	r.RTPerObject = float64(sub.Store().RoundTrips()-rt0) / float64(objects)
+	r.Chunks = sub.Stats().BootstrapChunks
+	r.Converged = sub.Mapper().Len(recoveryModel) == objects
+	if r.Converged {
+		for _, i := range []int{0, objects / 2, objects - 1} {
+			got, err := sub.Mapper().Find(recoveryModel, fmt.Sprintf("it-%06d", i))
+			if err != nil || got.Int("v") != int64(i) {
+				r.Converged = false
+				break
+			}
+		}
+	}
+	return r, nil
+}
+
 // FormatOverload renders the per-seed overload runs.
 func FormatOverload(results []chaos.OverloadResult) string {
 	var b strings.Builder
@@ -76,9 +154,15 @@ func FormatOverload(results []chaos.OverloadResult) string {
 	return b.String()
 }
 
+// FormatOverloadRecovery renders the decommission-recovery measurement.
+func FormatOverloadRecovery(r OverloadRecovery) string {
+	return fmt.Sprintf("decommission recovery (%d objects past the cliff): %d chunks, %.4f vstore\nround trips/object, %.1fms (converged %v)\n",
+		r.Objects, r.Chunks, r.RTPerObject, r.RecoveryMs, r.Converged)
+}
+
 // MarshalOverload serializes the runs for BENCH_overload.json so future
 // changes have an overload-behavior trajectory to diff against.
-func MarshalOverload(results []chaos.OverloadResult) ([]byte, error) {
+func MarshalOverload(results []chaos.OverloadResult, recovery OverloadRecovery) ([]byte, error) {
 	converged, bounded := 0, 0
 	var worstQuarantine time.Duration
 	maxDepth := 0
@@ -104,15 +188,17 @@ func MarshalOverload(results []chaos.OverloadResult) ([]byte, error) {
 		Bounded         int                    `json:"bounded"`
 		MaxDepthSeen    int                    `json:"max_depth_seen"`
 		WorstQuarantine string                 `json:"worst_quarantine"`
+		Recovery        OverloadRecovery       `json:"recovery"`
 		Runs            []chaos.OverloadResult `json:"runs"`
 	}{
 		Experiment:      "overload",
-		Description:     "sustained ~2x overload against a deliberately slow subscriber; the publisher walks the degradation ladder (bounded-block throttle, journal-and-defer, low-priority shed) under watermark backpressure while a poison callback is quarantined by the stall watchdog; pass = queue depth bounded below the maxLen decommission cliff, exact convergence after release+replay, zero regressions, clean graceful drain",
+		Description:     "sustained ~2x overload against a deliberately slow subscriber; the publisher walks the degradation ladder (bounded-block throttle, journal-and-defer, low-priority shed) under watermark backpressure while a poison callback is quarantined by the stall watchdog; pass = queue depth bounded below the maxLen decommission cliff, exact convergence after release+replay, zero regressions, clean graceful drain; recovery = the cost of coming back over the cliff via the chunked bootstrap (vstore round trips per recovered object)",
 		Seeds:           len(results),
 		Converged:       converged,
 		Bounded:         bounded,
 		MaxDepthSeen:    maxDepth,
 		WorstQuarantine: worstQuarantine.Round(time.Microsecond).String(),
+		Recovery:        recovery,
 		Runs:            results,
 	}
 	return json.MarshalIndent(doc, "", "  ")

@@ -91,6 +91,20 @@ type App struct {
 	recoverMu  sync.Mutex // serializes queue recovery
 	journalMu  sync.Mutex // serializes journal drains
 
+	// recoverPending is the set of origins RecoverQueue still owes a
+	// bootstrap (guarded by recoverMu): a multi-origin recovery that
+	// fails partway resumes from the failed origin on the next call
+	// instead of re-bootstrapping origins that already converged.
+	recoverPending []string
+
+	// bootWindows tracks the open watermark window per origin while a
+	// chunked bootstrap runs (see bootstrap.go): live messages observed
+	// between a chunk's low and high watermarks record per-object max
+	// versions here, so chunk rows already superseded by live traffic
+	// skip their version-store claims.
+	windowMu    sync.Mutex
+	bootWindows map[string]*chunkWindow
+
 	// faults is the app's fault-injection registry (see faultinject).
 	// Always non-nil; inert unless a test arms a site.
 	faults *faultinject.Registry
@@ -105,6 +119,16 @@ type App struct {
 	shed         *metrics.Counter // low-priority publishes dropped under pressure
 	throttled    *metrics.Counter // publishes that entered the bounded-block wait
 	stalled      *metrics.Counter // deliveries abandoned by the stall watchdog
+
+	// Chunked-bootstrap observability (see bootstrap.go): chunks fully
+	// applied, high-watermark waits that timed out (chunk applied without
+	// live dedup), bootstraps that resumed from a journaled cursor, and
+	// rows skipped because a live message in the watermark window already
+	// superseded them.
+	bootstrapChunks  *metrics.Counter
+	chunkRetries     *metrics.Counter
+	bootstrapResumes *metrics.Counter
+	chunkRowsDeduped *metrics.Counter
 
 	// Dependency-wait observability (see subscribe.go): waits that found
 	// a dependency unmet on the first check, waits that gave up (§6.5),
@@ -166,6 +190,11 @@ type App struct {
 	// blocked (the StageDepWait timer averages over every message, most
 	// of which wait 0).
 	DepWaitBlocked *metrics.Histogram
+	// BootstrapStall times each bounded publisher-lock hold taken by a
+	// chunked bootstrap's chunk read — the only instants a bootstrap can
+	// stall the publisher's live writes. Its max is the worst-case
+	// publish stall the join inflicted.
+	BootstrapStall *metrics.Histogram
 	// PipelineFill samples the number of in-flight pipeline slots each
 	// time a worker dispatches a delivery (occupancy; samples are counts,
 	// not durations). FlushBatchSize samples the entries merged per
@@ -197,36 +226,42 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 		return nil, err
 	}
 	a := &App{
-		fabric:          f,
-		name:            name,
-		mapper:          mapper,
-		cfg:             cfg,
-		store:           store,
-		tracker:         tracker,
-		pubs:            make(map[string]*pubSpec),
-		subs:            make(map[string]map[string]*subSpec),
-		descs:           make(map[string]*model.Descriptor),
-		gens:            make(map[string]*genState),
-		env:             make(map[string]any),
-		faults:          faultinject.New(),
-		journalEpoch:    time.Now().UnixNano(),
-		republished:     metrics.NewCounter(),
-		retries:         metrics.NewCounter(),
-		redelivered:     metrics.NewCounter(),
-		deferred:        metrics.NewCounter(),
-		shed:            metrics.NewCounter(),
-		throttled:       metrics.NewCounter(),
-		stalled:         metrics.NewCounter(),
-		depWaitsBlocked: metrics.NewCounter(),
-		depTimeouts:     metrics.NewCounter(),
-		falseDeps:       metrics.NewCounter(),
-		rng:             rand.New(rand.NewSource(seedFor(name, "overload"))),
-		PublishLatency:  metrics.NewHistogram(),
-		Processed:       metrics.NewMeter(),
-		Stages:          metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageFlush, StageAck),
-		DepWaitBlocked:  metrics.NewHistogram(),
-		PipelineFill:    metrics.NewHistogram(),
-		FlushBatchSize:  metrics.NewHistogram(),
+		fabric:           f,
+		name:             name,
+		mapper:           mapper,
+		cfg:              cfg,
+		store:            store,
+		tracker:          tracker,
+		pubs:             make(map[string]*pubSpec),
+		subs:             make(map[string]map[string]*subSpec),
+		descs:            make(map[string]*model.Descriptor),
+		gens:             make(map[string]*genState),
+		env:              make(map[string]any),
+		faults:           faultinject.New(),
+		journalEpoch:     time.Now().UnixNano(),
+		republished:      metrics.NewCounter(),
+		retries:          metrics.NewCounter(),
+		redelivered:      metrics.NewCounter(),
+		deferred:         metrics.NewCounter(),
+		shed:             metrics.NewCounter(),
+		throttled:        metrics.NewCounter(),
+		stalled:          metrics.NewCounter(),
+		bootstrapChunks:  metrics.NewCounter(),
+		chunkRetries:     metrics.NewCounter(),
+		bootstrapResumes: metrics.NewCounter(),
+		chunkRowsDeduped: metrics.NewCounter(),
+		bootWindows:      make(map[string]*chunkWindow),
+		depWaitsBlocked:  metrics.NewCounter(),
+		depTimeouts:      metrics.NewCounter(),
+		falseDeps:        metrics.NewCounter(),
+		rng:              rand.New(rand.NewSource(seedFor(name, "overload"))),
+		BootstrapStall:   metrics.NewHistogram(),
+		PublishLatency:   metrics.NewHistogram(),
+		Processed:        metrics.NewMeter(),
+		Stages:           metrics.NewStageSet(StageDecode, StageBarrier, StageDepWait, StageApply, StageFlush, StageAck),
+		DepWaitBlocked:   metrics.NewHistogram(),
+		PipelineFill:     metrics.NewHistogram(),
+		FlushBatchSize:   metrics.NewHistogram(),
 	}
 	if err := f.registerApp(a); err != nil {
 		return nil, err
@@ -238,6 +273,12 @@ func NewApp(f *Fabric, name string, mapper orm.Mapper, cfg Config) (*App, error)
 			if err := a.registerJournal(); err != nil {
 				return nil, err
 			}
+		}
+		// The bootstrap cursor journal is independent of the publish
+		// journal: any app with a database can resume an interrupted
+		// bootstrap.
+		if err := a.registerCursorJournal(); err != nil {
+			return nil, err
 		}
 	}
 	// The publisher generation starts at whatever the coordinator
@@ -344,6 +385,22 @@ type Stats struct {
 	Flushes          int64
 	FlushBatchMean   float64
 	FlushBatchMax    int64
+	// BootstrapChunks counts chunks fully applied by the chunked live
+	// bootstrap; ChunkRetries counts chunks whose high-watermark wait
+	// timed out (the chunk applied under the version guard alone);
+	// BootstrapResumes counts bootstraps that resumed from a journaled
+	// chunk cursor instead of scanning from the start; ChunkRowsDeduped
+	// counts chunk rows skipped because a live message inside the
+	// watermark window already carried a version at least as new.
+	BootstrapChunks  int64
+	ChunkRetries     int64
+	BootstrapResumes int64
+	ChunkRowsDeduped int64
+	// MaxPublishStall is the longest bounded publisher-lock hold any
+	// chunk read inflicted on this app's store — the worst-case publish
+	// stall a subscriber join caused (zero when nothing bootstrapped
+	// from this app).
+	MaxPublishStall time.Duration
 	// Stages summarizes the subscriber pipeline timers by stage name.
 	Stages map[string]metrics.StageStat
 }
@@ -365,8 +422,13 @@ func (a *App) Stats() Stats {
 		DepWaitsBlocked:    a.depWaitsBlocked.Count(),
 		FalseDepsSuspected: a.falseDeps.Count(),
 		DepTimeouts:        a.depTimeouts.Count(),
+		BootstrapChunks:    a.bootstrapChunks.Count(),
+		ChunkRetries:       a.chunkRetries.Count(),
+		BootstrapResumes:   a.bootstrapResumes.Count(),
+		ChunkRowsDeduped:   a.chunkRowsDeduped.Count(),
 		Stages:             a.Stages.Snapshot(),
 	}
+	st.MaxPublishStall = a.BootstrapStall.Max()
 	st.DepWaitBlockedMean = a.DepWaitBlocked.Mean()
 	st.DepWaitBlockedMax = a.DepWaitBlocked.Max()
 	// Occupancy and flush-size histograms store counts as raw samples.

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"synapse/internal/broker"
 	"synapse/internal/model"
@@ -12,15 +14,133 @@ import (
 
 type vKey = vstore.Key
 
+// Named fault sites on the chunked-bootstrap path (see faultinject;
+// FaultBootstrapCursor lives in journal.go next to the cursor model).
+const (
+	// FaultBootstrapChunkLow fires before a chunk's low watermark is
+	// published — a crash here loses nothing, the chunk never started.
+	FaultBootstrapChunkLow = "bootstrap/chunk-low"
+	// FaultBootstrapChunkHigh fires after the chunk read, before the
+	// high watermark — a crash here replays the chunk from the cursor.
+	FaultBootstrapChunkHigh = "bootstrap/chunk-high"
+)
+
+// chunkWindow is the live-dedup state for one origin's in-flight chunk:
+// between the chunk's low and high watermarks, every live message
+// processed records the max object version it carried per dependency
+// token. A chunk row whose version is at or below the touched version is
+// already superseded by live traffic, so its claim and DB write are
+// skipped (DBLog §3.1, adapted: the version guard — not the watermark —
+// carries correctness here, because our version store is external to the
+// data store; the window only saves the superseded rows' round trips).
+type chunkWindow struct {
+	mu      sync.Mutex
+	id      string
+	open    bool
+	hiSeen  bool
+	touched map[string]uint64
+}
+
+// close seals the window and hands back the touched-version snapshot.
+func (w *chunkWindow) close() map[string]uint64 {
+	w.mu.Lock()
+	t := w.touched
+	w.open = false
+	w.touched = nil
+	w.mu.Unlock()
+	return t
+}
+
+// highSeen reports whether the window's own high watermark came back.
+func (w *chunkWindow) highSeen() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hiSeen
+}
+
+// windowFor returns the origin's dedup window, nil when no chunked
+// bootstrap from that origin is running.
+func (a *App) windowFor(origin string) *chunkWindow {
+	a.windowMu.Lock()
+	w := a.bootWindows[origin]
+	a.windowMu.Unlock()
+	return w
+}
+
+// openWindow starts a fresh dedup window for the chunk named id.
+func (a *App) openWindow(origin, id string) *chunkWindow {
+	a.windowMu.Lock()
+	w := a.bootWindows[origin]
+	if w == nil {
+		w = &chunkWindow{}
+		a.bootWindows[origin] = w
+	}
+	a.windowMu.Unlock()
+	w.mu.Lock()
+	w.id = id
+	w.open = true
+	w.hiSeen = false
+	w.touched = make(map[string]uint64)
+	w.mu.Unlock()
+	return w
+}
+
+// noteWatermark handles a watermark control message from the subscribe
+// path. Watermarks from other subscribers' bootstraps (different window
+// id) and leftovers from our own earlier chunks are ignored.
+func (a *App) noteWatermark(origin, id, kind string) {
+	w := a.windowFor(origin)
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.open && w.id == id && kind == wire.WatermarkHigh {
+		w.hiSeen = true
+	}
+	w.mu.Unlock()
+}
+
+// touchWindow records the object versions a live message carried into
+// the origin's open window (no-op outside a chunk's watermark pair).
+func (a *App) touchWindow(msg *wire.Message) {
+	w := a.windowFor(msg.App)
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.open {
+		for i := range msg.Operations {
+			op := &msg.Operations[i]
+			if v, ok := a.objectVersion(msg, op); ok && v > w.touched[op.ObjectDep] {
+				w.touched[op.ObjectDep] = v
+			}
+		}
+	}
+	w.mu.Unlock()
+}
+
 // Bootstrap synchronizes this app with a publisher in the three-step
-// process of §4.4:
+// process of §4.4, with the object snapshot replaced by DBLog-style
+// chunked live sync:
 //
 //  1. all current publisher versions are sent in bulk and saved in the
 //     subscriber's version store;
-//  2. all objects of the subscribed models are sent and persisted;
-//  3. all messages published during the previous steps are processed
-//     (with weak semantics, guarded so that messages already reflected
-//     in the version snapshot are not double-counted).
+//  2. the subscribed models are walked in small keyed chunks, each read
+//     under a bounded publisher lock hold and bracketed by low/high
+//     watermark messages through the broker, so live messages observed
+//     between the watermarks deduplicate chunk rows — the publisher is
+//     never paused for longer than one chunk read, and the live stream
+//     is consumed incrementally instead of accumulating in the queue;
+//  3. the remaining backlog is drained (with weak semantics, guarded so
+//     that messages already reflected in the version snapshot are not
+//     double-counted).
+//
+// Each completed chunk journals its cursor through the app's own
+// storage engine (see journal.go), so a crash, broker bounce, or
+// partition mid-bootstrap resumes from the last completed chunk rather
+// than restarting the scan; step 1 re-runs on resume (the SetOps
+// max-merge against absolute publisher counters is idempotent) so the
+// counter boundary stays exact.
 //
 // Passing model names restricts the object snapshot to those models (a
 // partial bootstrap, used after live schema migrations when new data is
@@ -47,6 +167,20 @@ func (a *App) Bootstrap(from string, models ...string) error {
 
 	a.bootDepth.Add(1)
 	defer a.bootDepth.Add(-1)
+	defer func() {
+		a.windowMu.Lock()
+		delete(a.bootWindows, from)
+		a.windowMu.Unlock()
+	}()
+
+	// A surviving cursor row means an earlier bootstrap of this origin
+	// was interrupted: this run resumes from the journaled chunks.
+	for _, m := range models {
+		if _, _, found := a.readCursor(from, m); found {
+			a.bootstrapResumes.Inc()
+			break
+		}
+	}
 
 	// Snapshot boundary: messages with Seq <= s0 are already reflected
 	// in the version snapshot below and must not re-increment counters.
@@ -73,23 +207,29 @@ func (a *App) Bootstrap(from string, models ...string) error {
 	if err != nil {
 		return fmt.Errorf("synapse: bootstrap version snapshot: %w", err)
 	}
+	bulk := make(map[vKey]uint64, len(export))
 	for token, c := range export {
-		if err := a.store.SetOps(a.tracker.Resolve(token), c.Ops); err != nil {
-			return err
+		k := a.tracker.Resolve(token)
+		if c.Ops > bulk[k] {
+			bulk[k] = c.Ops // hash trackers may fold tokens onto one key
 		}
 	}
+	if err := a.store.SetOpsMulti(bulk); err != nil {
+		return err
+	}
 
-	// Step 2: object snapshot, applied with weak semantics so replays
-	// and races with live messages resolve to the newest version.
+	// Step 2: chunked object snapshot, applied with weak semantics so
+	// replays and races with live messages resolve to the newest version.
 	for _, modelName := range models {
 		if err := a.bootstrapModel(pub, modelName); err != nil {
 			return err
 		}
 	}
 
-	// Step 3: drain the backlog accumulated during steps 1-2. Workers
-	// may be running concurrently (decommission recovery); TryGet
-	// interleaves safely with them.
+	// Step 3: drain the backlog accumulated during steps 1-2 (most of it
+	// was already consumed inside the chunk windows). Workers may be
+	// running concurrently (decommission recovery); TryGet interleaves
+	// safely with them.
 	q := a.Queue()
 	for {
 		d, got, err := q.TryGet()
@@ -108,11 +248,27 @@ func (a *App) Bootstrap(from string, models ...string) error {
 		}
 		_ = q.Ack(d.Tag)
 	}
+	// Converged: the resume cursors have served their purpose.
+	for _, m := range models {
+		a.clearCursor(from, m)
+	}
 	return nil
 }
 
-// bootstrapModel streams one model's objects from the publisher and
-// applies them as weak upserts guarded by object versions.
+// chunkRow is one object read under a chunk's bounded lock hold: the
+// (version, attributes) pair is atomic with respect to in-flight
+// publishes because both sides were read inside the publisher's write
+// locks for the chunk's keys.
+type chunkRow struct {
+	id      string
+	token   string
+	subKey  vKey
+	version uint64
+	attrs   map[string]any
+}
+
+// bootstrapModel walks one model's objects in keyed chunks, resuming
+// from the journaled cursor when an earlier bootstrap was interrupted.
 func (a *App) bootstrapModel(pub *App, modelName string) error {
 	if _, ok := a.subscription(modelName, pub.name); !ok {
 		return fmt.Errorf("%w: %s/%s from %s", ErrNotSubscribed, a.name, modelName, pub.name)
@@ -125,82 +281,268 @@ func (a *App) bootstrapModel(pub *App, modelName string) error {
 		return fmt.Errorf("%w: %s/%s", ErrUnpublished, pub.name, modelName)
 	}
 
-	var innerErr error
-	err := pub.mapper.Each(modelName, "", func(rec *model.Record) bool {
-		// Three views of the object's dependency: the publisher's store
-		// key (its lock and counters), the publisher's wire token (what
-		// live messages carry), and OUR resolution of that token (where
-		// the subscriber-side guard lives).
-		name := depName(pub.name, modelName, rec.ID)
-		pubKey := pub.tracker.KeyFor(name)
-		token := pub.tracker.Token(name)
-		subKey := a.tracker.Resolve(token)
-		// Read the (version, record) pair under the publisher's write
-		// lock for the key. A publish in flight holds that lock from its
-		// version claim through the DB commit to the broker send, so an
-		// unlocked read here can pair the CLAIMED version with the
-		// not-yet-committed OLD attributes — and the claimed version in
-		// the subscriber's guard then makes it skip the live message
-		// carrying the real data: permanent divergence. Locked, the pair
-		// is atomic: both sides of the in-flight publish or neither.
-		held, lerr := pub.store.LockWrites([]vstore.Key{pubKey})
-		if lerr != nil {
-			innerErr = lerr
-			return false
+	cursor, done, _ := a.readCursor(pub.name, modelName)
+	if done {
+		return nil // an interrupted bootstrap already finished this model
+	}
+	// One streaming id scan from the cursor; chunks are sliced out of
+	// this id snapshot rather than re-paginating the store per chunk
+	// (Each scans id >= from, so each per-chunk call would re-walk the
+	// whole remaining suffix — quadratic on large models). Objects
+	// created after the scan reach the subscriber through their own live
+	// messages; deleted ones are dropped by the per-chunk locked Find.
+	// Ids are collected outside any lock — the authoritative
+	// (version, attrs) read happens under the bounded lock hold in
+	// bootstrapChunk.
+	ids := make([]string, 0, a.cfg.BootstrapChunkSize)
+	err := pub.mapper.Each(modelName, cursor, func(rec *model.Record) bool {
+		if rec.ID == cursor {
+			return true
 		}
-		version := pub.store.Counters(pubKey).Version
-		if fresh, ferr := pub.mapper.Find(modelName, rec.ID); ferr == nil {
-			rec = fresh
+		ids = append(ids, rec.ID)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for start := 0; start < len(ids); start += a.cfg.BootstrapChunkSize {
+		end := start + a.cfg.BootstrapChunkSize
+		if end > len(ids) {
+			end = len(ids)
 		}
-		pub.store.UnlockWrites(held)
-		if version > 0 {
-			applied, _, aerr := a.store.ApplyIfNewer(subKey, version)
-			if aerr != nil {
-				innerErr = aerr
-				return false
+		if err := a.bootstrapChunk(pub, modelName, desc, ids[start:end]); err != nil {
+			return err
+		}
+		cursor = ids[end-1]
+		if err := a.writeCursor(pub.name, modelName, cursor, false); err != nil {
+			return err
+		}
+		a.bootstrapChunks.Inc()
+	}
+	return a.writeCursor(pub.name, modelName, cursor, true)
+}
+
+// bootstrapChunk syncs one chunk: low watermark, bounded locked read of
+// the chunk's (version, record) pairs, high watermark, live drain until
+// the high watermark returns, then the deduplicated batched apply.
+func (a *App) bootstrapChunk(pub *App, modelName string, desc *model.Descriptor, ids []string) error {
+	if err := a.faults.Fire(FaultBootstrapChunkLow); err != nil {
+		return err
+	}
+	windowID := fmt.Sprintf("%s/%s#%d", a.name, modelName, a.bootstrapChunks.Count())
+	w := a.openWindow(pub.name, windowID)
+	defer w.close()
+	if err := a.publishWatermark(pub, windowID, wire.WatermarkLow); err != nil {
+		return err
+	}
+
+	// Read the (version, record) pairs under the publisher's write locks
+	// for just this chunk's keys. A publish in flight holds its key's
+	// lock from the version claim through the DB commit to the broker
+	// send, so an unlocked read here could pair the CLAIMED version with
+	// the not-yet-committed OLD attributes — and the claimed version in
+	// the subscriber's guard then makes it skip the live message carrying
+	// the real data: permanent divergence. Locked, the pair is atomic,
+	// and the hold is bounded by the chunk size instead of the old
+	// per-record lock over a full scan.
+	names := make([]string, len(ids))
+	pubKeys := make([]vKey, len(ids))
+	tokens := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = depName(pub.name, modelName, id)
+		pubKeys[i] = pub.tracker.KeyFor(names[i])
+		tokens[i] = pub.tracker.Token(names[i])
+	}
+	start := time.Now()
+	held, err := pub.store.LockWrites(dedupKeys(pubKeys))
+	if err != nil {
+		return err
+	}
+	rows := make([]chunkRow, 0, len(ids))
+	for i, id := range ids {
+		version := pub.store.Counters(pubKeys[i]).Version
+		rec, ferr := pub.mapper.Find(modelName, id)
+		if ferr != nil || rec == nil {
+			// Deleted between the scan and the lock; the delete's own
+			// message supersedes the stale scan record, so the row is
+			// skipped rather than resurrected.
+			continue
+		}
+		attrs := pub.projectPublished(desc, rec)
+		rows = append(rows, chunkRow{
+			id:      id,
+			token:   tokens[i],
+			subKey:  a.tracker.Resolve(tokens[i]),
+			version: version,
+			attrs:   attrs,
+		})
+	}
+	pub.store.UnlockWrites(held)
+	pub.BootstrapStall.Observe(time.Since(start))
+
+	if err := a.faults.Fire(FaultBootstrapChunkHigh); err != nil {
+		return err
+	}
+	if err := a.publishWatermark(pub, windowID, wire.WatermarkHigh); err != nil {
+		return err
+	}
+	if err := a.awaitHighWatermark(w); err != nil {
+		return err
+	}
+	touched := w.close()
+	return a.applyChunk(pub, desc, rows, touched)
+}
+
+// publishWatermark sends a watermark control message through the
+// ORIGIN's exchange, so it fans out through the same broker (or cluster
+// shard) path as the origin's live messages and comes back to this
+// app's queue in publish order relative to them.
+func (a *App) publishWatermark(pub *App, id, kind string) error {
+	payload, err := wire.Marshal(wire.WatermarkMessage(pub.name, id, kind, pub.generation.Load()))
+	if err != nil {
+		return err
+	}
+	return a.brokerOp(func() error {
+		return a.fabric.bus().Publish(pub.name, payload)
+	})
+}
+
+// awaitHighWatermark consumes live traffic until the window's own high
+// watermark comes back (setting hiSeen via noteWatermark), bounding the
+// wait with BootstrapChunkWait: past the deadline the chunk applies
+// without live dedup — the per-object version guard alone still makes
+// that correct — and the timeout is counted in ChunkRetries.
+func (a *App) awaitHighWatermark(w *chunkWindow) error {
+	q := a.Queue()
+	if q == nil {
+		a.chunkRetries.Inc()
+		return nil
+	}
+	deadline := time.Now().Add(a.cfg.BootstrapChunkWait)
+	for !w.highSeen() {
+		if time.Now().After(deadline) {
+			a.chunkRetries.Inc()
+			return nil
+		}
+		d, got, err := q.TryGet()
+		if err != nil {
+			if errors.Is(err, broker.ErrDecommissioned) {
+				return err
 			}
-			if !applied {
-				return true // a newer live update already landed
-			}
+			// Queue closed or broker faulty: no watermark can arrive, so
+			// proceed guarded-only like the timeout path.
+			a.chunkRetries.Inc()
+			return nil
+		}
+		if !got {
+			// Concurrent workers (decommission recovery) may consume the
+			// watermark on our behalf; poll until it lands somewhere.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if perr := a.consume(d.Payload, nil, nil); perr != nil {
+			_ = q.Nack(d.Tag, true)
+			continue
+		}
+		_ = q.Ack(d.Tag)
+	}
+	return nil
+}
+
+// applyChunk applies one chunk's rows with weak semantics: rows whose
+// version was touched by a live message inside the watermark window are
+// skipped outright (the live apply already moved the guard at least
+// that far); the rest claim their versions in one ApplyBatch round trip
+// under the apply stripes, exactly like the pipelined live path, and
+// roll their claims back if a DB apply fails so a resumed chunk
+// re-applies exactly the unapplied rows.
+func (a *App) applyChunk(pub *App, desc *model.Descriptor, rows []chunkRow, touched map[string]uint64) error {
+	kept := make([]chunkRow, 0, len(rows))
+	for _, r := range rows {
+		if tv, ok := touched[r.token]; ok && tv >= r.version {
+			a.chunkRowsDeduped.Inc()
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	claims := make([]vstore.Claim, 0, len(kept))
+	claimIdx := make([]int, 0, len(kept))
+	depKeys := make([]string, 0, len(kept))
+	for ki, r := range kept {
+		if r.version == 0 {
+			continue // never published: no guard counter to claim
+		}
+		claims = append(claims, vstore.Claim{Key: r.subKey, Version: r.version})
+		claimIdx = append(claimIdx, ki)
+		depKeys = append(depKeys, r.token)
+	}
+	unlock := a.lockApplyStripes(depKeys)
+	defer unlock()
+	results, err := a.store.ApplyBatch(claims)
+	if err != nil {
+		return err
+	}
+	claimed := make(map[int]vstore.ClaimResult, len(claims))
+	for ci := range claims {
+		claimed[claimIdx[ci]] = results[ci]
+	}
+	for ki, r := range kept {
+		if res, guarded := claimed[ki]; guarded && !res.Applied {
+			continue // a newer live update already landed
 		}
 		op := wire.Operation{
 			Operation:  wire.OpUpdate,
 			Types:      desc.TypeChain(),
-			ID:         rec.ID,
-			Attributes: pub.projectPublished(desc, rec),
-			ObjectDep:  token,
+			ID:         r.id,
+			Attributes: r.attrs,
+			ObjectDep:  r.token,
 		}
 		if aerr := a.applyOp(pub.name, &op); aerr != nil {
-			innerErr = aerr
-			return false
+			// Roll back the fresh claims from the failed row onward so the
+			// resumed chunk re-applies exactly the unapplied rows.
+			for kj := ki; kj < len(kept); kj++ {
+				if res, ok := claimed[kj]; ok && res.Applied {
+					_ = a.store.RestoreVersion(kept[kj].subKey, kept[kj].version, res.Prev)
+				}
+			}
+			return aerr
 		}
-		return true
-	})
-	if innerErr != nil {
-		return innerErr
 	}
-	return err
+	return nil
 }
 
 // processBootstrapMessage handles live messages while bootstrapping:
 // weak per-object application, with counter increments only for
 // messages published after the snapshot boundary (so the bulk-loaded
-// counters are not double-counted).
-func (a *App) processBootstrapMessage(msg *wire.Message) error {
+// counters are not double-counted). With deferIncr set the due keys are
+// returned for the caller's group-commit flusher instead of being
+// applied inline — bootstrap-concurrent live traffic batches its
+// increments exactly like steady-state causal traffic.
+func (a *App) processBootstrapMessage(msg *wire.Message, deferIncr bool) ([]vKey, error) {
 	for i := range msg.Operations {
 		op := &msg.Operations[i]
 		if err := a.applyGuarded(msg, op); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	// Only after every operation applied: a failed message is redelivered
+	// whole, and recording its versions early could dedup a chunk row
+	// against an apply that never happened.
+	a.touchWindow(msg)
+	var incr []vKey
 	if msg.Seq > a.bootSeqFor(msg.App) && a.originMode(msg.App) >= Causal {
 		keys := a.depKeys(msg)
-		if err := a.store.IncrOps(keys); err != nil {
-			return err
+		if deferIncr {
+			incr = dedupKeys(keys)
+		} else if err := a.store.IncrOps(keys); err != nil {
+			return nil, err
 		}
 	}
 	a.Processed.Add(1)
-	return nil
+	return incr, nil
 }
 
 // depKeys resolves every dependency token a message carries — hashed
@@ -235,33 +577,38 @@ func (a *App) bootSeqFor(origin string) uint64 {
 // from every subscribed origin (§4.4: "If the subscriber comes back,
 // Synapse initiates a partial bootstrap to get the application back in
 // sync"). Safe to call from multiple workers; only one recovery runs.
+// A recovery that fails partway resumes from the failed origin on the
+// next call — origins that already converged are not re-bootstrapped,
+// and within the failed origin the cursor journal resumes the scan from
+// the last completed chunk.
 func (a *App) RecoverQueue() error {
 	a.recoverMu.Lock()
 	defer a.recoverMu.Unlock()
 	q := a.Queue()
-	if q != nil && !q.Dead() {
+	if q != nil && !q.Dead() && len(a.recoverPending) == 0 {
 		return nil // another worker already recovered
 	}
-	a.fabric.bus().DeleteQueue(a.queueName())
-	nq, err := a.fabric.bus().DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
-	if err != nil {
-		// Broker crashed mid-recovery; the worker loop reattaches after
-		// the restart and retries.
-		return err
-	}
-	a.tuneQueue(nq)
-	a.mu.Lock()
-	a.queue = nq
-	a.mu.Unlock()
-	for _, origin := range a.subscribedOrigins() {
-		if err := a.fabric.bus().Bind(a.queueName(), origin); err != nil {
+	if q == nil || q.Dead() {
+		a.fabric.bus().DeleteQueue(a.queueName())
+		nq, err := a.fabric.bus().DeclareQueue(a.queueName(), a.cfg.QueueMaxLen)
+		if err != nil {
+			// Broker crashed mid-recovery; the worker loop reattaches
+			// after the restart and retries.
 			return err
 		}
+		a.tuneQueue(nq)
+		a.mu.Lock()
+		a.queue = nq
+		a.mu.Unlock()
+		// A rebuilt queue owes every origin a partial bootstrap; Bootstrap
+		// itself re-binds each origin's exchange as it runs.
+		a.recoverPending = a.subscribedOrigins()
 	}
-	for _, origin := range a.subscribedOrigins() {
-		if err := a.Bootstrap(origin); err != nil {
+	for len(a.recoverPending) > 0 {
+		if err := a.Bootstrap(a.recoverPending[0]); err != nil {
 			return err
 		}
+		a.recoverPending = a.recoverPending[1:]
 	}
 	return nil
 }

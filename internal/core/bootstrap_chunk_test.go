@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"synapse/internal/faultinject"
+	"synapse/internal/model"
+)
+
+// TestBootstrapCrashResume kills the bootstrap between a chunk's high
+// watermark and its cursor-journal write, restarts it, and proves exact
+// convergence with no double-counted counters: the resumed run walks
+// only the un-synced suffix, and the subscriber's ops counters end
+// exactly equal to the publisher's export (a double-counted live
+// message would leave them ahead, and SetOps max-merge could never
+// bring them back down).
+func TestBootstrapCrashResume(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "name", "likes")
+
+	ctl := pub.NewController(nil)
+	for i := 0; i < 50; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+		rec.Set("name", fmt.Sprintf("user-%d", i))
+		rec.Set("likes", i)
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{BootstrapChunkSize: 8})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"name", "likes"}})
+
+	// Crash at the THIRD cursor write: chunks 1-2 are sealed in the
+	// journal, chunk 3 applied its rows but its cursor never landed.
+	boom := errors.New("injected crash at cursor journal")
+	sub.Faults().ArmN(FaultBootstrapCursor, 2, 1, faultinject.Fail(boom))
+	if err := sub.Bootstrap("pub"); !errors.Is(err, boom) {
+		t.Fatalf("bootstrap error = %v, want injected crash", err)
+	}
+	if got := sub.Stats().BootstrapChunks; got != 2 {
+		t.Fatalf("sealed chunks after crash = %d, want 2", got)
+	}
+
+	// A live write lands while the subscriber is down; its message waits
+	// in the queue and its version bump is part of the next export.
+	patch := model.NewRecord("User", "u00")
+	patch.Set("likes", 999)
+	if _, err := ctl.Update(patch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the journaled cursor resumes at chunk 3, so the full walk
+	// is 2 sealed chunks + 5 resumed (8+8+8+8+2 of the remaining 34).
+	if err := sub.Bootstrap("pub"); err != nil {
+		t.Fatal(err)
+	}
+	st := sub.Stats()
+	if st.BootstrapResumes != 1 {
+		t.Errorf("BootstrapResumes = %d, want 1", st.BootstrapResumes)
+	}
+	if st.BootstrapChunks != 7 {
+		t.Errorf("BootstrapChunks = %d, want 7 (2 before the crash + 5 resumed)", st.BootstrapChunks)
+	}
+
+	// Exact convergence, including the write that raced the crash.
+	if n := subMapper.Len("User"); n != 50 {
+		t.Fatalf("bootstrapped %d users, want 50", n)
+	}
+	got, _ := subMapper.Find("User", "u00")
+	if got.Int("likes") != 999 {
+		t.Errorf("u00 likes = %d, want the live write's 999", got.Int("likes"))
+	}
+
+	// Counters exactly equal the publisher's: the backlog message was
+	// inside the resumed run's snapshot boundary, so it must not have
+	// re-incremented what SetOps already loaded.
+	export, err := pub.Tracker().ExportVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for token, c := range export {
+		subOps := sub.Store().Counters(sub.Tracker().Resolve(token)).Ops
+		if subOps != c.Ops {
+			t.Errorf("token %s: sub ops = %d, pub ops = %d", token, subOps, c.Ops)
+		}
+	}
+
+	// And the cursor journal is gone: a future recovery starts clean.
+	if _, _, found := sub.readCursor("pub", "User"); found {
+		t.Error("cursor journal row survived a converged bootstrap")
+	}
+
+	// Live traffic flows afterwards.
+	patch2 := model.NewRecord("User", "u07")
+	patch2.Set("likes", 1234)
+	if _, err := ctl.Update(patch2); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, sub)
+	got, _ = subMapper.Find("User", "u07")
+	if got.Int("likes") != 1234 {
+		t.Errorf("post-bootstrap update = %+v", got.Attrs)
+	}
+}
+
+// TestBootstrapWatermarkDedup drives a publisher write into an open
+// chunk window (between the chunk's locked read and its high watermark)
+// and proves the superseded chunk row is deduplicated: the live message
+// wins, and the chunk skips the row's claim instead of racing it.
+func TestBootstrapWatermarkDedup(t *testing.T) {
+	f := NewFabric()
+	pub, _ := newDocApp(t, f, "pub", Config{})
+	mustPublish(t, pub, userDesc(), "likes")
+
+	ctl := pub.NewController(nil)
+	for i := 0; i < 10; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+		rec.Set("likes", i)
+		if _, err := ctl.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{BootstrapChunkSize: 4})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub", Attrs: []string{"likes"}})
+
+	// The chunk-high site fires after the chunk's locked read, before
+	// the high watermark: a write injected there is exactly the race the
+	// watermark window exists to catch — the chunk holds the OLD
+	// (version, attrs) pair, and the live message carrying the new one
+	// is consumed inside the window.
+	sub.Faults().ArmN(FaultBootstrapChunkHigh, 0, 1, func(string) error {
+		patch := model.NewRecord("User", "u00")
+		patch.Set("likes", 999)
+		_, err := ctl.Update(patch)
+		return err
+	})
+	if err := sub.Bootstrap("pub"); err != nil {
+		t.Fatal(err)
+	}
+
+	st := sub.Stats()
+	if st.ChunkRowsDeduped == 0 {
+		t.Error("no chunk rows deduplicated by the watermark window")
+	}
+	if st.ChunkRetries != 0 {
+		t.Errorf("ChunkRetries = %d: the high watermark never came back", st.ChunkRetries)
+	}
+	got, _ := subMapper.Find("User", "u00")
+	if got.Int("likes") != 999 {
+		t.Errorf("u00 likes = %d, want the in-window live write's 999", got.Int("likes"))
+	}
+	if n := subMapper.Len("User"); n != 10 {
+		t.Errorf("bootstrapped %d users, want 10", n)
+	}
+}
+
+// TestRecoverQueueResumesFromFailedOrigin: a multi-origin recovery that
+// fails on the second origin does not re-bootstrap the first on retry.
+func TestRecoverQueueResumesFromFailedOrigin(t *testing.T) {
+	f := NewFabric()
+	pub1, _ := newDocApp(t, f, "pub1", Config{})
+	mustPublish(t, pub1, userDesc(), "name")
+	pub2, _ := newDocApp(t, f, "pub2", Config{})
+	mustPublish(t, pub2, postDesc(), "body")
+
+	ctl1 := pub1.NewController(nil)
+	for i := 0; i < 20; i++ {
+		rec := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+		rec.Set("name", "x")
+		if _, err := ctl1.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl2 := pub2.NewController(nil)
+	for i := 0; i < 10; i++ {
+		rec := model.NewRecord("Post", fmt.Sprintf("p%02d", i))
+		rec.Set("body", "y")
+		if _, err := ctl2.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, subMapper := newDocApp(t, f, "sub", Config{QueueMaxLen: 5, BootstrapChunkSize: 8})
+	mustSubscribe(t, sub, userDesc(), SubSpec{From: "pub1", Attrs: []string{"name"}})
+	mustSubscribe(t, sub, postDesc(), SubSpec{From: "pub2", Attrs: []string{"body"}})
+	// The subscriber is away; pub1's traffic overflows its queue.
+	for i := 0; i < 10; i++ {
+		patch := model.NewRecord("User", fmt.Sprintf("u%02d", i))
+		patch.Set("name", "z")
+		if _, err := ctl1.Update(patch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sub.Queue().Dead() {
+		t.Fatal("queue not decommissioned")
+	}
+
+	// Origins recover in sorted order (pub1 then pub2). pub1's 20 users
+	// walk in 3 chunks of 8; fail pub2's first chunk.
+	boom := errors.New("injected failure on pub2's first chunk")
+	sub.Faults().ArmN(FaultBootstrapChunkLow, 3, 1, faultinject.Fail(boom))
+	if err := sub.RecoverQueue(); !errors.Is(err, boom) {
+		t.Fatalf("recovery error = %v, want injected failure", err)
+	}
+	if n := subMapper.Len("User"); n != 20 {
+		t.Fatalf("pub1 bootstrapped %d users before the failure, want 20", n)
+	}
+
+	// Retry: pub1 already converged, so only pub2 bootstraps — 3 chunks
+	// for pub1 plus 2 for pub2's 10 posts, never 3 again for pub1.
+	if err := sub.RecoverQueue(); err != nil {
+		t.Fatal(err)
+	}
+	if n := subMapper.Len("Post"); n != 10 {
+		t.Fatalf("pub2 bootstrapped %d posts, want 10", n)
+	}
+	if got := sub.Stats().BootstrapChunks; got != 5 {
+		t.Errorf("BootstrapChunks = %d, want 5 (3 for pub1 + 2 for pub2, pub1 not re-walked)", got)
+	}
+}

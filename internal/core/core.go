@@ -217,6 +217,17 @@ type Config struct {
 	// ApplyTimeoutMax caps the escalating stall budget
 	// (default 8× ApplyTimeout).
 	ApplyTimeoutMax time.Duration
+
+	// BootstrapChunkSize bounds how many publisher objects one bootstrap
+	// chunk reads under a single bounded publisher lock hold (DBLog-style
+	// chunked live sync; default 256). Smaller chunks shrink the worst
+	// publish stall at the cost of more watermark round trips.
+	BootstrapChunkSize int
+	// BootstrapChunkWait bounds how long the bootstrapping subscriber
+	// waits to observe its own high-watermark message back from the
+	// broker before applying the chunk without live dedup (the per-object
+	// version guard still protects correctness; default 500ms).
+	BootstrapChunkWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -252,6 +263,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ApplyTimeoutMax <= 0 {
 		c.ApplyTimeoutMax = 8 * c.ApplyTimeout
+	}
+	if c.BootstrapChunkSize <= 0 {
+		c.BootstrapChunkSize = 256
+	}
+	if c.BootstrapChunkWait <= 0 {
+		c.BootstrapChunkWait = 500 * time.Millisecond
 	}
 	return c
 }

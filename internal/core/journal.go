@@ -314,3 +314,99 @@ func (a *App) journalDirect(payload []byte, seq uint64) (string, error) {
 	}
 	return rec.ID, nil
 }
+
+// ---------------------------------------------------------------------
+// Bootstrap cursor journal: one reserved row per (origin, model) records
+// the id of the last chunk fully applied by the chunked live bootstrap,
+// so a subscriber crash, broker bounce, or partition mid-bootstrap
+// resumes from the next chunk instead of restarting the scan. done=1
+// marks a model fully walked (distinct from "not started", since the
+// empty cursor is also the scan start). Rows are deleted when the whole
+// origin bootstrap completes; a surviving row therefore always means an
+// interrupted bootstrap.
+// ---------------------------------------------------------------------
+
+// cursorModel is the reserved model backing the bootstrap chunk cursor.
+const cursorModel = "SynapseBootstrapCursor"
+
+// FaultBootstrapCursor fires before the cursor-journal write that seals
+// a completed chunk (see faultinject); a crash here replays the chunk,
+// which the per-object version guard makes idempotent.
+const FaultBootstrapCursor = "bootstrap/cursor-journal"
+
+func cursorDescriptor() *model.Descriptor {
+	return model.NewDescriptor(cursorModel,
+		model.Field{Name: "model", Type: model.String},
+		model.Field{Name: "cursor", Type: model.String},
+		model.Field{Name: "done", Type: model.Int},
+	)
+}
+
+// registerCursorJournal binds the cursor model to the app's own storage
+// engine (NewApp, for every app with a database — the cursor journal is
+// useful even when the publish journal is disabled).
+func (a *App) registerCursorJournal() error {
+	if _, ok := a.mapper.Descriptor(cursorModel); ok {
+		return nil
+	}
+	return a.mapper.Register(cursorDescriptor())
+}
+
+// cursorJournaling reports whether bootstrap progress is durable. Apps
+// without a database (pure publishers of ephemerals) cannot resume.
+func (a *App) cursorJournaling() bool {
+	if a.mapper == nil {
+		return false
+	}
+	_, ok := a.mapper.Descriptor(cursorModel)
+	return ok
+}
+
+// cursorID keys the row: origin then model, both verbatim (origins and
+// model names never contain '|').
+func cursorID(origin, modelName string) string {
+	return origin + "|" + modelName
+}
+
+// readCursor returns the journaled cursor for (origin, model): the last
+// chunk-final id applied, and whether the model's scan already finished.
+// ok reports whether any row exists (an interrupted bootstrap).
+func (a *App) readCursor(origin, modelName string) (cursor string, done, ok bool) {
+	if !a.cursorJournaling() {
+		return "", false, false
+	}
+	rec, err := a.mapper.Find(cursorModel, cursorID(origin, modelName))
+	if err != nil || rec == nil {
+		return "", false, false
+	}
+	return rec.String("cursor"), rec.Int("done") != 0, true
+}
+
+// writeCursor seals a completed chunk (or, with done, a completed model
+// scan) into the cursor journal.
+func (a *App) writeCursor(origin, modelName, cursor string, done bool) error {
+	if !a.cursorJournaling() {
+		return nil
+	}
+	if err := a.faults.Fire(FaultBootstrapCursor); err != nil {
+		return err
+	}
+	rec := model.NewRecord(cursorModel, cursorID(origin, modelName))
+	rec.Set("model", modelName)
+	rec.Set("cursor", cursor)
+	if done {
+		rec.Set("done", int64(1))
+	} else {
+		rec.Set("done", int64(0))
+	}
+	return a.mapper.Save(rec)
+}
+
+// clearCursor removes the cursor row for (origin, model) once the
+// origin's bootstrap has fully converged.
+func (a *App) clearCursor(origin, modelName string) {
+	if !a.cursorJournaling() {
+		return
+	}
+	_ = a.mapper.Delete(cursorModel, cursorID(origin, modelName))
+}

@@ -879,6 +879,16 @@ func (a *App) processMessage(msg *wire.Message, cancel <-chan struct{}, onBlock 
 // no reference into msg, so they outlive ReleaseMessage.
 func (a *App) processMessageDefer(msg *wire.Message, cancel <-chan struct{}, onBlock func(), deferIncr bool) ([]vstore.Key, error) {
 	origin := msg.App
+	// Bootstrap watermark control messages carry no object state: they
+	// only flip the in-flight chunk window's state (and are ignored
+	// entirely when no chunked bootstrap from this origin is running —
+	// other subscribers' watermarks fan out to every queue bound to the
+	// origin's exchange). Intercepted before the generation barrier so a
+	// publisher recovery mid-bootstrap cannot strand the window wait.
+	if id, kind, ok := wire.WatermarkOf(msg); ok {
+		a.noteWatermark(origin, id, kind)
+		return nil, nil
+	}
 	barrierStart := time.Now()
 	err := a.enterGeneration(origin, msg.Generation)
 	a.Stages.Observe(StageBarrier, time.Since(barrierStart))
@@ -889,7 +899,7 @@ func (a *App) processMessageDefer(msg *wire.Message, cancel <-chan struct{}, onB
 
 	mode := a.originMode(origin)
 	if a.Bootstrapping() {
-		return nil, a.processBootstrapMessage(msg)
+		return a.processBootstrapMessage(msg, deferIncr)
 	}
 
 	switch mode {

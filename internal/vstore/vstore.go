@@ -590,6 +590,56 @@ func (s *Store) SetOps(k Key, val uint64) error {
 	return nil
 }
 
+// SetOpsMulti raises many keys' ops counters to at least their mapped
+// values in one pipelined round-trip window (max-merge per key, like
+// SetOps). This is the bulk version load of a bootstrap: equivalent to
+// one SetOps call per key, but charged a single window instead of one
+// per counter.
+func (s *Store) SetOpsMulti(vals map[Key]uint64) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	if err := s.checkAlive(); err != nil {
+		return err
+	}
+	keys := make([]Key, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	byShard := make(map[*shard][]Key)
+	for _, k := range keys {
+		sh := s.shardFor(k)
+		byShard[sh] = append(byShard[sh], k)
+	}
+	// One pipelined round trip: charge the slowest shard's cost once.
+	var cost time.Duration
+	for _, ks := range byShard {
+		if c := s.cfg.scriptCost(len(ks)); c > cost {
+			cost = c
+		}
+	}
+	s.charge(cost)
+	for sh, ks := range byShard {
+		out := make([]uint64, len(ks))
+		sh.script(0, func(m map[Key]*entry) {
+			for i, k := range ks {
+				e := m[k]
+				if e == nil {
+					e = &entry{}
+					m[k] = e
+				}
+				if v := vals[k]; v > e.ops {
+					e.ops = v
+				}
+				out[i] = e.ops
+			}
+		})
+		sh.wakeReached(ks, out)
+	}
+	return nil
+}
+
 // WaitAtLeast blocks until the ops counter for the key reaches min, the
 // timeout elapses (a *WaitError wrapping ErrTimeout, naming the
 // blocking key and its counters), or the store dies (ErrDead). A zero

@@ -18,7 +18,12 @@
 #             absolute ceiling of 12 allocs/op on fast unmarshal that
 #             even a freshly regenerated (worse) baseline cannot evade.
 #   chaos     converged == seeds (every seeded fault script converges).
-#   overload  converged == seeds and queue bounds held.
+#   overload  converged == seeds and queue bounds held; decommission
+#             recovery converged with an absolute round-trip budget of
+#             0.05 vstore round trips per recovered object (protocol
+#             count — one bulk version-snapshot window plus one batched
+#             claim window per chunk — so it is size-invariant and a
+#             regenerated baseline cannot launder a chatty recovery).
 #   causality dvv false_deps_suspected == 0, and dvv throughput beats
 #             hash at cardinality 1 (the paper's qualitative claim).
 #   tail      p99 at the anchor rate (1000 ops/s, present in quick and
@@ -35,6 +40,12 @@
 #             throughput at 4 shards at least 1.6x the 1-shard rate
 #             (capacity knobs are identical in quick and full runs, so
 #             the ratio is config-invariant).
+#   bootstrap converged at every size and in the crash-resume section,
+#             max publish stall under an absolute 250ms ceiling (the
+#             zero-pause claim: live publishes never block for a
+#             bootstrap), and the resumed join replayed strictly fewer
+#             chunks than the full join (the journaled cursor actually
+#             skipped work).
 #
 # Usage:
 #   scripts/bench_gate.sh            run the gate
@@ -49,7 +60,7 @@ if ! command -v jq >/dev/null 2>&1; then
     exit 2
 fi
 
-GATED="BENCH_fig13.json BENCH_hotpath.json BENCH_chaos.json BENCH_overload.json BENCH_causality.json BENCH_tail.json BENCH_cluster.json"
+GATED="BENCH_fig13.json BENCH_hotpath.json BENCH_chaos.json BENCH_overload.json BENCH_causality.json BENCH_tail.json BENCH_cluster.json BENCH_bootstrap.json"
 
 tmp=$(mktemp -d)
 restore_needed=""
@@ -111,6 +122,16 @@ compare() {
     jq -e '.converged == .seeds and .bounded' "$fresh/BENCH_overload.json" >/dev/null ||
         breach "overload: convergence or queue bound lost"
 
+    # overload: decommission recovery must converge, and its per-object
+    # round-trip cost is an absolute protocol budget — no baseline to
+    # launder against.
+    jq -e '.recovery.converged' "$fresh/BENCH_overload.json" >/dev/null ||
+        breach "overload: decommission recovery did not converge"
+    rt_cap=0.05
+    n=$(jq -r '.recovery.rt_per_object' "$fresh/BENCH_overload.json")
+    awk -v n="$n" -v cap="$rt_cap" 'BEGIN { exit (n <= cap) ? 0 : 1 }' ||
+        breach "overload: recovery $n vstore rt/object above the absolute cap of $rt_cap"
+
     # causality: DVVs must stay exact (no false dependencies) and beat
     # the degenerate hash tracker.
     jq -e '[.points[] | select(.tracker == "dvv") | .false_deps_suspected] | length > 0 and all(. == 0)' \
@@ -161,6 +182,24 @@ compare() {
     jq -e '.failover.unavail_ms > 0 and .failover.unavail_ms < 500' \
         "$fresh/BENCH_cluster.json" >/dev/null ||
         breach "cluster: failover window $(jq -r '.failover.unavail_ms' "$fresh/BENCH_cluster.json")ms outside (0, 500)"
+
+    # bootstrap: every join (including the crash-resume) converged
+    # exactly.
+    jq -e '.converged' "$fresh/BENCH_bootstrap.json" >/dev/null ||
+        breach "bootstrap: a join or the crash-resume failed to converge"
+    # bootstrap: the zero-pause claim — the worst stall any live publish
+    # saw while a subscriber bootstrapped, under an absolute ceiling
+    # (per-chunk lock holds are bounded by the chunk size, which is
+    # identical in quick and full runs).
+    stall_cap=250
+    n=$(jq -r '.max_publish_stall_ms' "$fresh/BENCH_bootstrap.json")
+    awk -v n="$n" -v cap="$stall_cap" 'BEGIN { exit (n < cap) ? 0 : 1 }' ||
+        breach "bootstrap: max publish stall ${n}ms at/above the ${stall_cap}ms ceiling"
+    # bootstrap: the journaled cursor must make the resumed join
+    # strictly cheaper than the full join it crashed out of.
+    jq -e '.resume.converged and .resume.chunks_resumed < .resume.chunks_total' \
+        "$fresh/BENCH_bootstrap.json" >/dev/null ||
+        breach "bootstrap: resume replayed $(jq -r '"\(.resume.chunks_resumed)/\(.resume.chunks_total)"' "$fresh/BENCH_bootstrap.json") chunks (cursor journal not saving work)"
 }
 
 mkdir -p "$tmp/committed" "$tmp/fresh"
@@ -248,13 +287,28 @@ if [ "${1:-}" = "selftest" ]; then
     jq '.failover.unavail_ms = 2000' "$tmp/committed/BENCH_cluster.json" >"$tmp/fresh/BENCH_cluster.json"
     expect_breach "cluster failover window blowout"
 
+    jq '.recovery.converged = false' "$tmp/committed/BENCH_overload.json" >"$tmp/fresh/BENCH_overload.json"
+    expect_breach "overload decommission recovery diverged"
+
+    jq '.recovery.rt_per_object = 1.0' "$tmp/committed/BENCH_overload.json" >"$tmp/fresh/BENCH_overload.json"
+    expect_breach "overload recovery rt/object over the absolute cap"
+
+    jq '.converged = false' "$tmp/committed/BENCH_bootstrap.json" >"$tmp/fresh/BENCH_bootstrap.json"
+    expect_breach "bootstrap join diverged"
+
+    jq '.max_publish_stall_ms = 5000' "$tmp/committed/BENCH_bootstrap.json" >"$tmp/fresh/BENCH_bootstrap.json"
+    expect_breach "bootstrap publish stall over the zero-pause ceiling"
+
+    jq '.resume.chunks_resumed = .resume.chunks_total' "$tmp/committed/BENCH_bootstrap.json" >"$tmp/fresh/BENCH_bootstrap.json"
+    expect_breach "bootstrap resume replayed the full walk"
+
     echo "selftest OK: gate trips on every injected regression"
     exit 0
 fi
 
 echo "== bench_gate: quick bench suite =="
 restore_needed=1
-for exp in fig13rt hotpath chaos overload causality tail cluster; do
+for exp in fig13rt hotpath chaos overload causality tail cluster bootstrap; do
     go run ./cmd/synapse-bench -exp "$exp" -quick || {
         echo "bench_gate: $exp run failed" >&2
         exit 1
@@ -274,7 +328,7 @@ echo "== bench_gate: comparing against committed baselines =="
 compare "$tmp/committed" "$tmp/fresh"
 if [ "$fails" -gt 0 ]; then
     echo "bench_gate: $fails breach(es) against committed baselines" >&2
-    echo "(if intentional, regenerate the baselines: make bench bench-hotpath bench-overload bench-causality bench-tail bench-cluster and synapse-bench -exp chaos)" >&2
+    echo "(if intentional, regenerate the baselines: make bench bench-hotpath bench-overload bench-causality bench-tail bench-cluster bench-bootstrap and synapse-bench -exp chaos)" >&2
     exit 1
 fi
 echo "bench_gate OK: all baselines within tolerance"

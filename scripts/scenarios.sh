@@ -94,7 +94,17 @@ scenario_cluster() {
         go run ./cmd/synapse-bench -exp cluster $QUICK
 }
 
-ALL="check chaos overload causality tail cluster"
+# Chunked live bootstrap: the watermark/cursor unit tests, the
+# decommission-recovery path, the seeded bootstrap-race chaos scripts
+# (crashes mid-walk, partitions, broker bounces), then the join-time /
+# publish-stall / crash-resume bench.
+scenario_bootstrap() {
+    go test -race $SHORT -run 'TestBootstrap|TestRecoverQueue' ./internal/core/ &&
+        go test -race $SHORT -run 'TestBootstrapRace' ./internal/chaos/ &&
+        go run ./cmd/synapse-bench -exp bootstrap $QUICK
+}
+
+ALL="check chaos overload causality tail cluster bootstrap"
 run_list="$*"
 if [ -z "$run_list" ]; then
     run_list="$ALL"
